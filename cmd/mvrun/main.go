@@ -1,0 +1,179 @@
+// mvrun runs a Scheme program (or a REPL) on the simulated stack in any of
+// the three worlds — the user-facing face of Multiverse: "It can be run
+// from a Linux command line and interact with the user just like any other
+// executable ... but internally, it executes in kernel mode as an HRT."
+//
+// Usage:
+//
+//	mvrun -world multiverse -e '(display (+ 1 2)) (newline)'
+//	mvrun -world native program.scm
+//	echo '(+ 1 2)' | mvrun -world multiverse -repl
+//	mvrun -bench binary-tree-2 -world multiverse
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"multiverse/internal/bench"
+	"multiverse/internal/core"
+	"multiverse/internal/scheme"
+	"multiverse/internal/vcode"
+	"multiverse/internal/vfs"
+)
+
+func main() {
+	world := flag.String("world", "multiverse", "execution world: native, virtual, multiverse")
+	runtimeName := flag.String("runtime", "scheme", "guest runtime: scheme or vcode")
+	expr := flag.String("e", "", "evaluate this expression instead of a file")
+	repl := flag.Bool("repl", false, "run the interactive REPL over stdin")
+	benchName := flag.String("bench", "", "run a named paper benchmark instead of a file")
+	stats := flag.Bool("stats", false, "print run statistics afterwards")
+	hotspots := flag.Bool("hotspots", false, "print the legacy-interface hotspot report (multiverse world only)")
+	flag.Parse()
+
+	if err := run(*world, *runtimeName, *expr, *repl, *benchName, *stats, *hotspots, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "mvrun: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parseWorld(s string) (core.World, error) {
+	switch s {
+	case "native":
+		return core.WorldNative, nil
+	case "virtual":
+		return core.WorldVirtual, nil
+	case "multiverse", "hrt":
+		return core.WorldHRT, nil
+	default:
+		return 0, fmt.Errorf("unknown world %q (want native, virtual, or multiverse)", s)
+	}
+}
+
+func run(worldName, runtimeName, expr string, repl bool, benchName string, stats, hotspots bool, args []string) error {
+	w, err := parseWorld(worldName)
+	if err != nil {
+		return err
+	}
+	if runtimeName != "scheme" && runtimeName != "vcode" {
+		return fmt.Errorf("unknown runtime %q (want scheme or vcode)", runtimeName)
+	}
+
+	if benchName != "" {
+		prog, ok := bench.ProgramByName(benchName)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q", benchName)
+		}
+		res, err := bench.RunBenchmark(prog, w)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(res.Output)
+		if stats {
+			printStats(res)
+		}
+		return nil
+	}
+
+	// Assemble the program source.
+	var src string
+	switch {
+	case expr != "":
+		src = expr
+	case repl:
+		// handled below
+	case len(args) == 1:
+		data, rerr := os.ReadFile(args[0])
+		if rerr != nil {
+			return rerr
+		}
+		src = string(data)
+	default:
+		return fmt.Errorf("need a program file, -e expression, -repl, or -bench name")
+	}
+
+	fs := vfs.New()
+	if err := scheme.InstallPrelude(fs); err != nil {
+		return err
+	}
+	sys, err := bench.NewSystemForWorld(w, fs, "mvrun")
+	if err != nil {
+		return err
+	}
+	if repl {
+		stdin, rerr := io.ReadAll(os.Stdin)
+		if rerr != nil {
+			return rerr
+		}
+		sys.Proc.SetStdin(stdin)
+	}
+
+	var runErr error
+	if _, err := sys.RunMain(func(env core.Env) uint64 {
+		if runtimeName == "vcode" {
+			prog, perr := vcode.Parse(src)
+			if perr != nil {
+				runErr = perr
+				return 1
+			}
+			vm := vcode.NewVM(env)
+			runErr = vm.Run(prog)
+			if runErr != nil {
+				return 1
+			}
+			return 0
+		}
+		eng, eerr := scheme.NewEngine(env)
+		if eerr != nil {
+			runErr = eerr
+			return 1
+		}
+		if repl {
+			runErr = eng.REPL()
+		} else {
+			_, runErr = eng.RunString(src)
+		}
+		eng.Shutdown()
+		if runErr != nil {
+			return 1
+		}
+		return 0
+	}); err != nil {
+		return err
+	}
+	os.Stdout.Write(sys.Proc.Stdout())
+	if runErr != nil {
+		return runErr
+	}
+	if stats {
+		st := sys.Proc.Stats()
+		fmt.Fprintf(os.Stderr, "\n[%s] %.4f virtual seconds, %d syscalls, %d faults, %d ctx switches\n",
+			w, sys.Main.Clock.Now().Seconds(), st.TotalSyscalls(),
+			st.MinorFaults+st.MajorFaults, st.VoluntaryCS+st.InvoluntaryCS)
+		if sys.AK != nil {
+			fmt.Fprintf(os.Stderr, "[%s] forwarded: %d syscalls, %d page faults; merges: %d\n",
+				w, sys.AK.ForwardedSyscalls(), sys.AK.ForwardedFaults(), sys.AK.MergeCount())
+		}
+	}
+	if hotspots && sys.AK != nil {
+		fmt.Fprintln(os.Stderr)
+		fmt.Fprint(os.Stderr, sys.Hotspots().Report())
+	}
+	return nil
+}
+
+func printStats(res *bench.RunResult) {
+	fmt.Fprintf(os.Stderr, "\n[%s] %s: %.4f virtual seconds\n", res.World, res.Program, res.Seconds)
+	fmt.Fprintf(os.Stderr, "  syscalls=%d faults=%d maxrss=%dKb ctxsw=%d\n",
+		res.Stats.TotalSyscalls(), res.Stats.MinorFaults+res.Stats.MajorFaults,
+		res.Stats.MaxRSSKb(), res.Stats.VoluntaryCS+res.Stats.InvoluntaryCS)
+	if res.World == core.WorldHRT {
+		fmt.Fprintf(os.Stderr, "  forwarded: syscalls=%d faults=%d merges=%d\n",
+			res.ForwardedSyscalls, res.ForwardedFaults, res.Merges)
+	}
+	fmt.Fprintf(os.Stderr, "  gc: collections=%d barrier-faults=%d reductions=%d\n",
+		res.GCCollections, res.BarrierFaults, res.Reductions)
+}

@@ -1,0 +1,107 @@
+// mvtool is the Multiverse toolchain front-end: it performs the fat-binary
+// link step — embed an AeroKernel image and an override configuration into
+// an application image — and can inspect the result.
+//
+// Usage:
+//
+//	mvtool build -app myapp -overrides overrides.conf -o myapp.fat
+//	mvtool inspect myapp.fat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multiverse/internal/core"
+	"multiverse/internal/image"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = build(os.Args[2:])
+	case "inspect":
+		err = inspect(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mvtool: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mvtool build -app NAME [-overrides FILE] -o OUT.fat")
+	fmt.Fprintln(os.Stderr, "       mvtool inspect FILE.fat")
+	os.Exit(2)
+}
+
+func build(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	app := fs.String("app", "app", "application name for the synthesized image")
+	overridesPath := fs.String("overrides", "", "override configuration file")
+	out := fs.String("o", "app.fat", "output path for the fat binary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var specs []core.OverrideSpec
+	if *overridesPath != "" {
+		data, err := os.ReadFile(*overridesPath)
+		if err != nil {
+			return err
+		}
+		specs, err = core.ParseOverrides(data)
+		if err != nil {
+			return err
+		}
+	}
+	fat, err := core.Build(core.BuildInput{
+		App:        core.NewAppImage(*app),
+		AeroKernel: core.NewAeroKernelImage(),
+		Overrides:  specs,
+	})
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, fat.Encode(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote fat binary %s: %d bytes, %d sections, %d symbols\n",
+		*out, len(fat.Encode()), len(fat.Sections), len(fat.Symbols))
+	return nil
+}
+
+func inspect(args []string) error {
+	if len(args) != 1 {
+		usage()
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	fat, err := image.Decode(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("image %s: entry %#x\n", fat.Name, fat.Entry)
+	for _, s := range fat.Sections {
+		fmt.Printf("  section %-18s kind=%-18s vaddr=%#x size=%d\n", s.Name, s.Kind, s.VAddr, len(s.Data))
+	}
+	if ak, err := image.ExtractAeroKernel(fat); err == nil {
+		fmt.Printf("  embedded AeroKernel %s: entry %#x, %d symbols\n", ak.Name, ak.Entry, len(ak.Symbols))
+		for _, sym := range ak.Symbols {
+			fmt.Printf("    %#016x %6d %s\n", sym.Addr, sym.Size, sym.Name)
+		}
+	}
+	if ovr := image.ExtractOverrides(fat); ovr != nil {
+		fmt.Printf("  override configuration:\n%s", ovr)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+// Accelerator model (paper Figures 4 and 5): code explicitly mixes legacy
+// Linux functionality with AeroKernel functionality.
+//
+// The routine invoked with hrt_invoke_func() calls an AeroKernel function
+// directly (possible because it already executes in the HRT), then uses
+// printf — which works because of the merged address space (the function
+// linkage) and the event channel (the underlying write(2) forwards to the
+// ROS).
+//
+// The second half repeats the exercise via AeroKernel overrides: the same
+// routine runs through pthread_create, interposed to nk_thread_create by
+// the generated wrapper (Figure 5).
+//
+// Run: go run ./examples/accelerator
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multiverse/internal/core"
+	"multiverse/internal/linuxabi"
+)
+
+// routine is the paper's example body:
+//
+//	void *ret = aerokernel_func();
+//	printf("Result = %d\n", ret);
+func routine(env core.Env) uint64 {
+	hrt := env.(core.HRTExtras)
+	ret, err := hrt.AKCall("nk_sysinfo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	msg := fmt.Sprintf("Result = %d\n", ret)
+	env.Syscall(linuxabi.Call{
+		Num:  linuxabi.SysWrite,
+		Args: [6]uint64{1, 0, uint64(len(msg))},
+		Data: []byte(msg),
+	})
+	return ret
+}
+
+func main() {
+	fat, err := core.Build(core.BuildInput{
+		App:        core.NewAppImage("accelerator"),
+		AeroKernel: core.NewAeroKernelImage(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := core.NewSystem(fat, core.Options{Hybrid: true, AppName: "accelerator"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.InitRuntime(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 4: hrt_invoke_func(routine).
+	ret, err := sys.HRTInvokeFunc(routine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hrt_invoke_func returned %d\n", ret)
+
+	// Figure 5: the same routine through the pthread_create override.
+	_, err = sys.RunMain(func(env core.Env) uint64 {
+		join, err := env.PthreadCreate(func(child core.Env) { routine(child) })
+		if err != nil {
+			log.Fatal(err)
+		}
+		join()
+		return 0
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("program output:\n%s", sys.Proc.Stdout())
+	w, _ := sys.Overrides.Lookup("pthread_create")
+	inv, lookups := w.Stats()
+	fmt.Printf("pthread_create wrapper: %d invocations, %d symbol lookups\n", inv, lookups)
+}

@@ -1,0 +1,76 @@
+// Quickstart: hybridize a tiny application and watch it run in kernel
+// mode.
+//
+// The flow is the paper's developer experience end to end: build a fat
+// binary with the toolchain, let the Multiverse runtime initialization
+// install and boot the embedded AeroKernel through the HVM, merge the
+// address spaces, and run main() as a top-level HRT thread whose system
+// calls and page faults converge on a ROS partner thread.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multiverse/internal/core"
+	"multiverse/internal/linuxabi"
+)
+
+func main() {
+	// 1. The toolchain link step: embed the AeroKernel into the app.
+	fat, err := core.Build(core.BuildInput{
+		App:        core.NewAppImage("quickstart"),
+		AeroKernel: core.NewAeroKernelImage(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Assemble the machine: 2 sockets x 4 cores; ROS on core 0, HRT
+	// on core 1.
+	sys, err := core.NewSystem(fat, core.Options{Hybrid: true, AppName: "quickstart"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Runtime initialization (normally hidden in the injected init
+	// hooks): parse embedded image, install, boot, merge.
+	if err := sys.InitRuntime(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("AeroKernel booted on cores %v; merged=%v\n", sys.AK.Cores(), sys.AK.Merged())
+
+	// 4. Run "main()" in the HRT (Incremental model). The code below
+	// thinks it is an ordinary Linux program.
+	code, err := sys.RunMain(func(env core.Env) uint64 {
+		pid := env.Syscall(linuxabi.Call{Num: linuxabi.SysGetpid})
+		msg := fmt.Sprintf("hello from kernel mode! world=%s pid=%d\n", env.World(), pid.Ret)
+		env.Syscall(linuxabi.Call{
+			Num:  linuxabi.SysWrite,
+			Args: [6]uint64{1, 0, uint64(len(msg))},
+			Data: []byte(msg),
+		})
+
+		// Touch fresh memory: the page fault forwards to the ROS.
+		m := env.Syscall(linuxabi.Call{
+			Num:  linuxabi.SysMmap,
+			Args: [6]uint64{0, 16 * 4096, linuxabi.ProtRead | linuxabi.ProtWrite, linuxabi.MapPrivate | linuxabi.MapAnonymous},
+		})
+		for off := uint64(0); off < 16*4096; off += 4096 {
+			if err := env.Touch(m.Ret+off, true); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return 0
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("program output: %q\n", sys.Proc.Stdout())
+	fmt.Printf("exit code %d after %.3f ms of virtual time\n", code, sys.Main.Clock.Now().Nanoseconds()/1e6)
+	fmt.Printf("forwarded %d syscalls and %d page faults over the event channel\n",
+		sys.AK.ForwardedSyscalls(), sys.AK.ForwardedFaults())
+}

@@ -1,0 +1,3 @@
+module multiverse
+
+go 1.22

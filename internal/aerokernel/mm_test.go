@@ -1,0 +1,144 @@
+package aerokernel
+
+import (
+	"testing"
+
+	"multiverse/internal/paging"
+)
+
+func TestMemMapEagerAndAccessible(t *testing.T) {
+	r := newRig(t)
+	r.merge(t)
+	th := r.k.CreateThread(r.clk, 1, Superposition{}, nil, nil)
+
+	before := r.m.Phys.InUse()
+	addr, err := r.k.MemMap(th, 8*4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr < AKMemBase || addr >= AKMemBase+AKMemSize {
+		t.Errorf("addr %#x outside AK region", addr)
+	}
+	// Frames allocated eagerly.
+	if got := r.m.Phys.InUse() - before; got < 8 {
+		t.Errorf("only %d frames allocated eagerly", got)
+	}
+	// Every page is writable immediately — no faults, no forwarding.
+	for off := uint64(0); off < 8*4096; off += 4096 {
+		if err := th.Touch(addr+off, true); err != nil {
+			t.Fatalf("touch %#x: %v", addr+off, err)
+		}
+	}
+	if r.k.ForwardedFaults() != 0 {
+		t.Errorf("AK memory forwarded %d faults", r.k.ForwardedFaults())
+	}
+	regions, pages := r.k.AKMemStats()
+	if regions != 1 || pages != 8 {
+		t.Errorf("stats = %d regions, %d pages", regions, pages)
+	}
+}
+
+func TestMemProtectFaultsAndHandlerResolves(t *testing.T) {
+	r := newRig(t)
+	r.merge(t)
+	th := r.k.CreateThread(r.clk, 1, Superposition{}, nil, nil)
+	addr, err := r.k.MemMap(th, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Touch(addr, true); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := r.k.MemProtect(th, addr, 4096, false); err != nil {
+		t.Fatal(err)
+	}
+	// Without a handler, the write is fatal (kernel-mode wild write
+	// caught by CR0.WP).
+	if err := th.Touch(addr, true); err == nil {
+		t.Fatal("write to protected AK page succeeded without handler")
+	}
+	// Reads still fine.
+	if err := th.Touch(addr, false); err != nil {
+		t.Fatalf("read after protect: %v", err)
+	}
+
+	// With a write-barrier handler, the fault resolves in the kernel.
+	fired := 0
+	r.k.SetMemFaultHandler(func(fa uint64, write bool) bool {
+		fired++
+		if !write || paging.PageBase(fa) != addr {
+			t.Errorf("handler got %#x write=%v", fa, write)
+		}
+		return r.k.MemProtect(th, addr, 4096, true) == nil
+	})
+	if err := th.Touch(addr, true); err != nil {
+		t.Fatalf("barrier write: %v", err)
+	}
+	if fired != 1 {
+		t.Errorf("handler fired %d times", fired)
+	}
+	if r.k.ForwardedFaults() != 0 {
+		t.Error("AK barrier fault was forwarded to the ROS")
+	}
+}
+
+func TestMemUnmapFreesFrames(t *testing.T) {
+	r := newRig(t)
+	r.merge(t)
+	th := r.k.CreateThread(r.clk, 1, Superposition{}, nil, nil)
+	addr, err := r.k.MemMap(th, 16*4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped := r.m.Phys.InUse()
+	if err := r.k.MemUnmap(th, addr, 16*4096); err != nil {
+		t.Fatal(err)
+	}
+	// All 16 data frames return; page-table frames are retained, as
+	// kernels do.
+	if got := r.m.Phys.InUse(); got != mapped-16 {
+		t.Errorf("frames after unmap: %d, want %d", got, mapped-16)
+	}
+	if err := r.k.MemUnmap(th, addr, 16*4096); err == nil {
+		t.Error("double unmap accepted")
+	}
+	if err := th.Touch(addr, false); err == nil {
+		t.Error("unmapped AK page still accessible")
+	}
+}
+
+// TestAKMemorySurvivesRemerge: the merger overwrites every lower-half
+// PML4 entry with the ROS's; the kernel must restore its own slot or its
+// heap vanishes.
+func TestAKMemorySurvivesRemerge(t *testing.T) {
+	r := newRig(t)
+	r.merge(t)
+	th := r.k.CreateThread(r.clk, 1, Superposition{}, nil, nil)
+	addr, err := r.k.MemMap(th, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Touch(addr, true); err != nil {
+		t.Fatal(err)
+	}
+	// Re-merge (as a duplicate fault or explicit request would).
+	if err := r.k.Merge(r.clk, 1, r.ros.CR3()); err != nil {
+		t.Fatal(err)
+	}
+	r.m.Core(1).MMU.TLB().FlushAll()
+	if err := th.Touch(addr, true); err != nil {
+		t.Fatalf("AK memory lost across re-merge: %v", err)
+	}
+}
+
+func TestMemMapValidation(t *testing.T) {
+	r := newRig(t)
+	th := r.k.CreateThread(r.clk, 1, Superposition{}, nil, nil)
+	if _, err := r.k.MemMap(th, 0); err == nil {
+		t.Error("zero-length map accepted")
+	}
+	if err := r.k.MemProtect(th, 0x1000, 4096, false); err == nil {
+		t.Error("protect outside AK region accepted")
+	}
+}

@@ -1,0 +1,331 @@
+package aerokernel
+
+import (
+	"fmt"
+	"sync"
+
+	"multiverse/internal/cycles"
+	"multiverse/internal/hvm"
+	"multiverse/internal/linuxabi"
+	"multiverse/internal/machine"
+	"multiverse/internal/paging"
+)
+
+// Superposition is the ROS state mirrored onto an HRT core when a
+// top-level thread is created: the ROS GDT and the architectural
+// thread-local-storage state (primarily %fs) of the originating ROS
+// thread (section 4.2).
+type Superposition struct {
+	GDT    machine.GDT
+	FSBase uint64
+}
+
+// Thread is one AeroKernel thread. Top-level threads are created on
+// behalf of the ROS and carry an event channel to their partner; nested
+// threads are created by HRT threads and share the top-level ancestor's
+// channel ("with the top-level HRT thread's corresponding partner acting
+// as the communication end-point").
+type Thread struct {
+	ID     int
+	Core   machine.CoreID
+	Clock  *cycles.Clock
+	Stack  *machine.Stack
+	FSBase uint64
+	Nested bool
+	Parent *Thread
+
+	kern *Kernel
+
+	mu          sync.Mutex
+	ch          *hvm.EventChannel
+	syncSvc     *hvm.SyncSyscallChannel
+	done        chan struct{}
+	exitCode    uint64
+	faultStatus error
+}
+
+// SetSyncSyscalls binds the thread's system calls to a post-merger
+// memory-polling channel instead of the asynchronous event channel —
+// the low-latency path a dedicated ROS polling thread enables.
+func (t *Thread) SetSyncSyscalls(s *hvm.SyncSyscallChannel) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.syncSvc = s
+}
+
+func (k *Kernel) newThread(core machine.CoreID, parent *Thread) *Thread {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	t := &Thread{
+		ID:     k.nextTid,
+		Core:   core,
+		Clock:  cycles.NewClock(0),
+		Stack:  machine.NewStack(64 * 1024),
+		Nested: parent != nil,
+		Parent: parent,
+		kern:   k,
+		done:   make(chan struct{}),
+	}
+	k.nextTid++
+	k.threads[t.ID] = t
+	return t
+}
+
+func (k *Kernel) retire(t *Thread) {
+	k.mu.Lock()
+	delete(k.threads, t.ID)
+	if k.current[t.Core] == t {
+		delete(k.current, t.Core)
+	}
+	k.mu.Unlock()
+}
+
+// CreateThread makes a top-level HRT thread on core, applying the state
+// superposition and attaching the execution group's event channel. stack,
+// if non-nil, is the ROS-side stack the partner thread allocated for this
+// HRT thread (section 4.2). The creator's clock pays the (fast) AeroKernel
+// creation cost; the new thread's clock starts at the creation time.
+func (k *Kernel) CreateThread(creator *cycles.Clock, core machine.CoreID, super Superposition, ch *hvm.EventChannel, stack *machine.Stack) *Thread {
+	t := k.newThread(core, nil)
+	t.ch = ch
+	t.FSBase = super.FSBase
+	if stack != nil {
+		t.Stack = stack
+	}
+
+	// Apply the superposition to the core: mirrored GDT and %fs.
+	c := k.m.Core(core)
+	c.SetGDT(super.GDT)
+	c.SetFSBase(super.FSBase)
+
+	creator.Advance(k.cost.AKThreadCreate)
+	t.Clock.SyncTo(creator.Now())
+	return t
+}
+
+// CreateNested makes a nested HRT thread: a pure AeroKernel thread whose
+// execution can nonetheless proceed in the ROS user address space. It
+// inherits the parent's event-channel endpoint.
+func (t *Thread) CreateNested() *Thread {
+	nt := t.kern.newThread(t.Core, t)
+	nt.FSBase = t.FSBase
+	t.Clock.Advance(t.kern.cost.AKThreadCreate)
+	nt.Clock.SyncTo(t.Clock.Now())
+	return nt
+}
+
+// channel returns the event-channel endpoint for this thread, walking up
+// to the top-level ancestor for nested threads.
+func (t *Thread) channel() *hvm.EventChannel {
+	cur := t
+	for cur != nil {
+		cur.mu.Lock()
+		ch := cur.ch
+		cur.mu.Unlock()
+		if ch != nil {
+			return ch
+		}
+		cur = cur.Parent
+	}
+	return nil
+}
+
+// Run executes fn as this thread on the caller's goroutine, installing the
+// thread on its core for fault vectoring and marking completion on
+// return.
+func (t *Thread) Run(fn func(*Thread) uint64) {
+	k := t.kern
+	k.mu.Lock()
+	k.current[t.Core] = t
+	k.mu.Unlock()
+	k.m.Core(t.Core).SetClock(t.Clock)
+	k.m.Core(t.Core).SetCurrentStack(t.Stack)
+
+	code := fn(t)
+
+	t.mu.Lock()
+	t.exitCode = code
+	t.mu.Unlock()
+	k.retire(t)
+	close(t.done)
+}
+
+// Start runs fn on a new goroutine.
+func (t *Thread) Start(fn func(*Thread) uint64) {
+	go t.Run(fn)
+}
+
+// Join waits for t to finish, charging the AeroKernel join cost to the
+// joiner and synchronizing its clock.
+func (t *Thread) Join(joiner *cycles.Clock) uint64 {
+	joiner.Advance(t.kern.cost.AKThreadJoin)
+	<-t.done
+	joiner.SyncTo(t.Clock.Now())
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.exitCode
+}
+
+// Done exposes completion.
+func (t *Thread) Done() <-chan struct{} { return t.done }
+
+// ExitCode returns the recorded exit code after completion.
+func (t *Thread) ExitCode() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.exitCode
+}
+
+// Kernel returns the owning AeroKernel.
+func (t *Thread) Kernel() *Kernel { return t.kern }
+
+// maxFaultRetries bounds the fault-retry loop (first fault forwards, a
+// duplicate re-merges; anything needing more rounds is broken).
+const maxFaultRetries = 8
+
+// Touch performs one ring-0 memory access at addr from this HRT thread.
+// Faults vector through the IDT (on the IST stack) into the Nautilus
+// handler, which forwards or re-merges; the access then retries, as the
+// hardware would re-execute the instruction.
+func (t *Thread) Touch(addr uint64, write bool) error {
+	k := t.kern
+	core := k.m.Core(t.Core)
+	for try := 0; try < maxFaultRetries; try++ {
+		_, fault := core.MMU.Translate(addr, paging.Access{Write: write, User: false}, t.Clock, k.cost)
+		if fault == nil {
+			return nil
+		}
+		var errCode uint64
+		if fault.Present {
+			errCode |= 0x1
+		}
+		if fault.Write {
+			errCode |= 0x2
+		}
+		frame := &machine.InterruptFrame{CR2: fault.Addr, ErrorCode: errCode}
+		k.mu.Lock()
+		k.current[t.Core] = t
+		k.mu.Unlock()
+		t.faultStatus = nil
+		if err := core.Raise(machine.VecPageFault, frame, t.Clock.Now()); err != nil {
+			return err
+		}
+		if t.faultStatus != nil {
+			return t.faultStatus
+		}
+	}
+	return fmt.Errorf("aerokernel: access at %#x did not resolve after %d faults", addr, maxFaultRetries)
+}
+
+// disallowed is the functionality the current AeroKernel prohibits ROS
+// code in HRT context from using: "calls that create new execution
+// contexts or rely on the Linux execution model such as execve, clone,
+// and futex" (section 4.2).
+var disallowed = map[linuxabi.Sysno]bool{
+	linuxabi.SysExecve: true,
+	linuxabi.SysClone:  true,
+	linuxabi.SysFork:   true,
+	linuxabi.SysFutex:  true,
+}
+
+// Syscall is the Nautilus system call stub: code running in the HRT
+// issues SYSCALL (a ring0->ring0 trap), the stub pulls the stack pointer
+// down past the red zone (no IST is possible on the SYSCALL path),
+// forwards the call over the event channel, and returns via an emulated
+// SYSRET — the real instruction unconditionally returns to ring 3, so
+// Nautilus jumps directly to the saved RIP instead (section 4.4).
+func (t *Thread) Syscall(call linuxabi.Call) linuxabi.Result {
+	k := t.kern
+	if disallowed[call.Num] {
+		return linuxabi.Result{Ret: ^uint64(0), Err: linuxabi.ENOSYS}
+	}
+	t.Clock.Advance(k.cost.AKSyscallStub)
+	if _, err := t.Stack.PullDown(machine.RedZoneSize); err != nil {
+		return linuxabi.Result{Ret: ^uint64(0), Err: linuxabi.EFAULT}
+	}
+	defer func() { _ = t.Stack.Release(machine.RedZoneSize) }()
+
+	k.mu.Lock()
+	k.forwardedSyscalls++
+	k.mu.Unlock()
+
+	t.mu.Lock()
+	svc := t.syncSvc
+	t.mu.Unlock()
+
+	var reply hvm.Reply
+	if svc != nil {
+		res, err := svc.Invoke(t.Clock, call)
+		if err != nil {
+			return linuxabi.Result{Ret: ^uint64(0), Err: linuxabi.EINTR}
+		}
+		reply = hvm.Reply{Res: res}
+	} else {
+		ch := t.channel()
+		if ch == nil {
+			return linuxabi.Result{Ret: ^uint64(0), Err: linuxabi.ENOSYS}
+		}
+		r, err := ch.Forward(t.Clock, &hvm.Envelope{Kind: hvm.EvSyscall, Call: call})
+		if err != nil {
+			return linuxabi.Result{Ret: ^uint64(0), Err: linuxabi.EINTR}
+		}
+		reply = r
+	}
+	// A forwarded memory-management call may have tightened mappings the
+	// ROS kernel's own TLB shootdown cannot reach: Linux does not know
+	// the HRT core exists. Nautilus invalidates locally so protection
+	// changes (the GC's mprotect write barriers, munmap) take effect in
+	// the HRT too.
+	switch call.Num {
+	case linuxabi.SysMprotect, linuxabi.SysMunmap, linuxabi.SysMmap, linuxabi.SysBrk:
+		k.m.Core(t.Core).MMU.TLB().FlushAll()
+		t.Clock.Advance(k.cost.TLBFlushLocal)
+	}
+	t.Clock.Advance(k.cost.AKSysretEmul)
+	return reply.Res
+}
+
+// NotifyExit raises the thread-exit event to the ROS side so the partner
+// can run its cleanup and unblock join (section 4.2, Threads).
+func (t *Thread) NotifyExit(code uint64) error {
+	ch := t.channel()
+	if ch == nil {
+		return nil
+	}
+	_, err := ch.Forward(t.Clock, &hvm.Envelope{Kind: hvm.EvThreadExit, ExitCode: code})
+	return err
+}
+
+// Event is the Nautilus event primitive: a kernel-mode wakeup designed to
+// outperform the Linux futex/condvar path by orders of magnitude
+// (section 2).
+type Event struct {
+	mu      sync.Mutex
+	kern    *Kernel
+	waiters []chan cycles.Cycles
+}
+
+// NewEvent creates an event on the kernel.
+func (k *Kernel) NewEvent() *Event { return &Event{kern: k} }
+
+// Wait blocks t until the event is signaled.
+func (e *Event) Wait(t *Thread) {
+	t.Clock.Advance(e.kern.cost.AKEventWait)
+	ch := make(chan cycles.Cycles, 1)
+	e.mu.Lock()
+	e.waiters = append(e.waiters, ch)
+	e.mu.Unlock()
+	t.Clock.SyncTo(<-ch)
+}
+
+// Signal wakes all current waiters.
+func (e *Event) Signal(t *Thread) {
+	at := t.Clock.Advance(e.kern.cost.AKEventSignal)
+	e.mu.Lock()
+	ws := e.waiters
+	e.waiters = nil
+	e.mu.Unlock()
+	for _, ch := range ws {
+		ch <- at
+	}
+}

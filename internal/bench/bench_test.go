@@ -1,0 +1,501 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"multiverse/internal/core"
+	"multiverse/internal/linuxabi"
+	"multiverse/internal/scheme"
+)
+
+// TestAllProgramsRunNative gates correctness of every workload: each must
+// run to completion and produce its expected output.
+func TestAllProgramsRunNative(t *testing.T) {
+	for _, p := range Programs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			res, err := RunBenchmark(p, core.WorldNative)
+			if err != nil {
+				t.Fatalf("%v", err)
+			}
+			t.Logf("%s: %.4fs virtual, %d reductions, %d syscalls, %d faults, %d gcs",
+				p.Name, res.Seconds, res.Reductions, res.Stats.TotalSyscalls(),
+				res.Stats.MinorFaults, res.GCCollections)
+		})
+	}
+}
+
+// TestOutputIdenticalAcrossWorlds is the paper's behavioural contract:
+// "our port behaves identically" — the bytes a program writes must not
+// depend on the hosting world.
+func TestOutputIdenticalAcrossWorlds(t *testing.T) {
+	for _, name := range []string{"fannkuch-redux", "binary-tree-2", "fasta"} {
+		p, _ := ProgramByName(name)
+		var outputs [3][]byte
+		for i, w := range []core.World{core.WorldNative, core.WorldVirtual, core.WorldHRT} {
+			res, err := RunBenchmark(p, w)
+			if err != nil {
+				t.Fatalf("%s on %v: %v", name, w, err)
+			}
+			outputs[i] = res.Output
+		}
+		if !bytes.Equal(outputs[0], outputs[1]) || !bytes.Equal(outputs[0], outputs[2]) {
+			t.Errorf("%s: output differs across worlds (native %d bytes, virtual %d, multiverse %d)",
+				name, len(outputs[0]), len(outputs[1]), len(outputs[2]))
+		}
+	}
+}
+
+// TestFigure13Shape asserts the paper's headline ordering on a GC-heavy
+// benchmark: Native <= Virtual <= Multiverse, with Multiverse overhead
+// driven by forwarded interactions.
+func TestFigure13Shape(t *testing.T) {
+	p, _ := ProgramByName("binary-tree-2")
+	var secs [3]float64
+	var fwd uint64
+	for i, w := range []core.World{core.WorldNative, core.WorldVirtual, core.WorldHRT} {
+		res, err := RunBenchmark(p, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		secs[i] = res.Seconds
+		if w == core.WorldHRT {
+			fwd = res.ForwardedSyscalls + res.ForwardedFaults
+		}
+	}
+	if !(secs[0] <= secs[1] && secs[1] <= secs[2]) {
+		t.Errorf("ordering violated: native=%.4f virtual=%.4f multiverse=%.4f", secs[0], secs[1], secs[2])
+	}
+	if secs[2] <= secs[0]*1.01 {
+		t.Errorf("Multiverse shows no overhead on a GC-heavy benchmark (%.4f vs %.4f)", secs[2], secs[0])
+	}
+	if fwd == 0 {
+		t.Error("no interactions forwarded")
+	}
+}
+
+// TestFigure13OverheadTracksInteractions: the compute-bound benchmark must
+// see far less Multiverse overhead than the GC-bound one (the paper:
+// "performance varies with the usage of legacy functionality").
+func TestFigure13OverheadTracksInteractions(t *testing.T) {
+	overhead := func(name string) float64 {
+		p, _ := ProgramByName(name)
+		rn, err := RunBenchmark(p, core.WorldNative)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm, err := RunBenchmark(p, core.WorldHRT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rm.Seconds / rn.Seconds
+	}
+	gcBound := overhead("binary-tree-2")
+	computeBound := overhead("fannkuch-redux")
+	if computeBound >= gcBound {
+		t.Errorf("fannkuch overhead (%.3fx) not below binary-tree overhead (%.3fx)", computeBound, gcBound)
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	tab, err := Figure2(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	vals := tableCycles(t, tab)
+	merger, async, syncCross, syncSame := vals[0], vals[1], vals[2], vals[3]
+	if !(syncSame < syncCross && syncCross < async && async < merger) {
+		t.Errorf("latency ordering violated: %v", vals)
+	}
+	within := func(name string, got, want, tol uint64) {
+		if got < want-tol || got > want+tol {
+			t.Errorf("%s = %d, want %d±%d (paper)", name, got, want, tol)
+		}
+	}
+	within("merger", merger, 33000, 4000)
+	within("async", async, 25000, 5000)
+	within("sync cross", syncCross, 1060, 100)
+	within("sync same", syncSame, 790, 80)
+}
+
+func tableCycles(t *testing.T, tab *Table) []uint64 {
+	t.Helper()
+	var out []uint64
+	for _, r := range tab.Rows {
+		s := strings.TrimPrefix(r[1], "~")
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad cycles cell %q", r[1])
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func TestFigure8CountsSomething(t *testing.T) {
+	tab, err := Figure8()
+	if err != nil {
+		t.Skipf("source tree unavailable: %v", err)
+	}
+	t.Logf("\n%s", tab)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		n, err := strconv.Atoi(r[1])
+		if err != nil || n <= 0 {
+			t.Errorf("component %s has SLOC %q", r[0], r[1])
+		}
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	tab, err := Figure9(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	get := func(name string) (virt, mv float64) {
+		for _, r := range tab.Rows {
+			if r[0] == name {
+				v, _ := strconv.ParseFloat(r[1], 64)
+				m, _ := strconv.ParseFloat(r[2], 64)
+				return v, m
+			}
+		}
+		t.Fatalf("row %s missing", name)
+		return 0, 0
+	}
+	// vdso calls: slightly better under Multiverse.
+	for _, vdso := range []string{"getpid", "gettimeofday"} {
+		v, m := get(vdso)
+		if m >= v {
+			t.Errorf("%s: multiverse (%v) not faster than virtual (%v)", vdso, m, v)
+		}
+		if m < v/3 {
+			t.Errorf("%s: improvement implausibly large (%v vs %v)", vdso, m, v)
+		}
+	}
+	// Forwarded cheap calls: an order of magnitude or more slower.
+	for _, cheap := range []string{"stat", "getcwd", "open", "close"} {
+		v, m := get(cheap)
+		if m < v*5 {
+			t.Errorf("%s: forwarding overhead too small (%v vs %v)", cheap, m, v)
+		}
+	}
+	// Copy-dominated 1 MiB calls: overhead amortized below 2x.
+	for _, big := range []string{"fwrite", "read"} {
+		v, m := get(big)
+		if m > v*2 {
+			t.Errorf("%s: 1MiB call overhead not amortized (%v vs %v)", big, m, v)
+		}
+		if m <= v {
+			t.Errorf("%s: forwarded call cannot be faster (%v vs %v)", big, m, v)
+		}
+	}
+}
+
+func TestFigure10Table(t *testing.T) {
+	tab, err := Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7 benchmarks", len(tab.Rows))
+	}
+	counts := map[string]uint64{}
+	for _, r := range tab.Rows {
+		n, _ := strconv.ParseUint(r[4], 10, 64) // page faults column
+		counts[r[0]] = n
+	}
+	// The compute-bound benchmark must fault least among the heavy ones;
+	// the GC benchmark must be heavy.
+	if counts["binary-tree-2"] < counts["fannkuch-redux"] {
+		t.Errorf("binary-tree-2 faults (%d) below fannkuch (%d)", counts["binary-tree-2"], counts["fannkuch-redux"])
+	}
+}
+
+func TestFigure11And12Profiles(t *testing.T) {
+	t11, err := Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", t11)
+	// Startup: mmap leads (heap creation).
+	if t11.Rows[0][0] != "mmap" {
+		t.Errorf("startup profile led by %s, want mmap", t11.Rows[0][0])
+	}
+
+	t12, err := Figure12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", t12)
+	idx := map[string]int{}
+	count := map[string]uint64{}
+	for i, r := range t12.Rows {
+		idx[r[0]] = i
+		n, _ := strconv.ParseUint(r[1], 10, 64)
+		count[r[0]] = n
+	}
+	// GC-driven calls dominate binary-tree-2 (Figure 12's shape).
+	for _, name := range []string{"mmap", "munmap", "mprotect", "getrusage", "rt_sigreturn"} {
+		if _, ok := idx[name]; !ok {
+			t.Errorf("%s missing from binary-tree-2 profile", name)
+		}
+	}
+	if count["mmap"] < count["open"] || count["munmap"] < count["open"] {
+		t.Error("memory-management calls do not dominate the profile")
+	}
+}
+
+func TestStartupProfileMultiverseForwards(t *testing.T) {
+	res, err := RunStartup(core.WorldHRT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All startup syscalls (heap mmaps, sigaction, setitimer...) were
+	// issued from kernel mode and forwarded.
+	if res.Stats.Syscalls[linuxabi.SysMmap] == 0 {
+		t.Error("no heap creation at startup")
+	}
+	if res.Stats.Syscalls[linuxabi.SysRtSigaction] == 0 {
+		t.Error("no signal handler registration at startup")
+	}
+}
+
+func TestPrimitivesOrdersOfMagnitude(t *testing.T) {
+	tab, err := PrimitivesTable(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	row := tab.Rows[0] // thread create+join
+	ros, _ := strconv.ParseUint(row[1], 10, 64)
+	ak, _ := strconv.ParseUint(row[2], 10, 64)
+	if ros < ak*20 {
+		t.Errorf("thread create: ROS %d vs AK %d — want >= 20x", ros, ak)
+	}
+}
+
+func TestAblationShapes(t *testing.T) {
+	sym, err := AblationSymbolCache(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", sym)
+	uncached, _ := strconv.ParseUint(sym.Rows[0][1], 10, 64)
+	cached, _ := strconv.ParseUint(sym.Rows[1][1], 10, 64)
+	if cached >= uncached {
+		t.Errorf("symbol cache not faster: %d vs %d", cached, uncached)
+	}
+
+	rem, err := AblationRemerge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rem)
+	lazy, _ := strconv.ParseUint(rem.Rows[0][1], 10, 64)
+	eager, _ := strconv.ParseUint(rem.Rows[1][1], 10, 64)
+	if eager <= lazy {
+		t.Errorf("eager re-merge not costlier: %d vs %d", eager, lazy)
+	}
+
+	pin, err := AblationPinning()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", pin)
+	demand, _ := strconv.ParseUint(pin.Rows[0][1], 10, 64)
+	pinned, _ := strconv.ParseUint(pin.Rows[1][1], 10, 64)
+	if pinned*10 > demand {
+		t.Errorf("pinning should remove most cost: %d vs %d", pinned, demand)
+	}
+
+	ch, err := AblationChannelKind(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", ch)
+	async, _ := strconv.ParseUint(ch.Rows[0][1], 10, 64)
+	sync, _ := strconv.ParseUint(ch.Rows[1][1], 10, 64)
+	if sync*10 > async {
+		t.Errorf("sync channel should be >=10x cheaper: %d vs %d", sync, async)
+	}
+
+	ss, err := AblationSyncSyscalls(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", ss)
+	asyncSys, _ := strconv.ParseUint(ss.Rows[0][1], 10, 64)
+	syncSys, _ := strconv.ParseUint(ss.Rows[1][1], 10, 64)
+	if syncSys*5 > asyncSys {
+		t.Errorf("sync syscall path should be >=5x cheaper: %d vs %d", syncSys, asyncSys)
+	}
+}
+
+// TestSyncSyscallsEndToEnd: a whole benchmark runs correctly with the
+// synchronous forwarding path, producing identical output.
+func TestSyncSyscallsEndToEnd(t *testing.T) {
+	p, _ := ProgramByName("fasta")
+	base, err := RunBenchmark(p, core.WorldHRT)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs, err := provisionFS(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fat, err := core.Build(core.BuildInput{
+		App:        core.NewAppImage(p.Name),
+		AeroKernel: core.NewAeroKernelImage(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(fat, core.Options{
+		Hybrid:       true,
+		FS:           fs,
+		AppName:      p.Name,
+		SyncSyscalls: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.InitRuntime(); err != nil {
+		t.Fatal(err)
+	}
+	var runErr error
+	if _, err := sys.RunMain(func(env core.Env) uint64 {
+		eng, eerr := scheme.NewEngine(env)
+		if eerr != nil {
+			runErr = eerr
+			return 1
+		}
+		if _, eerr := eng.RunFile(BenchDir + "/" + p.Name + ".scm"); eerr != nil {
+			runErr = eerr
+			return 1
+		}
+		eng.Shutdown()
+		return 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if !bytes.Equal(sys.Proc.Stdout(), base.Output) {
+		t.Error("sync-syscall run changed program output")
+	}
+	syncSecs := sys.Main.Clock.Now().Seconds()
+	if syncSecs >= base.Seconds {
+		t.Errorf("sync forwarding (%.4fs) not faster than async (%.4fs) on a syscall-heavy benchmark", syncSecs, base.Seconds)
+	}
+	t.Logf("fasta: async %.4fs, sync-forwarding %.4fs", base.Seconds, syncSecs)
+}
+
+// TestIncrementalPortingPayoff is the end-to-end thesis of the paper: the
+// automatic hybridization is a *starting point*; porting the hotspot
+// functionality (the GC's memory management) into the AeroKernel brings
+// the HRT back to near-native, with forwarding largely gone.
+func TestIncrementalPortingPayoff(t *testing.T) {
+	p, _ := ProgramByName("binary-tree-2")
+	native, err := RunBenchmark(p, core.WorldNative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, err := RunBenchmarkEx(p, core.WorldHRT, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ported, err := RunBenchmarkEx(p, core.WorldHRT, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(native.Output, ported.Output) {
+		t.Error("AK-memory run changed program output")
+	}
+	if ported.Seconds >= initial.Seconds {
+		t.Errorf("porting did not help: %.4fs vs %.4fs", ported.Seconds, initial.Seconds)
+	}
+	if ported.ForwardedFaults*10 > initial.ForwardedFaults {
+		t.Errorf("faults still forwarded after port: %d vs %d", ported.ForwardedFaults, initial.ForwardedFaults)
+	}
+	if ratio := ported.Seconds / native.Seconds; ratio > 1.15 {
+		t.Errorf("ported HRT %.2fx native; want near parity", ratio)
+	}
+	t.Logf("native %.4fs, initial HRT %.4fs (%.2fx), ported HRT %.4fs (%.2fx)",
+		native.Seconds, initial.Seconds, initial.Seconds/native.Seconds,
+		ported.Seconds, ported.Seconds/native.Seconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHotspotReportNamesTheGCCalls: the hotspot profile must point at the
+// paper's predicted porting targets for a GC-heavy run.
+func TestHotspotReportNamesTheGCCalls(t *testing.T) {
+	p, _ := ProgramByName("binary-tree-2")
+	fs, err := provisionFS(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystemForWorld(core.WorldHRT, fs, p.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunMain(func(env core.Env) uint64 {
+		eng, _ := scheme.NewEngine(env)
+		if _, eerr := eng.RunFile(BenchDir + "/" + p.Name + ".scm"); eerr != nil {
+			t.Error(eerr)
+		}
+		eng.Shutdown()
+		return 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	entries := sys.Hotspots().Entries()
+	if len(entries) < 5 {
+		t.Fatalf("hotspot entries = %d", len(entries))
+	}
+	top := map[string]bool{}
+	for _, e := range entries[:4] {
+		top[e.Name] = true
+	}
+	// Section 5: page faults + the GC's mmap/munmap/mprotect are the
+	// dominant legacy dependencies.
+	if !top["page-fault"] {
+		t.Errorf("page-fault not in top 4: %+v", entries[:4])
+	}
+	if !top["mmap"] && !top["munmap"] {
+		t.Errorf("GC memory calls not in top 4: %+v", entries[:4])
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "T", Header: []string{"a", "bbbb"}}
+	tab.AddRow("xx", "y")
+	tab.AddNote("n=%d", 1)
+	s := tab.String()
+	for _, want := range []string{"T\n", "a", "bbbb", "xx", "note: n=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestProgramByName(t *testing.T) {
+	if _, ok := ProgramByName("n-body"); !ok {
+		t.Error("n-body missing")
+	}
+	if _, ok := ProgramByName("quake"); ok {
+		t.Error("found nonexistent program")
+	}
+}

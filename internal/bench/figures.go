@@ -1,0 +1,383 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"multiverse/internal/aerokernel"
+	"multiverse/internal/core"
+	"multiverse/internal/cycles"
+	"multiverse/internal/linuxabi"
+	"multiverse/internal/machine"
+)
+
+// avgCycles averages a measured callback over runs, using the clock delta
+// around each call.
+func avgCycles(clk *cycles.Clock, runs int, fn func()) cycles.Cycles {
+	if runs <= 0 {
+		runs = 1
+	}
+	var total cycles.Cycles
+	for i := 0; i < runs; i++ {
+		start := clk.Now()
+		fn()
+		total += clk.Now() - start
+	}
+	return total / cycles.Cycles(runs)
+}
+
+// newHybrid builds an initialized hybrid system with the HRT on hrtCore.
+func newHybrid(name string, hrtCore machine.CoreID) (*core.System, error) {
+	fs, err := provisionFS(nil)
+	if err != nil {
+		return nil, err
+	}
+	fat, err := core.Build(core.BuildInput{
+		App:        core.NewAppImage(name),
+		AeroKernel: core.NewAeroKernelImage(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(fat, core.Options{
+		Hybrid:   true,
+		FS:       fs,
+		AppName:  name,
+		HRTCores: []machine.CoreID{hrtCore},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.InitRuntime(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// Figure2 regenerates the round-trip latency table of ROS<->HRT
+// interactions: address-space merger, asynchronous call, and synchronous
+// calls on the same and on different sockets. The paper measured ~33 K,
+// ~25 K, ~790, and ~1060 cycles respectively.
+func Figure2(runs int) (*Table, error) {
+	// ROS runs on core 0 (socket 0). Core 1 shares its socket; core 4 is
+	// on the other socket.
+	const sameSocketCore, crossSocketCore = machine.CoreID(1), machine.CoreID(4)
+
+	sys, err := newHybrid("fig2", sameSocketCore)
+	if err != nil {
+		return nil, err
+	}
+	clk := sys.Main.Clock
+
+	merger := avgCycles(clk, runs, func() {
+		if merr := sys.HVM.MergeAddressSpace(clk, sys.Proc.CR3()); merr != nil {
+			panic(merr)
+		}
+	})
+
+	noopAddr := sys.AK.RegisterFunc("fig2_noop",
+		func(t *aerokernel.Thread, args []uint64) uint64 { return 0 })
+	async := avgCycles(clk, runs, func() {
+		if _, aerr := sys.HVM.AsyncCall(clk, noopAddr); aerr != nil {
+			panic(aerr)
+		}
+	})
+
+	syncOn := func(hrtCore machine.CoreID) (cycles.Cycles, error) {
+		s, serr := sys.HVM.SetupSync(clk, 0x7f33_0000_0000, sys.Kernel.BootCore(), hrtCore)
+		if serr != nil {
+			return 0, serr
+		}
+		defer s.Close()
+		pollClk := cycles.NewClock(clk.Now())
+		go func() {
+			for s.Poll(pollClk, func(fn uint64, args []uint64) uint64 { return 0 }) {
+			}
+		}()
+		return avgCycles(clk, runs, func() {
+			if _, ierr := s.Invoke(clk, noopAddr); ierr != nil {
+				panic(ierr)
+			}
+		}), nil
+	}
+	syncSame, err := syncOn(sameSocketCore)
+	if err != nil {
+		return nil, err
+	}
+	syncCross, err := syncOn(crossSocketCore)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title:  "Figure 2: Round-trip latencies of ROS<->HRT interactions",
+		Header: []string{"Item", "Cycles", "Time"},
+	}
+	row := func(name string, c cycles.Cycles) {
+		t.AddRow(name, fmt.Sprintf("~%d", uint64(c)), fmt.Sprintf("%.1f ns", c.Nanoseconds()))
+	}
+	row("Address Space Merger", merger)
+	row("Asynchronous Call", async)
+	row("Synchronous Call (different socket)", syncCross)
+	row("Synchronous Call (same socket)", syncSame)
+	t.AddNote("paper: ~33K / ~25K / ~1060 / ~790 cycles")
+	return t, nil
+}
+
+// fig9Calls lists the nine system calls of Figure 9 in the paper's order.
+var fig9Calls = []string{
+	"getpid", "gettimeofday", "fwrite", "stat", "read", "getcwd", "open", "close", "mmap",
+}
+
+// payloadMB is the buffer size for fwrite/read/mmap in Figure 9.
+const payloadMB = 1 << 20
+
+// measureFig9 measures each call's latency in one environment.
+func measureFig9(env core.Env, runs int) (map[string]cycles.Cycles, error) {
+	clk := env.Clock()
+	out := make(map[string]cycles.Cycles, len(fig9Calls))
+
+	// Provision: a 1 MiB source file and an output file, plus a touched
+	// 1 MiB user buffer so steady-state measurements don't fold initial
+	// demand paging in.
+	mres := env.Syscall(linuxabi.Call{
+		Num:  linuxabi.SysMmap,
+		Args: [6]uint64{0, payloadMB, linuxabi.ProtRead | linuxabi.ProtWrite, linuxabi.MapPrivate | linuxabi.MapAnonymous},
+	})
+	if !mres.Ok() {
+		return nil, fmt.Errorf("fig9: buffer mmap: %v", mres.Err)
+	}
+	buf := mres.Ret
+	for off := uint64(0); off < payloadMB; off += 4096 {
+		if err := env.Touch(buf+off, true); err != nil {
+			return nil, err
+		}
+	}
+	payload := make([]byte, payloadMB)
+	ofd := env.Syscall(linuxabi.Call{Num: linuxabi.SysOpen, Path: "/fig9/out.dat", Args: [6]uint64{0, linuxabi.OCreat | linuxabi.OWronly}})
+	if !ofd.Ok() {
+		return nil, fmt.Errorf("fig9: open out: %v", ofd.Err)
+	}
+	ifd := env.Syscall(linuxabi.Call{Num: linuxabi.SysOpen, Path: "/fig9/in.dat", Args: [6]uint64{0, linuxabi.ORdonly}})
+	if !ifd.Ok() {
+		return nil, fmt.Errorf("fig9: open in: %v", ifd.Err)
+	}
+
+	out["getpid"] = avgCycles(clk, runs, func() { _, _ = env.VDSO(linuxabi.SysGetpid) })
+	out["gettimeofday"] = avgCycles(clk, runs, func() { _, _ = env.VDSO(linuxabi.SysGettimeofday) })
+	out["fwrite"] = avgCycles(clk, runs, func() {
+		env.Syscall(linuxabi.Call{Num: linuxabi.SysWrite, Args: [6]uint64{ofd.Ret, buf, payloadMB}, Data: payload})
+	})
+	out["stat"] = avgCycles(clk, runs, func() {
+		env.Syscall(linuxabi.Call{Num: linuxabi.SysStat, Path: "/fig9/in.dat"})
+	})
+	out["read"] = avgCycles(clk, runs, func() {
+		env.Syscall(linuxabi.Call{Num: linuxabi.SysLseek, Args: [6]uint64{ifd.Ret, 0, 0}})
+		env.Syscall(linuxabi.Call{Num: linuxabi.SysRead, Args: [6]uint64{ifd.Ret, buf, payloadMB}})
+	})
+	out["getcwd"] = avgCycles(clk, runs, func() {
+		env.Syscall(linuxabi.Call{Num: linuxabi.SysGetcwd})
+	})
+	out["open"] = avgCycles(clk, runs, func() {
+		r := env.Syscall(linuxabi.Call{Num: linuxabi.SysOpen, Path: "/fig9/in.dat", Args: [6]uint64{0, linuxabi.ORdonly}})
+		if r.Ok() {
+			env.Syscall(linuxabi.Call{Num: linuxabi.SysClose, Args: [6]uint64{r.Ret}})
+		}
+	})
+	// close is timed alone: the paired open happens outside the window.
+	var closeTotal cycles.Cycles
+	for i := 0; i < runs; i++ {
+		r := env.Syscall(linuxabi.Call{Num: linuxabi.SysOpen, Path: "/fig9/in.dat", Args: [6]uint64{0, linuxabi.ORdonly}})
+		start := clk.Now()
+		env.Syscall(linuxabi.Call{Num: linuxabi.SysClose, Args: [6]uint64{r.Ret}})
+		closeTotal += clk.Now() - start
+	}
+	out["close"] = closeTotal / cycles.Cycles(runs)
+	out["mmap"] = avgCycles(clk, runs, func() {
+		r := env.Syscall(linuxabi.Call{
+			Num:  linuxabi.SysMmap,
+			Args: [6]uint64{0, payloadMB, linuxabi.ProtRead | linuxabi.ProtWrite, linuxabi.MapPrivate | linuxabi.MapAnonymous},
+		})
+		if r.Ok() {
+			env.Syscall(linuxabi.Call{Num: linuxabi.SysMunmap, Args: [6]uint64{r.Ret, payloadMB}})
+		}
+	})
+	return out, nil
+}
+
+// Figure9 regenerates the system-call latency comparison, Virtual vs.
+// Multiverse, for the nine calls (1 MiB payloads where applicable).
+func Figure9(runs int) (*Table, error) {
+	provision := func(sys *core.System) error {
+		fs := sys.Kernel.FS()
+		if err := fs.MkdirAll("/fig9"); err != nil {
+			return err
+		}
+		return fs.WriteFile("/fig9/in.dat", make([]byte, payloadMB))
+	}
+
+	// Virtual baseline.
+	fsV, err := provisionFS(nil)
+	if err != nil {
+		return nil, err
+	}
+	sysV, err := core.NewSystem(nil, core.Options{Virtual: true, FS: fsV, AppName: "fig9v"})
+	if err != nil {
+		return nil, err
+	}
+	if err := provision(sysV); err != nil {
+		return nil, err
+	}
+	virt, err := measureFig9(sysV.NativeEnv(), runs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Multiverse: measure from inside an HRT thread.
+	sysM, err := newHybrid("fig9m", 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := provision(sysM); err != nil {
+		return nil, err
+	}
+	var mv map[string]cycles.Cycles
+	var mvErr error
+	if _, err := sysM.HRTInvokeFunc(func(env core.Env) uint64 {
+		mv, mvErr = measureFig9(env, runs)
+		return 0
+	}); err != nil {
+		return nil, err
+	}
+	if mvErr != nil {
+		return nil, mvErr
+	}
+
+	t := &Table{
+		Title:  "Figure 9: System call latency (cycles), Virtual vs. Multiverse (1 MiB payloads)",
+		Header: []string{"Call", "Virtual", "Multiverse", "Ratio"},
+	}
+	for _, name := range fig9Calls {
+		v, m := virt[name], mv[name]
+		ratio := float64(m) / float64(v)
+		t.AddRow(name, fmt.Sprintf("%d", uint64(v)), fmt.Sprintf("%d", uint64(m)), fmt.Sprintf("%.2fx", ratio))
+	}
+	t.AddNote("vdso calls (getpid, gettimeofday) run slightly faster under Multiverse (sparse HRT TLB)")
+	t.AddNote("forwarded calls pay the ~25K-cycle event-channel round trip; copy-dominated 1 MiB calls amortize it")
+	return t, nil
+}
+
+// Figure10 regenerates the per-benchmark system-utilization table.
+func Figure10() (*Table, error) {
+	t := &Table{
+		Title: "Figure 10: System utilization for Racket-stand-in benchmarks (Native)",
+		Header: []string{
+			"Benchmark", "System Calls", "Time (User/Sys) (s)",
+			"Max Resident Set (Kb)", "Page Faults", "Context Switches",
+		},
+	}
+	for _, p := range Programs() {
+		res, err := RunBenchmark(p, core.WorldNative)
+		if err != nil {
+			return nil, err
+		}
+		st := res.Stats
+		t.AddRow(
+			p.Name,
+			fmt.Sprintf("%d", st.TotalSyscalls()),
+			fmt.Sprintf("%.3f/%.3f", st.UserCycles.Seconds(), st.SysCycles.Seconds()),
+			fmt.Sprintf("%d", st.MaxRSSKb()),
+			fmt.Sprintf("%d", st.MinorFaults+st.MajorFaults),
+			fmt.Sprintf("%d", st.VoluntaryCS+st.InvoluntaryCS),
+		)
+	}
+	t.AddNote("problem sizes scaled down from the paper's; relative profiles are the target")
+	return t, nil
+}
+
+// Figure11 regenerates the syscall breakdown of runtime startup with no
+// benchmark (heap creation dominates).
+func Figure11() (*Table, error) {
+	res, err := RunStartup(core.WorldNative)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Figure 11: System calls in the runtime without any benchmark (startup)",
+		Header: []string{"Call", "Count"},
+	}
+	sortedSyscallRows(t, res.Stats.Syscalls)
+	return t, nil
+}
+
+// Figure12 regenerates the syscall breakdown for binary-tree-2 (GC-driven
+// mmap/munmap/mprotect and signal traffic).
+func Figure12() (*Table, error) {
+	p, _ := ProgramByName("binary-tree-2")
+	res, err := RunBenchmark(p, core.WorldNative)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Figure 12: System calls for a run of binary-tree-2",
+		Header: []string{"Call", "Count"},
+	}
+	sortedSyscallRows(t, res.Stats.Syscalls)
+	t.AddNote("rt_sigreturn counts SIGSEGV-driven GC write-barrier returns; %d barrier faults", res.BarrierFaults)
+	return t, nil
+}
+
+// Figure13 regenerates the end-to-end benchmark comparison across the
+// three worlds.
+func Figure13() (*Table, error) {
+	t := &Table{
+		Title:  "Figure 13: Benchmark runtime (virtual seconds), Native vs Virtual vs Multiverse",
+		Header: []string{"Benchmark", "Native", "Virtual", "Multiverse", "MV/Native", "Fwd Syscalls", "Fwd Faults"},
+	}
+	for _, p := range Programs() {
+		var secs [3]float64
+		var fwdS, fwdF uint64
+		for i, w := range []core.World{core.WorldNative, core.WorldVirtual, core.WorldHRT} {
+			res, err := RunBenchmark(p, w)
+			if err != nil {
+				return nil, err
+			}
+			secs[i] = res.Seconds
+			if w == core.WorldHRT {
+				fwdS, fwdF = res.ForwardedSyscalls, res.ForwardedFaults
+			}
+		}
+		t.AddRow(
+			p.Name,
+			fmt.Sprintf("%.4f", secs[0]),
+			fmt.Sprintf("%.4f", secs[1]),
+			fmt.Sprintf("%.4f", secs[2]),
+			fmt.Sprintf("%.2fx", secs[2]/secs[0]),
+			fmt.Sprintf("%d", fwdS),
+			fmt.Sprintf("%d", fwdF),
+		)
+	}
+	t.AddNote("expected shape: Native <= Virtual <= Multiverse; overhead tracks forwarded interactions")
+	return t, nil
+}
+
+// sortedSyscallRows renders a syscall histogram sorted by count desc.
+func sortedSyscallRows(t *Table, counts map[linuxabi.Sysno]uint64) {
+	type kv struct {
+		num linuxabi.Sysno
+		n   uint64
+	}
+	var rows []kv
+	for num, n := range counts {
+		rows = append(rows, kv{num, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].num < rows[j].num
+	})
+	for _, r := range rows {
+		t.AddRow(r.num.String(), fmt.Sprintf("%d", r.n))
+	}
+}

@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+
+	"multiverse/internal/core"
+	"multiverse/internal/cycles"
+	"multiverse/internal/ros"
+	"multiverse/internal/scheme"
+	"multiverse/internal/vfs"
+)
+
+// RunResult is everything one benchmark run yields.
+type RunResult struct {
+	Program string
+	World   core.World
+
+	// Cycles is the end-to-end virtual runtime observed by the process's
+	// main thread (what `time` would report on the testbed).
+	Cycles  cycles.Cycles
+	Seconds float64
+
+	Stats  ros.Stats
+	Output []byte
+
+	// Multiverse-only counters.
+	ForwardedSyscalls uint64
+	ForwardedFaults   uint64
+	Merges            int
+
+	// Runtime-internal counters.
+	GCCollections uint64
+	BarrierFaults uint64
+	Reductions    uint64
+}
+
+// BenchDir is where the harness installs program files.
+const BenchDir = "/bench"
+
+// provisionFS builds the ROS filesystem image: library collection plus the
+// benchmark program.
+func provisionFS(prog *Program) (*vfs.FS, error) {
+	fs := vfs.New()
+	if err := scheme.InstallPrelude(fs); err != nil {
+		return nil, err
+	}
+	if prog != nil {
+		if err := fs.MkdirAll(BenchDir); err != nil {
+			return nil, err
+		}
+		if err := fs.WriteFile(BenchDir+"/"+prog.Name+".scm", []byte(prog.Source)); err != nil {
+			return nil, err
+		}
+	}
+	return fs, nil
+}
+
+// NewSystemForWorld assembles a system configured for one of Figure 13's
+// three worlds. For WorldHRT the returned system is hybrid and already
+// initialized (AeroKernel booted, address spaces merged).
+func NewSystemForWorld(world core.World, fs *vfs.FS, name string) (*core.System, error) {
+	opts := core.Options{AppName: name, FS: fs}
+	switch world {
+	case core.WorldNative:
+	case core.WorldVirtual:
+		opts.Virtual = true
+	case core.WorldHRT:
+		opts.Hybrid = true
+	default:
+		return nil, fmt.Errorf("bench: unknown world %v", world)
+	}
+	var sys *core.System
+	var err error
+	if opts.Hybrid {
+		fatImg, berr := core.Build(core.BuildInput{
+			App:        core.NewAppImage(name),
+			AeroKernel: core.NewAeroKernelImage(),
+		})
+		if berr != nil {
+			return nil, berr
+		}
+		sys, err = core.NewSystem(fatImg, opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.InitRuntime(); err != nil {
+			return nil, err
+		}
+	} else {
+		sys, err = core.NewSystem(nil, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
+// RunBenchmark executes one program in one world and collects the result.
+func RunBenchmark(prog Program, world core.World) (*RunResult, error) {
+	return RunBenchmarkEx(prog, world, false)
+}
+
+// RunBenchmarkEx additionally supports the incrementally ported
+// configuration: akMemory switches the runtime's GC to AeroKernel memory
+// management (only meaningful — and only permitted — in WorldHRT).
+func RunBenchmarkEx(prog Program, world core.World, akMemory bool) (*RunResult, error) {
+	if akMemory && world != core.WorldHRT {
+		return nil, fmt.Errorf("bench: AK memory requires the Multiverse world")
+	}
+	fs, err := provisionFS(&prog)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := NewSystemForWorld(world, fs, prog.Name)
+	if err != nil {
+		return nil, err
+	}
+
+	var engRef *scheme.Engine
+	var runErr error
+	_, err = sys.RunMain(func(env core.Env) uint64 {
+		eng, eerr := scheme.NewEngine(env)
+		if eerr != nil {
+			runErr = eerr
+			return 1
+		}
+		engRef = eng
+		if akMemory {
+			if eerr := eng.EnableAKMemory(); eerr != nil {
+				runErr = eerr
+				return 1
+			}
+		}
+		if _, eerr := eng.RunFile(BenchDir + "/" + prog.Name + ".scm"); eerr != nil {
+			runErr = eerr
+			return 1
+		}
+		eng.Shutdown()
+		return 0
+	})
+	if err != nil {
+		return nil, err
+	}
+	if runErr != nil {
+		return nil, fmt.Errorf("bench: %s on %s: %w", prog.Name, world, runErr)
+	}
+
+	out := sys.Proc.Stdout()
+	if prog.Check != "" && !bytes.Contains(out, []byte(prog.Check)) {
+		return nil, fmt.Errorf("bench: %s on %s: output check %q failed (got %d bytes)",
+			prog.Name, world, prog.Check, len(out))
+	}
+
+	res := &RunResult{
+		Program: prog.Name,
+		World:   world,
+		Cycles:  sys.Main.Clock.Now(),
+		Stats:   sys.Proc.Stats(),
+		Output:  out,
+	}
+	res.Seconds = res.Cycles.Seconds()
+	if engRef != nil {
+		res.GCCollections = engRef.Interp().GC().Collections
+		res.BarrierFaults = engRef.Interp().GC().BarrierFaults
+		res.Reductions = engRef.Interp().Reductions()
+	}
+	if sys.AK != nil {
+		res.ForwardedSyscalls = sys.AK.ForwardedSyscalls()
+		res.ForwardedFaults = sys.AK.ForwardedFaults()
+		res.Merges = sys.AK.MergeCount()
+	}
+	return res, nil
+}
+
+// RunStartup boots the engine (GC heap creation, prelude load, timer
+// setup) without running any benchmark — the Figure 11 configuration
+// ("utilization of system calls in the Racket runtime without any
+// benchmark").
+func RunStartup(world core.World) (*RunResult, error) {
+	fs, err := provisionFS(nil)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := NewSystemForWorld(world, fs, "startup")
+	if err != nil {
+		return nil, err
+	}
+	var runErr error
+	_, err = sys.RunMain(func(env core.Env) uint64 {
+		eng, eerr := scheme.NewEngine(env)
+		if eerr != nil {
+			runErr = eerr
+			return 1
+		}
+		eng.Shutdown()
+		return 0
+	})
+	if err != nil {
+		return nil, err
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return &RunResult{
+		Program: "startup",
+		World:   world,
+		Cycles:  sys.Main.Clock.Now(),
+		Seconds: sys.Main.Clock.Now().Seconds(),
+		Stats:   sys.Proc.Stats(),
+		Output:  sys.Proc.Stdout(),
+	}, nil
+}

@@ -1,0 +1,456 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure in the paper's evaluation section from the simulated systems.
+//
+// The workloads are the seven Computer Language Benchmarks Game programs
+// the paper runs on hybridized Racket (Figure 10/13), written in the
+// portable Scheme subset the stand-in runtime implements. Problem sizes
+// are scaled down from the paper's (the simulated machine evaluates
+// Scheme much more slowly than Racket's JIT), which DESIGN.md documents;
+// the comparisons across Native/Virtual/Multiverse use identical sizes, so
+// the figures' shapes are preserved.
+package bench
+
+// Program is one benchmark workload.
+type Program struct {
+	Name   string // the paper's benchmark name
+	Source string // Scheme source
+	// Check is a substring the program's output must contain (a
+	// correctness gate for all three worlds).
+	Check string
+}
+
+// Programs returns the seven benchmarks in the paper's Figure 10 order.
+func Programs() []Program {
+	return []Program{
+		{Name: "fannkuch-redux", Source: fannkuchSrc, Check: "Pfannkuchen(7) = 16"},
+		{Name: "binary-tree-2", Source: binaryTreesSrc, Check: "long lived tree of depth 10\t check: 2047"},
+		{Name: "fasta", Source: fastaSrc, Check: ">THREE Homo sapiens frequency"},
+		{Name: "fasta-3", Source: fasta3Src, Check: ">THREE Homo sapiens frequency"},
+		{Name: "n-body", Source: nbodySrc, Check: "-0.169"},
+		{Name: "spectral-norm", Source: spectralSrc, Check: "1.274"},
+		{Name: "mandelbrot-2", Source: mandelbrotSrc, Check: "P4"},
+	}
+}
+
+// ProgramByName finds a benchmark.
+func ProgramByName(name string) (Program, bool) {
+	for _, p := range Programs() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Program{}, false
+}
+
+// binary-tree-2: the GC benchmark — builds and checks perfect binary
+// trees, exactly the allocation/collection churn the paper highlights.
+const binaryTreesSrc = `
+(define (make-tree d)
+  (if (= d 0)
+      (cons #f #f)
+      (cons (make-tree (- d 1)) (make-tree (- d 1)))))
+
+(define (check-tree t)
+  (if (car t)
+      (+ 1 (check-tree (car t)) (check-tree (cdr t)))
+      1))
+
+(define min-depth 4)
+(define max-depth 10)
+
+(define (iterations d) (expt 2 (+ (- max-depth d) min-depth)))
+
+(define stretch-depth (+ max-depth 1))
+(display "stretch tree of depth ")
+(display stretch-depth)
+(display "\t check: ")
+(display (check-tree (make-tree stretch-depth)))
+(newline)
+
+(define long-lived (make-tree max-depth))
+
+(let loop ((d min-depth))
+  (when (<= d max-depth)
+    (let ((n (iterations d)))
+      (let inner ((i 0) (sum 0))
+        (if (= i n)
+            (begin
+              (display n) (display "\t trees of depth ") (display d)
+              (display "\t check: ") (display sum) (newline))
+            (inner (+ i 1) (+ sum (check-tree (make-tree d)))))))
+    (loop (+ d 2))))
+
+(display "long lived tree of depth ")
+(display max-depth)
+(display "\t check: ")
+(display (check-tree long-lived))
+(newline)
+`
+
+// fannkuch-redux: the permutation benchmark — in-place vector shuffling,
+// almost no allocation, almost no OS interaction (the near-parity case in
+// Figure 13).
+const fannkuchSrc = `
+(define n 7)
+(define q (make-vector n 0))
+(define maxflips 0)
+(define checksum 0)
+(define idx 0)
+
+(define (count-flips a)
+  (do ((i 0 (+ i 1))) ((= i n)) (vector-set! q i (vector-ref a i)))
+  (let loop ((f 0))
+    (let ((q0 (vector-ref q 0)))
+      (if (= q0 0)
+          f
+          (begin
+            (let rev ((lo 0) (hi q0))
+              (when (< lo hi)
+                (let ((t (vector-ref q lo)))
+                  (vector-set! q lo (vector-ref q hi))
+                  (vector-set! q hi t))
+                (rev (+ lo 1) (- hi 1))))
+            (loop (+ f 1)))))))
+
+(define (visit a)
+  (let ((flips (count-flips a)))
+    (set! maxflips (max maxflips flips))
+    (set! checksum (if (even? idx) (+ checksum flips) (- checksum flips)))
+    (set! idx (+ idx 1))))
+
+;; Heap's algorithm: in-place permutation enumeration, no allocation --
+;; the benchmark stays compute-bound as in the paper.
+(define (swap a i j)
+  (let ((t (vector-ref a i)))
+    (vector-set! a i (vector-ref a j))
+    (vector-set! a j t)))
+
+(define (heap-permute)
+  (let ((a (make-vector n 0)) (c (make-vector n 0)))
+    (do ((i 0 (+ i 1))) ((= i n)) (vector-set! a i i))
+    (visit a)
+    (let loop ((i 0))
+      (when (< i n)
+        (if (< (vector-ref c i) i)
+            (begin
+              (if (even? i) (swap a 0 i) (swap a (vector-ref c i) i))
+              (visit a)
+              (vector-set! c i (+ (vector-ref c i) 1))
+              (loop 0))
+            (begin
+              (vector-set! c i 0)
+              (loop (+ i 1))))))))
+
+(heap-permute)
+(display checksum) (newline)
+(display "Pfannkuchen(") (display n) (display ") = ")
+(display maxflips) (newline)
+`
+
+// fasta: the DNA generator — builds sequence lines and writes them out,
+// dominated by write(2) traffic (the highest syscall count in Figure 10).
+const fastaSrc = `
+(define IM 139968)
+(define IA 3877)
+(define IC 29573)
+(define seed 42)
+(define (random-next max)
+  (set! seed (modulo (+ (* seed IA) IC) IM))
+  (/ (* max seed) IM))
+
+(define alu (string-append
+  "GGCCGGGCGCGGTGGCTCACGCCTGTAATCCCAGCACTTTGGGAGGCCGAGGCGGGCGGA"
+  "TCACCTGAGGTCAGGAGTTCGAGACCAGCCTGGCCAACATGGTGAAACCCCGTCTCTACT"
+  "AAAAATACAAAAATTAGCCGGGCGTGGTGGCGCGCGCCTGTAATCCCAGCTACTCGGGAG"
+  "GCTGAGGCAGGAGAATCGCTTGAACCCGGGAGGCGGAGGTTGCAGTGAGCCGAGATCGCG"
+  "CCACTGCACTCCAGCCTGGGCGACAGAGCGAGACTCCGTCTCAAAAA"))
+
+(define iub-chars "acgtBDHKMNRSVWY")
+(define iub-probs (vector 0.27 0.12 0.12 0.27 0.02 0.02 0.02 0.02
+                          0.02 0.02 0.02 0.02 0.02 0.02 0.02))
+(define homo-chars "acgt")
+(define homo-probs (vector 0.3029549426680 0.1979883004921
+                           0.1975473066391 0.3015094502008))
+
+(define line-width 60)
+
+(define (write-repeat header src n)
+  (display header) (newline)
+  (let ((len (string-length src)))
+    (let loop ((n n) (pos 0))
+      (when (> n 0)
+        (let* ((chunk (min n line-width))
+               (line (make-string chunk #\a)))
+          (do ((i 0 (+ i 1))) ((= i chunk))
+            (string-set! line i (string-ref src (modulo (+ pos i) len))))
+          (display line) (newline)
+          (loop (- n chunk) (modulo (+ pos chunk) len)))))))
+
+(define (select-char chars probs r)
+  (let loop ((i 0) (acc 0.0))
+    (let ((acc (+ acc (vector-ref probs i))))
+      (if (or (< r acc) (= i (- (vector-length probs) 1)))
+          (string-ref chars i)
+          (loop (+ i 1) acc)))))
+
+(define (write-random header chars probs n)
+  (display header) (newline)
+  (let loop ((n n))
+    (when (> n 0)
+      (let* ((chunk (min n line-width))
+             (line (make-string chunk #\a)))
+        (do ((i 0 (+ i 1))) ((= i chunk))
+          (string-set! line i
+            (select-char chars probs (exact->inexact (random-next 1.0)))))
+        (display line) (newline)
+        (loop (- n chunk))))))
+
+(define n 600)
+(write-repeat ">ONE Homo sapiens alu" alu (* n 2))
+(write-random ">TWO IUB ambiguity codes" iub-chars iub-probs (* n 3))
+(write-random ">THREE Homo sapiens frequency" homo-chars homo-probs (* n 5))
+`
+
+// fasta-3: the optimized variant — precomputes a cumulative-probability
+// lookup table so selection is a table scan over floats instead of
+// recomputing the running sum (the paper runs both variants).
+const fasta3Src = `
+(define IM 139968)
+(define IA 3877)
+(define IC 29573)
+(define seed 42)
+(define (random-next)
+  (set! seed (modulo (+ (* seed IA) IC) IM))
+  seed)
+
+(define alu (string-append
+  "GGCCGGGCGCGGTGGCTCACGCCTGTAATCCCAGCACTTTGGGAGGCCGAGGCGGGCGGA"
+  "TCACCTGAGGTCAGGAGTTCGAGACCAGCCTGGCCAACATGGTGAAACCCCGTCTCTACT"
+  "AAAAATACAAAAATTAGCCGGGCGTGGTGGCGCGCGCCTGTAATCCCAGCTACTCGGGAG"
+  "GCTGAGGCAGGAGAATCGCTTGAACCCGGGAGGCGGAGGTTGCAGTGAGCCGAGATCGCG"
+  "CCACTGCACTCCAGCCTGGGCGACAGAGCGAGACTCCGTCTCAAAAA"))
+
+;; cumulative lookup tables scaled to IM
+(define (make-cumulative chars probs)
+  (let* ((k (vector-length probs))
+         (cum (make-vector k 0)))
+    (let loop ((i 0) (acc 0.0))
+      (if (= i k)
+          cum
+          (let ((acc (+ acc (vector-ref probs i))))
+            (vector-set! cum i (inexact->exact (floor (* acc 139968.0))))
+            (loop (+ i 1) acc))))))
+
+(define iub-chars "acgtBDHKMNRSVWY")
+(define iub-cum (make-cumulative iub-chars
+  (vector 0.27 0.12 0.12 0.27 0.02 0.02 0.02 0.02
+          0.02 0.02 0.02 0.02 0.02 0.02 0.02)))
+(define homo-chars "acgt")
+(define homo-cum (make-cumulative homo-chars
+  (vector 0.3029549426680 0.1979883004921 0.1975473066391 0.3015094502008)))
+
+(define line-width 60)
+
+(define (lookup-char chars cum r)
+  (let ((k (vector-length cum)))
+    (let loop ((i 0))
+      (if (or (= i (- k 1)) (< r (vector-ref cum i)))
+          (string-ref chars i)
+          (loop (+ i 1))))))
+
+(define (write-repeat header src n)
+  (display header) (newline)
+  (let ((len (string-length src)))
+    (let loop ((n n) (pos 0))
+      (when (> n 0)
+        (let* ((chunk (min n line-width))
+               (line (make-string chunk #\a)))
+          (do ((i 0 (+ i 1))) ((= i chunk))
+            (string-set! line i (string-ref src (modulo (+ pos i) len))))
+          (display line) (newline)
+          (loop (- n chunk) (modulo (+ pos chunk) len)))))))
+
+(define (write-random header chars cum n)
+  (display header) (newline)
+  (let loop ((n n))
+    (when (> n 0)
+      (let* ((chunk (min n line-width))
+             (line (make-string chunk #\a)))
+        (do ((i 0 (+ i 1))) ((= i chunk))
+          (string-set! line i (lookup-char chars cum (random-next))))
+        (display line) (newline)
+        (loop (- n chunk))))))
+
+(define n 900)
+(write-repeat ">ONE Homo sapiens alu" alu (* n 2))
+(write-random ">TWO IUB ambiguity codes" iub-chars iub-cum (* n 3))
+(write-random ">THREE Homo sapiens frequency" homo-chars homo-cum (* n 5))
+`
+
+// n-body: the 5-body solar system simulation — float-heavy compute with
+// steady allocation of boxed flonums (high fault counts in Figure 10).
+const nbodySrc = `
+(define pi 3.141592653589793)
+(define solar-mass (* 4 pi pi))
+(define days-per-year 365.24)
+
+;; each body: #(x y z vx vy vz mass)
+(define (body x y z vx vy vz m) (vector x y z vx vy vz m))
+
+(define bodies
+  (vector
+   (body 0.0 0.0 0.0 0.0 0.0 0.0 solar-mass)
+   (body 4.84143144246472090 -1.16032004402742839 -0.103622044471123109
+         (* 0.00166007664274403694 days-per-year)
+         (* 0.00769901118419740425 days-per-year)
+         (* -0.0000690460016972063023 days-per-year)
+         (* 0.000954791938424326609 solar-mass))
+   (body 8.34336671824457987 4.12479856412430479 -0.403523417114321381
+         (* -0.00276742510726862411 days-per-year)
+         (* 0.00499852801234917238 days-per-year)
+         (* 0.0000230417297573763929 days-per-year)
+         (* 0.000285885980666130812 solar-mass))
+   (body 12.8943695621391310 -15.1111514016986312 -0.223307578892655734
+         (* 0.00296460137564761618 days-per-year)
+         (* 0.00237847173959480950 days-per-year)
+         (* -0.0000296589568540237556 days-per-year)
+         (* 0.0000436624404335156298 solar-mass))
+   (body 15.3796971148509165 -25.9193146099879641 0.179258772950371181
+         (* 0.00268067772490389322 days-per-year)
+         (* 0.00162824170038242295 days-per-year)
+         (* -0.0000951592254519715870 days-per-year)
+         (* 0.0000515138902046611451 solar-mass))))
+
+(define nbodies (vector-length bodies))
+
+(define (offset-momentum)
+  (let loop ((i 0) (px 0.0) (py 0.0) (pz 0.0))
+    (if (= i nbodies)
+        (let ((sun (vector-ref bodies 0)))
+          (vector-set! sun 3 (/ (- 0.0 px) solar-mass))
+          (vector-set! sun 4 (/ (- 0.0 py) solar-mass))
+          (vector-set! sun 5 (/ (- 0.0 pz) solar-mass)))
+        (let ((b (vector-ref bodies i)))
+          (loop (+ i 1)
+                (+ px (* (vector-ref b 3) (vector-ref b 6)))
+                (+ py (* (vector-ref b 4) (vector-ref b 6)))
+                (+ pz (* (vector-ref b 5) (vector-ref b 6))))))))
+
+(define (energy)
+  (let loop ((i 0) (e 0.0))
+    (if (= i nbodies)
+        e
+        (let* ((bi (vector-ref bodies i))
+               (e (+ e (* 0.5 (vector-ref bi 6)
+                          (+ (* (vector-ref bi 3) (vector-ref bi 3))
+                             (* (vector-ref bi 4) (vector-ref bi 4))
+                             (* (vector-ref bi 5) (vector-ref bi 5)))))))
+          (let inner ((j (+ i 1)) (e e))
+            (if (= j nbodies)
+                (loop (+ i 1) e)
+                (let* ((bj (vector-ref bodies j))
+                       (dx (- (vector-ref bi 0) (vector-ref bj 0)))
+                       (dy (- (vector-ref bi 1) (vector-ref bj 1)))
+                       (dz (- (vector-ref bi 2) (vector-ref bj 2)))
+                       (dist (sqrt (+ (* dx dx) (* dy dy) (* dz dz)))))
+                  (inner (+ j 1)
+                         (- e (/ (* (vector-ref bi 6) (vector-ref bj 6))
+                                 dist))))))))))
+
+(define (advance dt)
+  (do ((i 0 (+ i 1))) ((= i nbodies))
+    (let ((bi (vector-ref bodies i)))
+      (do ((j (+ i 1) (+ j 1))) ((= j nbodies))
+        (let* ((bj (vector-ref bodies j))
+               (dx (- (vector-ref bi 0) (vector-ref bj 0)))
+               (dy (- (vector-ref bi 1) (vector-ref bj 1)))
+               (dz (- (vector-ref bi 2) (vector-ref bj 2)))
+               (d2 (+ (* dx dx) (* dy dy) (* dz dz)))
+               (mag (/ dt (* d2 (sqrt d2)))))
+          (vector-set! bi 3 (- (vector-ref bi 3) (* dx (vector-ref bj 6) mag)))
+          (vector-set! bi 4 (- (vector-ref bi 4) (* dy (vector-ref bj 6) mag)))
+          (vector-set! bi 5 (- (vector-ref bi 5) (* dz (vector-ref bj 6) mag)))
+          (vector-set! bj 3 (+ (vector-ref bj 3) (* dx (vector-ref bi 6) mag)))
+          (vector-set! bj 4 (+ (vector-ref bj 4) (* dy (vector-ref bi 6) mag)))
+          (vector-set! bj 5 (+ (vector-ref bj 5) (* dz (vector-ref bi 6) mag)))))))
+  (do ((i 0 (+ i 1))) ((= i nbodies))
+    (let ((b (vector-ref bodies i)))
+      (vector-set! b 0 (+ (vector-ref b 0) (* dt (vector-ref b 3))))
+      (vector-set! b 1 (+ (vector-ref b 1) (* dt (vector-ref b 4))))
+      (vector-set! b 2 (+ (vector-ref b 2) (* dt (vector-ref b 5)))))))
+
+(offset-momentum)
+(display (energy)) (newline)
+(do ((i 0 (+ i 1))) ((= i 600)) (advance 0.01))
+(display (energy)) (newline)
+`
+
+// spectral-norm: power iteration over the implicit infinite matrix (the
+// heaviest fault count in Figure 10).
+const spectralSrc = `
+(define (A i j)
+  (/ 1.0 (+ (* (+ i j) (+ i j 1) 0.5) i 1)))
+
+(define (mul-Av n v out transpose)
+  (do ((i 0 (+ i 1))) ((= i n))
+    (let loop ((j 0) (sum 0.0))
+      (if (= j n)
+          (vector-set! out i sum)
+          (loop (+ j 1)
+                (+ sum (* (if transpose (A j i) (A i j))
+                          (vector-ref v j))))))))
+
+(define (mul-AtAv n v out tmp)
+  (mul-Av n v tmp #f)
+  (mul-Av n tmp out #t))
+
+(define n 40)
+(define u (make-vector n 1.0))
+(define v (make-vector n 0.0))
+(define tmp (make-vector n 0.0))
+
+(do ((i 0 (+ i 1))) ((= i 10))
+  (mul-AtAv n u v tmp)
+  (mul-AtAv n v u tmp))
+
+(let loop ((i 0) (vBv 0.0) (vv 0.0))
+  (if (= i n)
+      (begin (display (sqrt (/ vBv vv))) (newline))
+      (loop (+ i 1)
+            (+ vBv (* (vector-ref u i) (vector-ref v i)))
+            (+ vv (* (vector-ref v i) (vector-ref v i))))))
+`
+
+// mandelbrot-2: the Mandelbrot set as a PBM bitmap on stdout.
+const mandelbrotSrc = `
+(define size 48)
+(define limit-sq 4.0)
+(define max-iter 50)
+
+(display "P4") (newline)
+(display size) (display " ") (display size) (newline)
+
+(do ((y 0 (+ y 1))) ((= y size))
+  (let ((bits 0) (count 0) (line '()))
+    (do ((x 0 (+ x 1))) ((= x size))
+      (let* ((cr (- (/ (* 2.0 x) size) 1.5))
+             (ci (- (/ (* 2.0 y) size) 1.0))
+             (inside
+              (let loop ((zr 0.0) (zi 0.0) (i 0))
+                (cond ((> (+ (* zr zr) (* zi zi)) limit-sq) 0)
+                      ((= i max-iter) 1)
+                      (else (loop (+ (- (* zr zr) (* zi zi)) cr)
+                                  (+ (* 2.0 zr zi) ci)
+                                  (+ i 1)))))))
+        (set! bits (+ (* bits 2) inside))
+        (set! count (+ count 1))
+        (when (= count 8)
+          (set! line (cons bits line))
+          (set! bits 0)
+          (set! count 0))))
+    (when (> count 0)
+      (set! line (cons (* bits (expt 2 (- 8 count))) line)))
+    (for-each (lambda (b) (write-char (integer->char b)))
+              (reverse line))))
+(newline)
+`

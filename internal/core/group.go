@@ -1,0 +1,375 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"multiverse/internal/aerokernel"
+	"multiverse/internal/cycles"
+	"multiverse/internal/hvm"
+	"multiverse/internal/linuxabi"
+	"multiverse/internal/machine"
+	"multiverse/internal/ros"
+)
+
+// spawnSpec is the pending thread-creation request a partner thread hands
+// to the AeroKernel through the HVM.
+type spawnSpec struct {
+	fn      func(Env) uint64
+	core    machine.CoreID
+	super   aerokernel.Superposition
+	channel *hvm.EventChannel
+	stack   *machine.Stack
+	syncSvc *hvm.SyncSyscallChannel
+	group   *ExecutionGroup
+}
+
+// ExecutionGroup is the pair the paper's split execution revolves around:
+// one ROS partner thread and one top-level HRT thread, joined by an event
+// channel (section 3.2). The partner exists to preserve join semantics and
+// to provide the ROS-side context that initiates the state superposition
+// and services forwarded events.
+type ExecutionGroup struct {
+	id      uint64
+	sys     *System
+	partner *ros.Thread
+	hrt     *aerokernel.Thread
+	channel *hvm.EventChannel
+
+	// exitRequested is "a bit in the appropriate partner thread's data
+	// structure" flipped by the ROS-side HRT-exit signal handler.
+	exitRequested atomic.Bool
+
+	// syncSvc and its dedicated polling thread exist when the system
+	// runs with synchronous syscall forwarding (Options.SyncSyscalls).
+	syncSvc *hvm.SyncSyscallChannel
+	poller  *ros.Thread
+
+	created  chan struct{}
+	exitCode atomic.Uint64
+}
+
+// SpawnGroup creates an execution group running fn as a top-level HRT
+// thread, following Figure 7: create the partner thread in the ROS (2);
+// the partner allocates a ROS-side stack and invokes the HVM to request
+// thread creation in the HRT with the GDT/TLS superposition (3); the
+// request completes when the AeroKernel thread exists. creator pays the
+// partner-creation cost (it is an ordinary Linux thread).
+func (s *System) SpawnGroup(creator *cycles.Clock, fn func(Env) uint64) (*ExecutionGroup, error) {
+	if s.AK == nil {
+		return nil, fmt.Errorf("multiverse: runtime not initialized (no AeroKernel)")
+	}
+	rosCore := s.Kernel.BootCore()
+	hrtCore := s.Opts.HRTCores[0]
+
+	g := &ExecutionGroup{
+		sys:     s,
+		channel: s.HVM.NewEventChannel(hrtCore, rosCore),
+		created: make(chan struct{}),
+	}
+	s.mu.Lock()
+	g.id = s.nextGroupID
+	s.nextGroupID++
+	s.groups[g.id] = g
+	s.mu.Unlock()
+
+	// Optional low-latency path: a dedicated ROS thread polls a
+	// post-merger synchronous channel and services the HRT thread's
+	// system calls at cacheline latency (section 4.3's memory-based
+	// protocol), while faults and exit events stay on the event channel.
+	if s.Opts.SyncSyscalls {
+		svc, serr := s.HVM.SetupSyncSyscalls(creator, 0x7f50_0000_0000+g.id*4096, rosCore, hrtCore)
+		if serr != nil {
+			return nil, serr
+		}
+		g.syncSvc = svc
+		g.poller = s.Proc.NewThread(rosCore)
+		g.poller.Start(creator, func(pt *ros.Thread) {
+			for svc.Serve(pt.Clock, func(call linuxabi.Call) linuxabi.Result {
+				return s.Proc.Syscall(pt, call)
+			}) {
+			}
+		})
+	}
+
+	g.partner = s.Proc.NewThread(rosCore)
+	g.partner.Start(creator, func(pt *ros.Thread) {
+		// The partner allocates the ROS-side stack for the HRT thread
+		// and mirrors its own GDT/TLS state into the superposition.
+		stack := machine.NewStack(256 * 1024)
+		spec := &spawnSpec{
+			fn:   fn,
+			core: hrtCore,
+			super: aerokernel.Superposition{
+				GDT:    s.Kernel.ProcessGDT(),
+				FSBase: pt.FSBase,
+			},
+			channel: g.channel,
+			stack:   stack,
+			syncSvc: g.syncSvc,
+			group:   g,
+		}
+		s.mu.Lock()
+		id := s.nextSpawnID
+		s.nextSpawnID++
+		s.pendingSpawns[id] = spec
+		s.mu.Unlock()
+
+		ret, err := s.HVM.AsyncCall(pt.Clock, s.createThreadAddr, id)
+		if err != nil || ret == ^uint64(0) {
+			close(g.created)
+			g.channel.Close()
+			return
+		}
+		close(g.created)
+		g.serve(pt)
+	})
+
+	<-g.created
+	if g.hrt == nil {
+		return nil, fmt.Errorf("multiverse: HRT thread creation failed")
+	}
+	return g, nil
+}
+
+// runHRT is the HRT thread's body: run the application function in the
+// HRT environment, then execute the exit protocol — write the exit
+// notification, raise the asynchronous HRT->ROS signal (which bypasses
+// the ROS kernel and flips the partner's bit), and wake the partner
+// through the event channel so it can clean up and exit.
+func (g *ExecutionGroup) runHRT(t *aerokernel.Thread, fn func(Env) uint64) uint64 {
+	env := &hrtEnv{sys: g.sys, t: t, group: g}
+	code := fn(env)
+	g.exitCode.Store(code)
+
+	g.sys.exitPending <- g.id
+	if err := g.sys.HVM.RaiseROSSignal(t.Clock, int(linuxabi.SIGCHLD)); err == nil {
+		// Signal delivered; the partner's bit is set.
+	}
+	if _, err := g.channel.Forward(t.Clock, &hvm.Envelope{Kind: hvm.EvThreadExit, ExitCode: code}); err != nil {
+		// Channel already down; nothing to wake.
+	}
+	return code
+}
+
+// serve is the partner thread's event loop: converge on each event the
+// HRT side raises — forwarded system calls are executed against the ROS
+// kernel, forwarded page faults are replicated so the ROS fault path runs
+// — until the HRT thread exits.
+func (g *ExecutionGroup) serve(pt *ros.Thread) {
+	for {
+		env := g.channel.Recv(pt.Clock)
+		if env == nil {
+			break
+		}
+		switch env.Kind {
+		case hvm.EvSyscall:
+			res := g.sys.Proc.Syscall(pt, env.Call)
+			g.channel.Complete(pt.Clock, env, hvm.Reply{Res: res})
+		case hvm.EvPageFault:
+			// Replicate the access: the same exception occurs on the
+			// ROS core and the ROS handles it as it would normally.
+			errno := g.sys.Proc.Touch(pt, env.FaultAddr, env.FaultWrite)
+			g.channel.Complete(pt.Clock, env, hvm.Reply{FaultOK: errno == linuxabi.OK})
+		case hvm.EvThreadExit:
+			g.channel.Complete(pt.Clock, env, hvm.Reply{})
+			if g.exitRequested.Load() {
+				g.cleanup(pt)
+				return
+			}
+		default:
+			g.channel.Complete(pt.Clock, env, hvm.Reply{Res: linuxabi.Result{Err: linuxabi.ENOSYS}})
+		}
+	}
+	g.cleanup(pt)
+}
+
+// cleanup tears the group down on the partner side.
+func (g *ExecutionGroup) cleanup(pt *ros.Thread) {
+	if g.syncSvc != nil {
+		g.syncSvc.Close() // the polling thread's Serve returns false
+	}
+	g.channel.Close()
+	g.sys.mu.Lock()
+	delete(g.sys.groups, g.id)
+	g.sys.mu.Unlock()
+}
+
+// WaitExit blocks until the group's partner thread exits (which the
+// protocol guarantees happens only after the HRT thread exits) and
+// returns the HRT thread's exit code. It synchronizes the waiter's clock.
+func (g *ExecutionGroup) WaitExit(clk *cycles.Clock) uint64 {
+	<-g.partner.Done()
+	clk.SyncTo(g.partner.Clock.Now())
+	return g.exitCode.Load()
+}
+
+// Join joins the partner thread from a ROS thread — the main thread's
+// join() path in the Incremental model.
+func (g *ExecutionGroup) Join(joiner *ros.Thread) uint64 {
+	g.partner.Join(joiner)
+	return g.exitCode.Load()
+}
+
+// Channel exposes the group's event channel (stats).
+func (g *ExecutionGroup) Channel() *hvm.EventChannel { return g.channel }
+
+// HRTThread exposes the group's HRT thread.
+func (g *ExecutionGroup) HRTThread() *aerokernel.Thread { return g.hrt }
+
+// Partner exposes the group's ROS partner thread.
+func (g *ExecutionGroup) Partner() *ros.Thread { return g.partner }
+
+// ---- The HRT execution environment -------------------------------------
+
+// hrtEnv is the Env of code running inside the HRT: system calls go
+// through the Nautilus stub and the event channel; memory accesses run in
+// ring 0 against the merged address space; pthreads are interposed by the
+// default overrides.
+type hrtEnv struct {
+	sys   *System
+	t     *aerokernel.Thread
+	group *ExecutionGroup
+}
+
+func (e *hrtEnv) World() World          { return WorldHRT }
+func (e *hrtEnv) Clock() *cycles.Clock  { return e.t.Clock }
+func (e *hrtEnv) Process() *ros.Process { return e.sys.Proc }
+
+func (e *hrtEnv) Compute(c cycles.Cycles) {
+	e.t.Clock.Advance(c)
+	e.sys.Proc.ChargeUser(c)
+}
+
+func (e *hrtEnv) Syscall(call linuxabi.Call) linuxabi.Result {
+	start := e.t.Clock.Now()
+	res := e.t.Syscall(call)
+	e.sys.recordHotspot(call.Num, false, e.t.Clock.Now()-start)
+	return res
+}
+
+func (e *hrtEnv) VDSO(num linuxabi.Sysno) (uint64, linuxabi.Errno) {
+	// vdso functions execute in the merged address space on the HRT
+	// core — a state superposition, no forwarding.
+	return e.sys.Proc.VDSOAt(e.t.Clock, e.t.Core, num)
+}
+
+func (e *hrtEnv) Touch(addr uint64, write bool) error {
+	before := e.sys.AK.ForwardedFaults()
+	start := e.t.Clock.Now()
+	err := e.t.Touch(addr, write)
+	if e.sys.AK.ForwardedFaults() > before {
+		e.sys.recordHotspot(0, true, e.t.Clock.Now()-start)
+	}
+	return err
+}
+
+func (e *hrtEnv) CheckTimer() bool {
+	return e.sys.Proc.CheckTimer(e.t.Clock)
+}
+
+func (e *hrtEnv) RegisterSignalCode(addr uint64, fn func(*ros.SignalContext)) {
+	e.sys.Proc.RegisterHandler(addr, fn)
+}
+
+// PthreadCreate goes through the generated wrapper for pthread_create,
+// which resolves and calls nk_thread_create (Figure 5's flow).
+func (e *hrtEnv) PthreadCreate(fn func(Env)) (PthreadJoin, error) {
+	w, ok := e.sys.Overrides.Lookup("pthread_create")
+	if !ok {
+		return nil, fmt.Errorf("multiverse: pthread_create override missing")
+	}
+	fnID := e.sys.registerFn(func(env Env) uint64 { fn(env); return 0 })
+	gid, err := w.Invoke(e.t, fnID)
+	if err != nil {
+		return nil, err
+	}
+	if gid == ^uint64(0) {
+		return nil, fmt.Errorf("multiverse: nk_thread_create failed")
+	}
+	self := e.t
+	return func() uint64 {
+		jw, okj := e.sys.Overrides.Lookup("pthread_join")
+		if !okj {
+			return ^uint64(0)
+		}
+		ret, jerr := jw.Invoke(self, gid)
+		if jerr != nil {
+			return ^uint64(0)
+		}
+		return ret
+	}, nil
+}
+
+// AKCall invokes an AeroKernel function directly by symbol — what
+// accelerator-model code does (Figure 4's aerokernel_func()).
+func (e *hrtEnv) AKCall(symbol string, args ...uint64) (uint64, error) {
+	addr, ok := e.sys.AK.LookupSymbol(e.t.Clock, symbol)
+	if !ok {
+		return 0, fmt.Errorf("multiverse: AeroKernel symbol %q not found", symbol)
+	}
+	return e.sys.AK.CallByAddr(e.t, addr, args...)
+}
+
+// RegisterAKMemFaultHandler installs the runtime's handler for protection
+// faults in the AeroKernel-managed memory region (the in-kernel GC
+// write-barrier path).
+func (e *hrtEnv) RegisterAKMemFaultHandler(h func(addr uint64, write bool) bool) {
+	e.sys.AK.SetMemFaultHandler(aerokernel.MemFaultHandler(h))
+}
+
+// OverrideInvoke calls a legacy function through its override wrapper.
+func (e *hrtEnv) OverrideInvoke(legacy string, args ...uint64) (uint64, error) {
+	w, ok := e.sys.Overrides.Lookup(legacy)
+	if !ok {
+		return 0, fmt.Errorf("multiverse: no override for %q", legacy)
+	}
+	return w.Invoke(e.t, args...)
+}
+
+// HRTThreadForBench exposes the backing AeroKernel thread; the benchmark
+// harness measures primitives against it directly.
+func (e *hrtEnv) HRTThreadForBench() *aerokernel.Thread { return e.t }
+
+// HRTExtras is the additional surface hybrid (accelerator-model) code can
+// reach: direct AeroKernel calls and override invocation. Obtain it by
+// type-asserting an Env whose World is WorldHRT.
+type HRTExtras interface {
+	AKCall(symbol string, args ...uint64) (uint64, error)
+	OverrideInvoke(legacy string, args ...uint64) (uint64, error)
+}
+
+var _ HRTExtras = (*hrtEnv)(nil)
+
+// ---- Usage-model entry points ------------------------------------------
+
+// RunMain executes app under the Incremental model: "Multiverse will
+// create a new thread in the HRT corresponding to the program's main()
+// routine", and the ROS main thread joins the partner. Returns the app's
+// exit code.
+func (s *System) RunMain(app func(Env) uint64) (uint64, error) {
+	if !s.Opts.Hybrid {
+		// Baseline worlds just run main() natively.
+		env := s.NativeEnv()
+		code := app(env)
+		s.ExitProcess(code)
+		return code, nil
+	}
+	g, err := s.SpawnGroup(s.Main.Clock, app)
+	if err != nil {
+		return 0, err
+	}
+	code := g.Join(s.Main)
+	s.ExitProcess(code)
+	return code, nil
+}
+
+// HRTInvokeFunc is the Accelerator model's hrt_invoke_func(): run routine
+// in a new HRT thread and wait for it (Figure 4).
+func (s *System) HRTInvokeFunc(routine func(Env) uint64) (uint64, error) {
+	g, err := s.SpawnGroup(s.Main.Clock, routine)
+	if err != nil {
+		return 0, err
+	}
+	return g.Join(s.Main), nil
+}

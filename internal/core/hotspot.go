@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"multiverse/internal/cycles"
+	"multiverse/internal/linuxabi"
+)
+
+// The hotspot profile operationalizes the paper's incremental methodology:
+// "The runtime developer can then identify hot spots in the legacy
+// interface and move their implementations (possibly even changing their
+// interfaces) into the AeroKernel." Every event an execution group
+// forwards is attributed here with its full round-trip cost, and the
+// report ranks legacy dependencies by the cycles they burn — the porting
+// worklist.
+
+// HotspotEntry is one legacy dependency's aggregate cost.
+type HotspotEntry struct {
+	Name   string // syscall name, or "page-fault"
+	Count  uint64
+	Cycles cycles.Cycles
+}
+
+// HotspotProfile accumulates forwarded-event costs.
+type HotspotProfile struct {
+	mu      sync.Mutex
+	entries map[string]*HotspotEntry
+}
+
+func newHotspotProfile() *HotspotProfile {
+	return &HotspotProfile{entries: make(map[string]*HotspotEntry)}
+}
+
+func (hp *HotspotProfile) record(name string, cost cycles.Cycles) {
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	e := hp.entries[name]
+	if e == nil {
+		e = &HotspotEntry{Name: name}
+		hp.entries[name] = e
+	}
+	e.Count++
+	e.Cycles += cost
+}
+
+// Entries returns the profile sorted by total cycles, descending.
+func (hp *HotspotProfile) Entries() []HotspotEntry {
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	out := make([]HotspotEntry, 0, len(hp.entries))
+	for _, e := range hp.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Total returns the aggregate forwarded cost.
+func (hp *HotspotProfile) Total() (count uint64, total cycles.Cycles) {
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	for _, e := range hp.entries {
+		count += e.Count
+		total += e.Cycles
+	}
+	return count, total
+}
+
+// Report renders the porting worklist.
+func (hp *HotspotProfile) Report() string {
+	entries := hp.Entries()
+	_, total := hp.Total()
+	var b strings.Builder
+	b.WriteString("Legacy-interface hotspots (port these to the AeroKernel first):\n")
+	fmt.Fprintf(&b, "  %-14s %10s %14s %7s\n", "dependency", "count", "cycles", "share")
+	for _, e := range entries {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(e.Cycles) / float64(total)
+		}
+		fmt.Fprintf(&b, "  %-14s %10d %14d %6.1f%%\n", e.Name, e.Count, uint64(e.Cycles), share)
+	}
+	fmt.Fprintf(&b, "  total forwarding time: %s\n", total)
+	return b.String()
+}
+
+// Hotspots returns the system's forwarded-event profile (populated while
+// hybridized code runs).
+func (s *System) Hotspots() *HotspotProfile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hotspots == nil {
+		s.hotspots = newHotspotProfile()
+	}
+	return s.hotspots
+}
+
+// recordHotspot attributes one forwarded event.
+func (s *System) recordHotspot(num linuxabi.Sysno, isFault bool, cost cycles.Cycles) {
+	name := num.String()
+	if isFault {
+		name = "page-fault"
+	}
+	s.Hotspots().record(name, cost)
+}

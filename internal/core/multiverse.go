@@ -1,0 +1,415 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"multiverse/internal/aerokernel"
+	"multiverse/internal/hvm"
+	"multiverse/internal/image"
+	"multiverse/internal/linuxabi"
+	"multiverse/internal/machine"
+	"multiverse/internal/ros"
+	"multiverse/internal/vfs"
+)
+
+// Options configures a System.
+type Options struct {
+	// Hybrid selects the full HVM/HRT configuration. When false, the
+	// system is a plain ROS machine (the Native/Virtual baselines).
+	Hybrid bool
+	// Virtual hosts the ROS as an HVM guest (ignored when Hybrid, which
+	// is always virtualized).
+	Virtual bool
+	// MachineSpec overrides the default 2x4-core machine.
+	MachineSpec *machine.Spec
+	// ROSCores / HRTCores partition the machine under Hybrid. Defaults:
+	// ROS on core 0, HRT on core 1 (one core each, like the paper's
+	// two-core guest).
+	ROSCores []machine.CoreID
+	HRTCores []machine.CoreID
+	// UseSymbolCache enables the override symbol cache (ablation; the
+	// paper's implementation looks the symbol up on every invocation).
+	UseSymbolCache bool
+	// SyncSyscalls forwards HRT system calls over the post-merger
+	// synchronous memory-polling channel (section 4.3) instead of the
+	// asynchronous event channel, at the price of a dedicated ROS
+	// polling thread per execution group.
+	SyncSyscalls bool
+	// FS preloads a filesystem.
+	FS *vfs.FS
+	// AppName names the spawned process.
+	AppName string
+}
+
+func (o *Options) fill() {
+	if o.AppName == "" {
+		o.AppName = "app"
+	}
+	if len(o.ROSCores) == 0 {
+		o.ROSCores = []machine.CoreID{0}
+	}
+	if len(o.HRTCores) == 0 {
+		o.HRTCores = []machine.CoreID{1}
+	}
+}
+
+// System is one assembled Multiverse machine: hardware, VMM, ROS, the
+// hybridized process, and (after InitRuntime) the booted AeroKernel.
+type System struct {
+	Opts Options
+
+	Machine *machine.Machine
+	HVM     *hvm.HVM // nil unless Hybrid
+	Kernel  *ros.Kernel
+	Proc    *ros.Process
+	Main    *ros.Thread
+	AK      *aerokernel.Kernel // nil until InitRuntime under Hybrid
+
+	Fat       *image.Image
+	Overrides *OverrideSet
+
+	mu            sync.Mutex
+	fnRegistry    map[uint64]func(Env) uint64
+	nextFnID      uint64
+	pendingSpawns map[uint64]*spawnSpec
+	nextSpawnID   uint64
+	groups        map[uint64]*ExecutionGroup
+	nextGroupID   uint64
+	exitPending   chan uint64 // group ids whose HRT thread exited
+	exitHooks     []func()
+	hotspots      *HotspotProfile
+
+	createThreadAddr uint64
+}
+
+// NewSystem builds the machine, VMM partitioning (when hybrid), ROS
+// kernel, and the application process. fat is the toolchain's output; it
+// may be nil for non-hybrid baselines.
+func NewSystem(fat *image.Image, opts Options) (*System, error) {
+	opts.fill()
+	spec := machine.DefaultSpec()
+	if opts.MachineSpec != nil {
+		spec = *opts.MachineSpec
+	}
+	m, err := machine.New(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &System{
+		Opts:          opts,
+		Machine:       m,
+		Fat:           fat,
+		fnRegistry:    make(map[uint64]func(Env) uint64),
+		nextFnID:      0x7000_0000_0000,
+		pendingSpawns: make(map[uint64]*spawnSpec),
+		groups:        make(map[uint64]*ExecutionGroup),
+		nextGroupID:   1,
+		exitPending:   make(chan uint64, 64),
+	}
+
+	world := ros.Native
+	rosCores := m.Cores()
+	var coreIDs []machine.CoreID
+	if opts.Hybrid {
+		world = ros.Virtual // the ROS inside an HVM is a guest
+		h, err := hvm.New(m, hvm.Config{ROSCores: opts.ROSCores, HRTCores: opts.HRTCores})
+		if err != nil {
+			return nil, err
+		}
+		s.HVM = h
+		coreIDs = opts.ROSCores
+	} else {
+		if opts.Virtual {
+			world = ros.Virtual
+		}
+		for _, c := range rosCores {
+			coreIDs = append(coreIDs, c.ID)
+		}
+	}
+
+	kern, err := ros.NewKernel(m, world, coreIDs, opts.FS)
+	if err != nil {
+		return nil, err
+	}
+	s.Kernel = kern
+
+	proc, err := kern.Spawn(opts.AppName)
+	if err != nil {
+		return nil, err
+	}
+	s.Proc = proc
+	s.Main = proc.NewThread(kern.BootCore())
+	return s, nil
+}
+
+// NativeEnv returns the environment of the process's main thread for
+// user-level (Native/Virtual) execution.
+func (s *System) NativeEnv() Env { return NewNativeEnv(s.Proc, s.Main) }
+
+// InitRuntime performs the initialization the toolchain's hooks run
+// before main() (section 3.5): register ROS signal handlers, hook process
+// exit, link AeroKernel functions, parse and install the embedded
+// AeroKernel image, boot it, and merge the address spaces.
+func (s *System) InitRuntime() error {
+	if !s.Opts.Hybrid {
+		return nil // nothing to do for the baselines
+	}
+	if s.Fat == nil {
+		return fmt.Errorf("multiverse: no fat binary (run the toolchain first)")
+	}
+
+	// 1. Register ROS signal handlers: the HRT-exit notification path.
+	s.HVM.RegisterROSSignal(s.Main.Clock, s.hrtExitSignal, s.Main.Stack)
+
+	// 2. Hook process exit so HRT shutdown accompanies it.
+	s.AddExitHook(func() {
+		if s.AK != nil {
+			s.AK.Halt()
+		}
+	})
+
+	// 3. Parse the embedded AeroKernel binary out of our own executable.
+	akImage, err := image.ExtractAeroKernel(s.Fat)
+	if err != nil {
+		return fmt.Errorf("multiverse: %w", err)
+	}
+
+	// 4. Install the image in HRT physical memory and boot it.
+	if err := s.HVM.InstallImage(s.Main.Clock, akImage); err != nil {
+		return err
+	}
+	s.HVM.RegisterBootHandler(func(info hvm.BootInfo) (hvm.HRTSink, error) {
+		k, err := aerokernel.Boot(s.Machine, info)
+		if err != nil {
+			return nil, err
+		}
+		s.AK = k
+		return k, nil
+	})
+	if err := s.HVM.BootHRT(s.Main.Clock); err != nil {
+		return err
+	}
+
+	// 5. AeroKernel function linkage: bind the Multiverse support
+	// functions and the override targets to their symbols.
+	s.linkAKFunctions()
+
+	// 6. Build the override wrapper table from the embedded config.
+	specs, err := ParseOverrides(image.ExtractOverrides(s.Fat))
+	if err != nil {
+		return err
+	}
+	s.Overrides = NewOverrideSet(specs, s.Opts.UseSymbolCache)
+
+	// 7. Merge the ROS process's lower half into the HRT address space.
+	if err := s.HVM.MergeAddressSpace(s.Main.Clock, s.Proc.CR3()); err != nil {
+		return err
+	}
+	return nil
+}
+
+// AddExitHook registers a function run when the hybridized process exits.
+func (s *System) AddExitHook(fn func()) {
+	s.mu.Lock()
+	s.exitHooks = append(s.exitHooks, fn)
+	s.mu.Unlock()
+}
+
+// runExitHooks fires the exit hooks once (process teardown).
+func (s *System) runExitHooks() {
+	s.mu.Lock()
+	hooks := s.exitHooks
+	s.exitHooks = nil
+	s.mu.Unlock()
+	for i := len(hooks) - 1; i >= 0; i-- {
+		hooks[i]()
+	}
+}
+
+// hrtExitSignal is the registered ROS signal handler: an HRT thread
+// exited; flip the bit in the corresponding partner's data structure.
+func (s *System) hrtExitSignal(sig int) {
+	select {
+	case gid := <-s.exitPending:
+		s.mu.Lock()
+		g := s.groups[gid]
+		s.mu.Unlock()
+		if g != nil {
+			g.exitRequested.Store(true)
+		}
+	default:
+		// Spurious signal: nothing pending.
+	}
+}
+
+// registerFn stores an application closure under a fabricated function
+// pointer (the address the runtime would pass to pthread_create).
+func (s *System) registerFn(fn func(Env) uint64) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextFnID
+	s.nextFnID += 16
+	s.fnRegistry[id] = fn
+	return id
+}
+
+func (s *System) lookupFn(id uint64) func(Env) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fnRegistry[id]
+}
+
+// linkAKFunctions binds the AeroKernel-side implementations Multiverse
+// relies on: thread creation/join (the override targets) and the internal
+// spawn entry the HVM async-call requests resolve to.
+func (s *System) linkAKFunctions() {
+	ak := s.AK
+
+	// mv_create_thread: runs in the AeroKernel event loop in response to
+	// a thread-creation request from a partner thread. It creates the
+	// top-level HRT thread with the requested superposition and starts
+	// it; the request completes when creation succeeded, returning the
+	// Nautilus thread id ("thread data sent from the remote core after
+	// creation succeeds").
+	s.createThreadAddr = ak.RegisterFunc("mv_create_thread", func(t *aerokernel.Thread, args []uint64) uint64 {
+		if len(args) < 1 {
+			return ^uint64(0)
+		}
+		s.mu.Lock()
+		spec := s.pendingSpawns[args[0]]
+		delete(s.pendingSpawns, args[0])
+		s.mu.Unlock()
+		if spec == nil {
+			return ^uint64(0)
+		}
+		ht := ak.CreateThread(t.Clock, spec.core, spec.super, spec.channel, spec.stack)
+		if spec.syncSvc != nil {
+			ht.SetSyncSyscalls(spec.syncSvc)
+		}
+		spec.group.hrt = ht
+		ht.Start(func(ht *aerokernel.Thread) uint64 {
+			return spec.group.runHRT(ht, spec.fn)
+		})
+		return uint64(ht.ID)
+	})
+
+	// nk_thread_create: the override target for pthread_create. The
+	// argument is a registered function id; a new execution group is
+	// spawned for it, per Figure 7.
+	ak.RegisterFunc("nk_thread_create", func(t *aerokernel.Thread, args []uint64) uint64 {
+		if len(args) < 1 {
+			return ^uint64(0)
+		}
+		fn := s.lookupFn(args[0])
+		if fn == nil {
+			return ^uint64(0)
+		}
+		g, err := s.SpawnGroup(t.Clock, fn)
+		if err != nil {
+			return ^uint64(0)
+		}
+		return g.id
+	})
+
+	// nk_thread_join: the override target for pthread_join; joins the
+	// group's partner thread, which by construction does not exit before
+	// the HRT thread does.
+	ak.RegisterFunc("nk_thread_join", func(t *aerokernel.Thread, args []uint64) uint64 {
+		if len(args) < 1 {
+			return ^uint64(0)
+		}
+		s.mu.Lock()
+		g := s.groups[args[0]]
+		s.mu.Unlock()
+		if g == nil {
+			return ^uint64(0)
+		}
+		return g.WaitExit(t.Clock)
+	})
+
+	ak.RegisterFunc("nk_thread_exit", func(t *aerokernel.Thread, args []uint64) uint64 {
+		return 0
+	})
+
+	// A couple of genuinely useful AeroKernel services for accelerator-
+	// model code to call directly.
+	ak.RegisterFunc("nk_sched_yield", func(t *aerokernel.Thread, args []uint64) uint64 {
+		t.Clock.Advance(s.Machine.Cost.AKEventSignal)
+		return 0
+	})
+	ak.RegisterFunc("nk_sysinfo", func(t *aerokernel.Thread, args []uint64) uint64 {
+		return uint64(len(s.AK.Cores()))
+	})
+
+	// Kernel-mode memory management (section 5's "next steps"): the
+	// mmap/mprotect/munmap shapes the garbage collector depends on,
+	// implemented as direct page-table edits in the AeroKernel.
+	ak.RegisterFunc("nk_mmap", func(t *aerokernel.Thread, args []uint64) uint64 {
+		if len(args) < 1 {
+			return ^uint64(0)
+		}
+		addr, err := ak.MemMap(t, args[0])
+		if err != nil {
+			return ^uint64(0)
+		}
+		return addr
+	})
+	ak.RegisterFunc("nk_mprotect", func(t *aerokernel.Thread, args []uint64) uint64 {
+		if len(args) < 3 {
+			return ^uint64(0)
+		}
+		if err := ak.MemProtect(t, args[0], args[1], args[2] != 0); err != nil {
+			return ^uint64(0)
+		}
+		return 0
+	})
+	ak.RegisterFunc("nk_munmap", func(t *aerokernel.Thread, args []uint64) uint64 {
+		if len(args) < 2 {
+			return ^uint64(0)
+		}
+		if err := ak.MemUnmap(t, args[0], args[1]); err != nil {
+			return ^uint64(0)
+		}
+		return 0
+	})
+
+	// Kernel-mode event primitives: the fast path parallel runtimes bind
+	// their synchronization to under the accelerator model (no
+	// kernel/user crossing, no forwarding — just the AeroKernel's
+	// wakeup costs).
+	ak.RegisterFunc("nk_event_create", func(t *aerokernel.Thread, args []uint64) uint64 {
+		t.Clock.Advance(s.Machine.Cost.AKThreadCreate / 4)
+		return 1
+	})
+	ak.RegisterFunc("nk_event_wait", func(t *aerokernel.Thread, args []uint64) uint64 {
+		t.Clock.Advance(s.Machine.Cost.AKEventWait)
+		return 0
+	})
+	ak.RegisterFunc("nk_event_signal", func(t *aerokernel.Thread, args []uint64) uint64 {
+		t.Clock.Advance(s.Machine.Cost.AKEventSignal)
+		return 0
+	})
+}
+
+// RelinkAfterReboot re-binds the Multiverse support functions after an
+// HRT reboot (a fresh AeroKernel has an empty function registry). The
+// caller re-merges separately, as the boot protocol does.
+func (s *System) RelinkAfterReboot() {
+	s.linkAKFunctions()
+}
+
+// Groups returns the live execution groups (diagnostics).
+func (s *System) Groups() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.groups)
+}
+
+// ExitProcess runs the hooked process exit: the exit_group system call
+// plus HRT shutdown.
+func (s *System) ExitProcess(code uint64) {
+	_ = s.Proc.Syscall(s.Main, linuxabi.Call{Num: linuxabi.SysExitGroup, Args: [6]uint64{code}})
+	s.runExitHooks()
+}

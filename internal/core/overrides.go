@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"multiverse/internal/aerokernel"
+	"multiverse/internal/cycles"
+)
+
+// OverrideSpec is one line of the override configuration file: which
+// legacy function is interposed, which AeroKernel symbol replaces it, and
+// how the legacy arguments map onto the AeroKernel variant's parameters
+// ("specifies the function's attributes and argument mappings between the
+// legacy function and the AeroKernel variant", section 4.2).
+type OverrideSpec struct {
+	Legacy   string
+	AKSymbol string
+	// ArgMap gives, for each AeroKernel parameter, the index of the
+	// legacy argument it receives. Empty means identity.
+	ArgMap []int
+}
+
+// ParseOverrides reads the override configuration format:
+//
+//	# comment
+//	override <legacy-name> => <aerokernel-symbol> [args(<i>,<j>,...)]
+//
+// The toolchain compiles this file into the fat binary's .hrt.overrides
+// section; the runtime parses it back at initialization and generates the
+// wrappers.
+func ParseOverrides(data []byte) ([]OverrideSpec, error) {
+	var specs []OverrideSpec
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[0] != "override" || fields[2] != "=>" {
+			return nil, fmt.Errorf("overrides: line %d: want \"override <legacy> => <symbol> [args(...)]\", got %q", lineNo+1, line)
+		}
+		spec := OverrideSpec{Legacy: fields[1], AKSymbol: fields[3]}
+		if len(fields) >= 5 {
+			arg := fields[4]
+			if !strings.HasPrefix(arg, "args(") || !strings.HasSuffix(arg, ")") {
+				return nil, fmt.Errorf("overrides: line %d: malformed args clause %q", lineNo+1, arg)
+			}
+			inner := strings.TrimSuffix(strings.TrimPrefix(arg, "args("), ")")
+			if inner != "" {
+				for _, part := range strings.Split(inner, ",") {
+					idx, err := strconv.Atoi(strings.TrimSpace(part))
+					if err != nil || idx < 0 {
+						return nil, fmt.Errorf("overrides: line %d: bad argument index %q", lineNo+1, part)
+					}
+					spec.ArgMap = append(spec.ArgMap, idx)
+				}
+			}
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// FormatOverrides renders specs back to the configuration format (the
+// toolchain uses it to embed the config in the fat binary).
+func FormatOverrides(specs []OverrideSpec) []byte {
+	var b strings.Builder
+	b.WriteString("# Multiverse AeroKernel override configuration\n")
+	for _, s := range specs {
+		fmt.Fprintf(&b, "override %s => %s", s.Legacy, s.AKSymbol)
+		if len(s.ArgMap) > 0 {
+			strs := make([]string, len(s.ArgMap))
+			for i, v := range s.ArgMap {
+				strs[i] = strconv.Itoa(v)
+			}
+			fmt.Fprintf(&b, " args(%s)", strings.Join(strs, ","))
+		}
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// Wrapper is one generated function wrapper. When the overridden function
+// is invoked, the wrapper runs instead: it consults the stored mapping for
+// the AeroKernel symbol name, performs a symbol lookup to find its HRT
+// virtual address, and invokes the function directly (section 4.2).
+//
+// The lookup "currently occurs on every function invocation, so incurs a
+// non-trivial overhead. A symbol cache ... could easily be added" — both
+// behaviours are implemented; UseCache selects between them (the
+// symbol-cache ablation).
+type Wrapper struct {
+	Spec     OverrideSpec
+	UseCache bool
+
+	mu         sync.Mutex
+	cachedAddr uint64
+	cacheValid bool
+
+	invocations uint64
+	lookups     uint64
+}
+
+// Invoke runs the wrapper on HRT thread t.
+func (w *Wrapper) Invoke(t *aerokernel.Thread, args ...uint64) (uint64, error) {
+	w.mu.Lock()
+	w.invocations++
+	addr := w.cachedAddr
+	valid := w.UseCache && w.cacheValid
+	w.mu.Unlock()
+
+	if !valid {
+		var ok bool
+		addr, ok = t.Kernel().LookupSymbol(t.Clock, w.Spec.AKSymbol)
+		if !ok {
+			return 0, fmt.Errorf("overrides: symbol %q not found in AeroKernel", w.Spec.AKSymbol)
+		}
+		w.mu.Lock()
+		w.lookups++
+		if w.UseCache {
+			w.cachedAddr = addr
+			w.cacheValid = true
+		}
+		w.mu.Unlock()
+	}
+
+	mapped := args
+	if len(w.Spec.ArgMap) > 0 {
+		mapped = make([]uint64, len(w.Spec.ArgMap))
+		for i, src := range w.Spec.ArgMap {
+			if src >= len(args) {
+				return 0, fmt.Errorf("overrides: %s maps argument %d but call has %d", w.Spec.Legacy, src, len(args))
+			}
+			mapped[i] = args[src]
+		}
+	}
+	// Already executing in HRT context with AeroKernel mappings: direct
+	// call, no crossing.
+	t.Clock.Advance(cycles.Cycles(20)) // wrapper prologue/indirect call
+	return t.Kernel().CallByAddr(t, addr, mapped...)
+}
+
+// Stats reports invocation and lookup counts (equal when uncached).
+func (w *Wrapper) Stats() (invocations, lookups uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.invocations, w.lookups
+}
+
+// OverrideSet is the linked wrapper table of one hybridized binary.
+type OverrideSet struct {
+	mu       sync.Mutex
+	byLegacy map[string]*Wrapper
+	useCache bool
+}
+
+// NewOverrideSet builds wrappers for the specs. useCache enables the
+// symbol cache on every wrapper.
+func NewOverrideSet(specs []OverrideSpec, useCache bool) *OverrideSet {
+	s := &OverrideSet{byLegacy: make(map[string]*Wrapper), useCache: useCache}
+	for _, spec := range specs {
+		s.byLegacy[spec.Legacy] = &Wrapper{Spec: spec, UseCache: useCache}
+	}
+	return s
+}
+
+// Lookup returns the wrapper interposing the legacy function, if any.
+func (s *OverrideSet) Lookup(legacy string) (*Wrapper, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, ok := s.byLegacy[legacy]
+	return w, ok
+}
+
+// Names lists the interposed legacy functions.
+func (s *OverrideSet) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.byLegacy))
+	for n := range s.byLegacy {
+		out = append(out, n)
+	}
+	return out
+}
+
+// DefaultOverrides are the interpositions the Multiverse runtime always
+// enforces: the pthread entry points map to AeroKernel threads so that
+// legacy threading "automatically maps to the corresponding AeroKernel
+// functionality with semantics matching those used in pthreads"
+// (section 3.3, Incremental).
+func DefaultOverrides() []OverrideSpec {
+	return []OverrideSpec{
+		{Legacy: "pthread_create", AKSymbol: "nk_thread_create"},
+		{Legacy: "pthread_join", AKSymbol: "nk_thread_join"},
+		{Legacy: "pthread_exit", AKSymbol: "nk_thread_exit"},
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"multiverse/internal/image"
+)
+
+func TestParseOverridesGood(t *testing.T) {
+	src := `
+# comment line
+
+override pthread_create => nk_thread_create
+override sum2 => demo_sum args(1,0)
+override noargs => nk_thing args()
+`
+	specs, err := ParseOverrides([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	if specs[0].Legacy != "pthread_create" || specs[0].AKSymbol != "nk_thread_create" || specs[0].ArgMap != nil {
+		t.Errorf("spec 0 = %+v", specs[0])
+	}
+	if len(specs[1].ArgMap) != 2 || specs[1].ArgMap[0] != 1 || specs[1].ArgMap[1] != 0 {
+		t.Errorf("spec 1 argmap = %v", specs[1].ArgMap)
+	}
+	if specs[2].ArgMap != nil {
+		t.Errorf("empty args() should mean identity, got %v", specs[2].ArgMap)
+	}
+}
+
+func TestParseOverridesBad(t *testing.T) {
+	bad := []string{
+		"override onlyname",
+		"override a -> b",          // wrong arrow
+		"override a => b args(x)",  // non-numeric index
+		"override a => b args(-1)", // negative index
+		"interpose a => b",         // wrong keyword
+		"override a => b args(1,2", // unterminated
+	}
+	for _, src := range bad {
+		if _, err := ParseOverrides([]byte(src)); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	specs := []OverrideSpec{
+		{Legacy: "a", AKSymbol: "nk_a"},
+		{Legacy: "b", AKSymbol: "nk_b", ArgMap: []int{2, 0, 1}},
+	}
+	out, err := ParseOverrides(FormatOverrides(specs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[1].ArgMap[0] != 2 {
+		t.Errorf("round trip = %+v", out)
+	}
+}
+
+// Property: format/parse round-trips arbitrary well-formed specs.
+func TestFormatParseProperty(t *testing.T) {
+	sanitize := func(s string) string {
+		s = strings.Map(func(r rune) rune {
+			if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '_' {
+				return r
+			}
+			return 'x'
+		}, s)
+		if s == "" {
+			s = "f"
+		}
+		return s
+	}
+	prop := func(legacy, symbol string, argmapRaw []uint8) bool {
+		spec := OverrideSpec{Legacy: sanitize(legacy), AKSymbol: sanitize(symbol)}
+		for _, a := range argmapRaw {
+			spec.ArgMap = append(spec.ArgMap, int(a%6))
+		}
+		out, err := ParseOverrides(FormatOverrides([]OverrideSpec{spec}))
+		if err != nil || len(out) != 1 {
+			return false
+		}
+		got := out[0]
+		if got.Legacy != spec.Legacy || got.AKSymbol != spec.AKSymbol || len(got.ArgMap) != len(spec.ArgMap) {
+			return false
+		}
+		for i := range spec.ArgMap {
+			if got.ArgMap[i] != spec.ArgMap[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverrideSetLookup(t *testing.T) {
+	set := NewOverrideSet(DefaultOverrides(), false)
+	if _, ok := set.Lookup("pthread_create"); !ok {
+		t.Error("pthread_create missing")
+	}
+	if _, ok := set.Lookup("nonexistent"); ok {
+		t.Error("found nonexistent override")
+	}
+	names := set.Names()
+	if len(names) != 3 {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestToolchainBuild(t *testing.T) {
+	fat, err := Build(BuildInput{
+		App:        NewAppImage("x"),
+		AeroKernel: NewAeroKernelImage(),
+		Overrides:  []OverrideSpec{{Legacy: "custom", AKSymbol: "nk_custom"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := ParseOverrides(image.ExtractOverrides(fat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaults + the custom one.
+	found := map[string]bool{}
+	for _, s := range specs {
+		found[s.Legacy] = true
+	}
+	for _, want := range []string{"pthread_create", "pthread_join", "pthread_exit", "custom"} {
+		if !found[want] {
+			t.Errorf("override %q missing from fat binary", want)
+		}
+	}
+}
+
+func TestToolchainUserOverrideReplacesDefault(t *testing.T) {
+	fat, err := Build(BuildInput{
+		App:        NewAppImage("x"),
+		AeroKernel: NewAeroKernelImage(),
+		Overrides:  []OverrideSpec{{Legacy: "pthread_create", AKSymbol: "my_custom_create"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, _ := ParseOverrides(image.ExtractOverrides(fat))
+	count := 0
+	for _, s := range specs {
+		if s.Legacy == "pthread_create" {
+			count++
+			if s.AKSymbol != "my_custom_create" {
+				t.Errorf("pthread_create -> %s", s.AKSymbol)
+			}
+		}
+	}
+	if count != 1 {
+		t.Errorf("pthread_create appears %d times", count)
+	}
+}
+
+func TestToolchainRejectsMissingInputs(t *testing.T) {
+	if _, err := Build(BuildInput{AeroKernel: NewAeroKernelImage()}); err == nil {
+		t.Error("build without app accepted")
+	}
+	if _, err := Build(BuildInput{App: NewAppImage("x")}); err == nil {
+		t.Error("build without AeroKernel accepted")
+	}
+	if _, err := Build(BuildInput{
+		App:        NewAppImage("x"),
+		AeroKernel: NewAeroKernelImage(),
+		Overrides:  []OverrideSpec{{Legacy: "", AKSymbol: "y"}},
+	}); err == nil {
+		t.Error("empty override name accepted")
+	}
+}

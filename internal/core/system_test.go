@@ -1,0 +1,213 @@
+package core
+
+import (
+	"testing"
+
+	"multiverse/internal/aerokernel"
+	"multiverse/internal/linuxabi"
+	"multiverse/internal/machine"
+)
+
+func TestInitRuntimeSequence(t *testing.T) {
+	sys := buildTestSystem(t, Options{AppName: "init"})
+	if sys.AK == nil {
+		t.Fatal("AeroKernel not booted")
+	}
+	if !sys.AK.Merged() {
+		t.Error("address spaces not merged at init")
+	}
+	if sys.Overrides == nil {
+		t.Fatal("override set not built")
+	}
+	if _, ok := sys.Overrides.Lookup("pthread_create"); !ok {
+		t.Error("default overrides not linked")
+	}
+	if !sys.HVM.Booted() {
+		t.Error("HVM does not consider HRT booted")
+	}
+	if sys.HVM.InstalledImage() == nil {
+		t.Error("no image installed")
+	}
+	// The embedded AeroKernel image round-tripped through the fat binary.
+	if sys.HVM.InstalledImage().Name != "nautilus.bin" {
+		t.Errorf("installed image = %q", sys.HVM.InstalledImage().Name)
+	}
+}
+
+func TestInitRuntimeRequiresFatBinary(t *testing.T) {
+	sys, err := NewSystem(nil, Options{Hybrid: true, AppName: "nofat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.InitRuntime(); err == nil {
+		t.Error("init without fat binary accepted")
+	}
+}
+
+func TestInitRuntimeNonHybridNoop(t *testing.T) {
+	sys, err := NewSystem(nil, Options{AppName: "plain"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.InitRuntime(); err != nil {
+		t.Errorf("non-hybrid init: %v", err)
+	}
+	if sys.AK != nil {
+		t.Error("baseline grew an AeroKernel")
+	}
+}
+
+func TestHRTInvokeFuncAccelerator(t *testing.T) {
+	sys := buildTestSystem(t, Options{AppName: "accel"})
+	ret, err := sys.HRTInvokeFunc(func(env Env) uint64 {
+		hrt := env.(HRTExtras)
+		v, err := hrt.AKCall("nk_sysinfo")
+		if err != nil {
+			t.Errorf("AKCall: %v", err)
+		}
+		return v + 100
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 101 { // 1 HRT core + 100
+		t.Errorf("ret = %d", ret)
+	}
+}
+
+func TestPartnerOutlivesHRTThread(t *testing.T) {
+	sys := buildTestSystem(t, Options{AppName: "join"})
+	g, err := sys.SpawnGroup(sys.Main.Clock, func(env Env) uint64 {
+		env.Clock().Advance(1000)
+		return 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := g.Join(sys.Main)
+	if code != 5 {
+		t.Errorf("join code = %d", code)
+	}
+	// Partner must be done by now (join semantics guarantee).
+	select {
+	case <-g.Partner().Done():
+	default:
+		t.Error("partner still running after join returned")
+	}
+	if sys.Groups() != 0 {
+		t.Errorf("groups leaked: %d", sys.Groups())
+	}
+}
+
+func TestExitHookRuns(t *testing.T) {
+	sys := buildTestSystem(t, Options{AppName: "hook"})
+	ran := false
+	sys.AddExitHook(func() { ran = true })
+	if _, err := sys.RunMain(func(Env) uint64 { return 0 }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("exit hook did not run")
+	}
+	if exited, _ := sys.Proc.Exited(); !exited {
+		t.Error("process not exited")
+	}
+}
+
+func TestVDSOOnHRTCoreCheaper(t *testing.T) {
+	sys := buildTestSystem(t, Options{AppName: "vdso"})
+
+	// Measure vdso getpid from the ROS main thread.
+	clk := sys.Main.Clock
+	before := clk.Now()
+	if _, errno := sys.Proc.VDSO(sys.Main, linuxabi.SysGetpid); errno != linuxabi.OK {
+		t.Fatal(errno)
+	}
+	rosCost := clk.Now() - before
+
+	var hrtCost uint64
+	if _, err := sys.HRTInvokeFunc(func(env Env) uint64 {
+		c := env.Clock()
+		b := c.Now()
+		if _, errno := env.VDSO(linuxabi.SysGetpid); errno != linuxabi.OK {
+			t.Errorf("hrt vdso: %v", errno)
+		}
+		hrtCost = uint64(c.Now() - b)
+		return 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if hrtCost >= uint64(rosCost) {
+		t.Errorf("HRT vdso (%d) not cheaper than ROS vdso (%d) — Figure 9's effect missing", hrtCost, rosCost)
+	}
+}
+
+func TestWorldString(t *testing.T) {
+	if WorldNative.String() != "Native" || WorldVirtual.String() != "Virtual" || WorldHRT.String() != "Multiverse" {
+		t.Error("world names must match the paper's figure labels")
+	}
+}
+
+func TestCustomPartition(t *testing.T) {
+	fat, err := Build(BuildInput{App: NewAppImage("p"), AeroKernel: NewAeroKernelImage()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(fat, Options{
+		Hybrid:   true,
+		AppName:  "p",
+		ROSCores: []machine.CoreID{0, 1},
+		HRTCores: []machine.CoreID{4, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.InitRuntime(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.AK.Cores(); len(got) != 2 || got[0] != 4 {
+		t.Errorf("HRT cores = %v", got)
+	}
+	// Cross-socket group still works.
+	ret, err := sys.HRTInvokeFunc(func(env Env) uint64 { return 9 })
+	if err != nil || ret != 9 {
+		t.Errorf("cross-socket invoke = %d, %v", ret, err)
+	}
+}
+
+func TestDisallowedCallsFromHRT(t *testing.T) {
+	sys := buildTestSystem(t, Options{AppName: "disallowed"})
+	if _, err := sys.RunMain(func(env Env) uint64 {
+		for _, num := range []linuxabi.Sysno{linuxabi.SysExecve, linuxabi.SysClone, linuxabi.SysFutex} {
+			if res := env.Syscall(linuxabi.Call{Num: num}); res.Err != linuxabi.ENOSYS {
+				t.Errorf("%v from HRT: %v, want ENOSYS", num, res.Err)
+			}
+		}
+		return 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNestedThreadForwardsThroughParentPartner: a nested HRT thread has
+// no partner of its own; its events reach the top-level thread's partner
+// (section 4.2, Figure 7 step 5).
+func TestNestedThreadForwardsThroughParentPartner(t *testing.T) {
+	sys := buildTestSystem(t, Options{AppName: "nested"})
+	if _, err := sys.RunMain(func(env Env) uint64 {
+		top := env.(*hrtEnv).t
+		nested := top.CreateNested()
+		done := make(chan linuxabi.Result, 1)
+		nested.Start(func(nt *aerokernel.Thread) uint64 {
+			done <- nt.Syscall(linuxabi.Call{Num: linuxabi.SysGetpid})
+			return 0
+		})
+		res := <-done
+		if !res.Ok() || int(res.Ret) != sys.Proc.Pid() {
+			t.Errorf("nested getpid = %+v", res)
+		}
+		return 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"multiverse/internal/image"
+)
+
+// BuildInput is what the developer hands the Multiverse toolchain: their
+// application/runtime, the AeroKernel binary provided by the AeroKernel
+// developer, and an optional override configuration. "To leverage
+// Multiverse, a user must simply integrate their application or runtime
+// with the provided Makefile and rebuild it" (section 3.5).
+type BuildInput struct {
+	App        *image.Image
+	AeroKernel *image.Image
+	Overrides  []OverrideSpec
+}
+
+// Build is the toolchain's link step: it compiles the override
+// configuration, appends the default overrides, embeds the AeroKernel
+// binary into the application's binary, and marks the result as a fat
+// binary whose startup hooks run Multiverse initialization before main().
+func Build(in BuildInput) (*image.Image, error) {
+	if in.App == nil {
+		return nil, fmt.Errorf("toolchain: no application image")
+	}
+	if in.AeroKernel == nil {
+		return nil, fmt.Errorf("toolchain: no AeroKernel image (the AeroKernel developer provides this binary)")
+	}
+	specs := append(DefaultOverrides(), in.Overrides...)
+	seen := make(map[string]int)
+	for i, s := range specs {
+		if s.Legacy == "" || s.AKSymbol == "" {
+			return nil, fmt.Errorf("toolchain: override %d has empty names", i)
+		}
+		if prev, dup := seen[s.Legacy]; dup {
+			// Later (user) entries replace earlier (default) ones.
+			specs[prev] = s
+			specs = append(specs[:i], specs[i+1:]...)
+		}
+		seen[s.Legacy] = i
+	}
+	fat := image.EmbedAeroKernel(in.App, in.AeroKernel, FormatOverrides(specs))
+	return fat, nil
+}
+
+// NewAppImage synthesizes a plain application image (what the compiler
+// would emit for the user's program before the Multiverse link step).
+func NewAppImage(name string) *image.Image {
+	img := &image.Image{
+		Name:  name,
+		Entry: 0x400000,
+		Sections: []image.Section{
+			{Name: ".text", Kind: image.SecText, VAddr: 0x400000, Data: make([]byte, 8192)},
+			{Name: ".data", Kind: image.SecData, VAddr: 0x600000, Data: make([]byte, 4096)},
+		},
+		Symbols: []image.Symbol{
+			{Name: "main", Addr: 0x400100, Size: 512},
+			{Name: "_mv_init", Addr: 0x400000, Size: 256}, // the injected init hook
+		},
+	}
+	return img
+}
+
+// NewAeroKernelImage synthesizes the AeroKernel binary the AeroKernel
+// developer ships with the toolchain: a Nautilus image whose symbol table
+// exports the functions overrides can target. extra adds developer-
+// provided symbols beyond the standard set.
+func NewAeroKernelImage(extra ...image.Symbol) *image.Image {
+	base := uint64(0xffff_8000_0010_0000)
+	std := []string{
+		"nk_thread_create", "nk_thread_join", "nk_thread_exit",
+		"nk_thread_fork", "nk_event_create", "nk_event_wait",
+		"nk_event_signal", "nk_tls_get", "nk_sched_yield",
+		"nk_vc_printf", "nk_sysinfo",
+	}
+	img := &image.Image{
+		Name:  "nautilus.bin",
+		Entry: base,
+		Sections: []image.Section{
+			{Name: ".text", Kind: image.SecText, VAddr: base, Data: make([]byte, 16384)},
+			{Name: ".data", Kind: image.SecData, VAddr: base + 0x100000, Data: make([]byte, 8192)},
+		},
+	}
+	for i, name := range std {
+		img.Symbols = append(img.Symbols, image.Symbol{
+			Name: name,
+			Addr: base + uint64(i+1)*0x200,
+			Size: 0x200,
+		})
+	}
+	img.Symbols = append(img.Symbols, extra...)
+	img.SortSymbols()
+	return img
+}

@@ -1,0 +1,127 @@
+package cycles
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestConversions(t *testing.T) {
+	// 2.2 GHz: 2.2e9 cycles = 1 s.
+	c := Cycles(2_200_000_000)
+	if got := c.Seconds(); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("Seconds() = %v, want 1.0", got)
+	}
+	if got := Cycles(2200).Nanoseconds(); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("2200 cycles = %v ns, want 1000", got)
+	}
+	if got := Cycles(22).Microseconds(); math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("Microseconds() = %v, want 0.01", got)
+	}
+}
+
+func TestCyclesString(t *testing.T) {
+	cases := []struct {
+		c    Cycles
+		want string
+	}{
+		{100, "ns"},
+		{22_000, "us"},
+		{22_000_000, "ms"},
+		{22_000_000_000, "s"},
+	}
+	for _, tc := range cases {
+		if s := tc.c.String(); !strings.Contains(s, tc.want) {
+			t.Errorf("%d cycles -> %q, want suffix %q", uint64(tc.c), s, tc.want)
+		}
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock(10)
+	if c.Now() != 10 {
+		t.Fatalf("Now() = %d", c.Now())
+	}
+	if got := c.Advance(5); got != 15 {
+		t.Errorf("Advance = %d, want 15", got)
+	}
+	if c.Now() != 15 {
+		t.Errorf("Now() = %d, want 15", c.Now())
+	}
+}
+
+func TestClockSyncToNeverRewinds(t *testing.T) {
+	c := NewClock(100)
+	if got := c.SyncTo(50); got != 100 {
+		t.Errorf("SyncTo(50) = %d, want 100 (no rewind)", got)
+	}
+	if got := c.SyncTo(200); got != 200 {
+		t.Errorf("SyncTo(200) = %d, want 200", got)
+	}
+	if c.Now() != 200 {
+		t.Errorf("Now() = %d", c.Now())
+	}
+}
+
+func TestClockConcurrent(t *testing.T) {
+	c := NewClock(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Advance(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Now() != 8000 {
+		t.Errorf("concurrent advances lost: %d, want 8000", c.Now())
+	}
+}
+
+// Property: SyncTo is monotone and idempotent.
+func TestClockSyncToProperty(t *testing.T) {
+	f := func(start uint64, target uint64) bool {
+		start %= 1 << 48
+		target %= 1 << 48
+		c := NewClock(Cycles(start))
+		got := c.SyncTo(Cycles(target))
+		if uint64(got) < start || uint64(got) < target {
+			return false
+		}
+		// Idempotent.
+		return c.SyncTo(Cycles(target)) == got
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultCostModelCalibration(t *testing.T) {
+	m := DefaultCostModel()
+	if got := m.HypercallRoundTrip(); got != 4000 {
+		t.Errorf("hypercall round trip = %d, want 4000", got)
+	}
+	if got := m.SyncRoundTrip(true); got != 790 {
+		t.Errorf("sync same-socket = %d, want 790 (paper Figure 2)", got)
+	}
+	if got := m.SyncRoundTrip(false); got != 1060 {
+		t.Errorf("sync cross-socket = %d, want 1060 (paper Figure 2)", got)
+	}
+	// The AeroKernel primitives must be orders of magnitude cheaper than
+	// the ROS equivalents (paper section 2).
+	if m.AKThreadCreate*10 > m.ROSThreadCreate {
+		t.Errorf("AKThreadCreate=%d not << ROSThreadCreate=%d", m.AKThreadCreate, m.ROSThreadCreate)
+	}
+	if m.AKEventSignal*10 > m.ContextSwitch {
+		t.Errorf("AKEventSignal=%d not << ContextSwitch=%d", m.AKEventSignal, m.ContextSwitch)
+	}
+	// HRT boot is milliseconds, on par with fork+exec.
+	if ms := m.HRTBoot.Nanoseconds() / 1e6; ms < 0.5 || ms > 10 {
+		t.Errorf("HRT boot = %v ms, want millisecond scale", ms)
+	}
+}

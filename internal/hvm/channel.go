@@ -1,0 +1,290 @@
+package hvm
+
+import (
+	"fmt"
+	"sync"
+
+	"multiverse/internal/cycles"
+	"multiverse/internal/linuxabi"
+	"multiverse/internal/machine"
+)
+
+// EventKind classifies what an execution group is converging on.
+type EventKind int
+
+const (
+	// EvSyscall forwards a system call from the HRT to the ROS.
+	EvSyscall EventKind = iota + 1
+	// EvPageFault forwards a page fault in the ROS portion of the virtual
+	// address space; the ROS-side library replicates the access so the
+	// same exception occurs on the ROS core and is handled normally.
+	EvPageFault
+	// EvThreadExit notifies the ROS side that the HRT thread exited (the
+	// partner thread then runs its cleanup and exits, unblocking join).
+	EvThreadExit
+)
+
+var eventNames = map[EventKind]string{
+	EvSyscall:    "syscall",
+	EvPageFault:  "page-fault",
+	EvThreadExit: "thread-exit",
+}
+
+// String names the event kind.
+func (k EventKind) String() string {
+	if n, ok := eventNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Envelope is one request crossing an event channel from HRT to ROS.
+type Envelope struct {
+	Kind EventKind
+
+	// Syscall payload.
+	Call linuxabi.Call
+
+	// Page-fault payload (x86 error-code information).
+	FaultAddr  uint64
+	FaultWrite bool
+
+	// ExitCode accompanies EvThreadExit.
+	ExitCode uint64
+
+	// Arrival is the virtual time at which the request reaches the ROS
+	// partner thread.
+	Arrival cycles.Cycles
+
+	reply chan Reply
+}
+
+// Reply is the ROS side's completion of an Envelope.
+type Reply struct {
+	Res linuxabi.Result
+	// FaultOK reports that a forwarded fault was resolved (page now
+	// mapped / handler ran); false means the access is genuinely invalid
+	// and the HRT should treat it as fatal.
+	FaultOK bool
+	// Departure is the virtual time the reply left the ROS side.
+	Departure cycles.Cycles
+}
+
+// EventChannel is the VMM-mediated communication path of one execution
+// group: the HRT thread on one end, its ROS partner thread on the other.
+// The VMM "only expects that the execution group adheres to a strict
+// protocol for event requests and completion" (section 3.2).
+type EventChannel struct {
+	hvm     *HVM
+	hrtCore machine.CoreID
+	rosCore machine.CoreID
+
+	mu      sync.Mutex
+	pending chan *Envelope
+	closed  bool
+
+	// Counters for the evaluation harness.
+	forwarded map[EventKind]uint64
+}
+
+// NewEventChannel creates the channel for an execution group whose HRT
+// thread runs on hrtCore and whose partner runs on rosCore.
+func (h *HVM) NewEventChannel(hrtCore, rosCore machine.CoreID) *EventChannel {
+	return &EventChannel{
+		hvm:       h,
+		hrtCore:   hrtCore,
+		rosCore:   rosCore,
+		pending:   make(chan *Envelope, 1),
+		forwarded: make(map[EventKind]uint64),
+	}
+}
+
+// Forward sends an envelope from the HRT side and blocks until the ROS
+// side completes it. clk is the HRT thread's clock; it pays the full
+// request leg and is synchronized to the reply's arrival.
+//
+// Cost structure of one round trip (the ~25K-cycle asynchronous path of
+// Figure 2): post to the shared page, hypercall, VMM records the raise and
+// waits for a user-mode injection window in the ROS, frame injection into
+// the partner thread, partner wakeup; then on completion a post, a
+// hypercall, injection back into the HRT, and guest re-entry.
+func (c *EventChannel) Forward(clk *cycles.Clock, env *Envelope) (Reply, error) {
+	cost := c.hvm.cost
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return Reply{}, fmt.Errorf("hvm: event channel closed")
+	}
+	c.forwarded[env.Kind]++
+	c.mu.Unlock()
+
+	clk.Advance(cost.EventChannelPost)
+	clk.Advance(cost.HypercallRoundTrip())
+	clk.Advance(cost.VMMRecord)
+	c.hvm.countExit("evtchan")
+	env.Arrival = clk.Now() + cost.InjectWindowROS + cost.SignalInjectROS
+	env.reply = make(chan Reply, 1)
+	c.pending <- env
+	r := <-env.reply
+	// Reply leg: injection back into the HRT plus guest re-entry.
+	clk.SyncTo(r.Departure + cost.InterruptInject + cost.VMEntry)
+	return r, nil
+}
+
+// Recv blocks the ROS partner thread until a request arrives, then
+// synchronizes the partner's clock to the arrival time plus its own wakeup
+// cost. It returns nil when the channel is closed.
+func (c *EventChannel) Recv(clk *cycles.Clock) *Envelope {
+	env, ok := <-c.pending
+	if !ok {
+		return nil
+	}
+	clk.SyncTo(env.Arrival)
+	clk.Advance(c.hvm.cost.ContextSwitch) // partner wakes from its wait
+	clk.Advance(c.hvm.cost.EventChannelPost)
+	return env
+}
+
+// Complete finishes a received envelope: the partner posts the result,
+// pays its completion hypercall, and stamps the departure time.
+func (c *EventChannel) Complete(clk *cycles.Clock, env *Envelope, r Reply) {
+	cost := c.hvm.cost
+	clk.Advance(cost.EventChannelPost)
+	clk.Advance(cost.HypercallRoundTrip())
+	c.hvm.countExit("evtchan-complete")
+	r.Departure = clk.Now()
+	env.reply <- r
+}
+
+// Close tears the channel down (HRT thread exited and the partner
+// finished its cleanup).
+func (c *EventChannel) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.pending)
+	}
+}
+
+// ForwardCount reports how many envelopes of a kind have crossed.
+func (c *EventChannel) ForwardCount(k EventKind) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.forwarded[k]
+}
+
+// Cores returns the two endpoints' cores.
+func (c *EventChannel) Cores() (hrt, ros machine.CoreID) { return c.hrtCore, c.rosCore }
+
+// SyncChannel is the post-merger synchronous path: a cacheline-sized
+// protocol word at a user virtual address both worlds can see, polled by
+// the HRT, requiring no VMM intervention per call (section 4.3). Its
+// round-trip cost depends only on whether the two cores share a socket
+// (Figure 2's two synchronous rows).
+type SyncChannel struct {
+	hvm        *HVM
+	va         uint64
+	sameSocket bool
+
+	mu     sync.Mutex
+	serve  chan syncReq
+	closed bool
+	calls  uint64
+}
+
+type syncReq struct {
+	fn    uint64
+	args  []uint64
+	stamp cycles.Cycles
+	reply chan syncRep
+}
+
+type syncRep struct {
+	ret   uint64
+	stamp cycles.Cycles
+}
+
+// SetupSync is the single hypercall that initiates synchronous operation
+// after a merger: it tells the HRT which virtual address will be used for
+// future synchronization. Subsequent invocations bypass the VMM entirely.
+func (h *HVM) SetupSync(clk *cycles.Clock, va uint64, rosCore, hrtCore machine.CoreID) (*SyncChannel, error) {
+	if !h.Booted() {
+		return nil, fmt.Errorf("hvm: cannot set up sync channel before HRT boot")
+	}
+	h.hypercall(clk, "sync-setup")
+	return &SyncChannel{
+		hvm:        h,
+		va:         va,
+		sameSocket: h.machine.SameSocket(rosCore, hrtCore),
+		serve:      make(chan syncReq),
+	}, nil
+}
+
+// VA returns the synchronization address registered at setup.
+func (s *SyncChannel) VA() uint64 { return s.va }
+
+// Invoke calls function fn in the HRT synchronously from the ROS side:
+// the caller writes the request into the shared cacheline and spins; the
+// HRT's poller picks it up, runs the function, and writes the result back.
+// No hypercalls, no VMM exits.
+func (s *SyncChannel) Invoke(clk *cycles.Clock, fn uint64, args ...uint64) (uint64, error) {
+	cost := s.hvm.cost
+	line := cost.CachelineCrossSocket
+	if s.sameSocket {
+		line = cost.CachelineSameSocket
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("hvm: sync channel closed")
+	}
+	s.calls++
+	s.mu.Unlock()
+
+	// Request leg: half the fixed protocol overhead plus one cacheline
+	// transfer to the polling core.
+	clk.Advance(cost.SyncProtocolOverhead / 2)
+	req := syncReq{fn: fn, args: args, stamp: clk.Now() + line, reply: make(chan syncRep, 1)}
+	select {
+	case s.serve <- req:
+	default:
+		// No poller: the request waits in the line until one arrives.
+		s.serve <- req
+	}
+	rep := <-req.reply
+	clk.SyncTo(rep.stamp + line)
+	clk.Advance(cost.SyncProtocolOverhead - cost.SyncProtocolOverhead/2)
+	return rep.ret, nil
+}
+
+// Poll services one synchronous invocation on the HRT side using fns to
+// resolve function pointers; it blocks until a request arrives or the
+// channel closes (returning false).
+func (s *SyncChannel) Poll(clk *cycles.Clock, fns func(fn uint64, args []uint64) uint64) bool {
+	req, ok := <-s.serve
+	if !ok {
+		return false
+	}
+	clk.SyncTo(req.stamp)
+	ret := fns(req.fn, req.args)
+	req.reply <- syncRep{ret: ret, stamp: clk.Now()}
+	return true
+}
+
+// Close shuts the channel down.
+func (s *SyncChannel) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.serve)
+	}
+}
+
+// Calls reports how many synchronous invocations completed.
+func (s *SyncChannel) Calls() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}

@@ -1,0 +1,58 @@
+package hvm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"multiverse/internal/cycles"
+	"multiverse/internal/image"
+	"multiverse/internal/machine"
+)
+
+// Property: arbitrary function pointers, argument vectors, and return
+// values cross the shared data page intact through AsyncCall.
+func TestAsyncCallRoundTripProperty(t *testing.T) {
+	m, err := machine.New(machine.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(m, Config{ROSCores: []machine.CoreID{0}, HRTCores: []machine.CoreID{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An echo sink: returns fn xor'd with every argument, read back from
+	// the injected request (which itself was read from the shared page
+	// layout by the HVM).
+	type echoSink struct{ clk *cycles.Clock }
+	sink := &echoSink{clk: cycles.NewClock(0)}
+	h.RegisterBootHandler(func(BootInfo) (HRTSink, error) {
+		return sinkFunc(func(req *HRTRequest) {
+			ret := req.Fn
+			for _, a := range req.Args {
+				ret ^= a
+			}
+			go req.Complete(sink.clk, ret)
+		}), nil
+	})
+	clk := cycles.NewClock(0)
+	if err := h.InstallImage(clk, &image.Image{Name: "nk"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.BootHRT(clk); err != nil {
+		t.Fatal(err)
+	}
+
+	prop := func(fn uint64, a1, a2, a3 uint64) bool {
+		ret, err := h.AsyncCall(clk, fn, a1, a2, a3)
+		return err == nil && ret == fn^a1^a2^a3
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// sinkFunc adapts a function to HRTSink.
+type sinkFunc func(*HRTRequest)
+
+func (f sinkFunc) Inject(req *HRTRequest) { f(req) }

@@ -1,0 +1,229 @@
+// Package legion is a miniature task-parallel runtime in the mould of the
+// Legion runtime the paper hand-ported to Nautilus (section 2): a master
+// that launches data-parallel index tasks onto a pool of worker threads
+// with barrier-style completion, whose synchronization primitives are the
+// runtime's hot spot.
+//
+// The runtime is world-aware in exactly the way the HRT model encourages:
+// on a legacy OS its synchronization costs futex system calls and context
+// switches; inside an HRT the same operations bind to the AeroKernel's
+// event primitives, which are orders of magnitude cheaper (the source of
+// the paper's reported HPCG speedups — "up to 20% for the Intel Xeon Phi,
+// and up to 40%" on x64).
+package legion
+
+import (
+	"fmt"
+	"sync"
+
+	"multiverse/internal/core"
+	"multiverse/internal/cycles"
+	"multiverse/internal/linuxabi"
+	"multiverse/internal/scheme"
+)
+
+// syncCoster charges the cost of one blocking wait or one wakeup in
+// whatever world the runtime landed in.
+type syncCoster interface {
+	chargeWait(env core.Env)
+	chargeWake(env core.Env)
+	name() string
+}
+
+// futexCoster is the legacy path: every wait and wake crosses the kernel.
+type futexCoster struct{}
+
+func (futexCoster) chargeWait(env core.Env) {
+	env.Syscall(linuxabi.Call{Num: linuxabi.SysFutex})
+}
+func (futexCoster) chargeWake(env core.Env) {
+	env.Syscall(linuxabi.Call{Num: linuxabi.SysFutex})
+}
+func (futexCoster) name() string { return "futex" }
+
+// akEventCoster binds to the AeroKernel event functions through direct
+// calls — no kernel/user crossing, no forwarding.
+type akEventCoster struct {
+	ak scheme.AKCaller
+}
+
+func (c akEventCoster) chargeWait(env core.Env) {
+	if _, err := c.ak.AKCall("nk_event_wait"); err != nil {
+		panic(fmt.Sprintf("legion: nk_event_wait: %v", err))
+	}
+}
+func (c akEventCoster) chargeWake(env core.Env) {
+	if _, err := c.ak.AKCall("nk_event_signal"); err != nil {
+		panic(fmt.Sprintf("legion: nk_event_signal: %v", err))
+	}
+}
+func (akEventCoster) name() string { return "aerokernel-events" }
+
+// sem is a counting semaphore that carries virtual-time stamps: a Pend
+// synchronizes the waiter's clock past the corresponding Post.
+type sem struct {
+	ch chan cycles.Cycles
+}
+
+func newSem(capacity int) *sem { return &sem{ch: make(chan cycles.Cycles, capacity)} }
+
+func (s *sem) post(env core.Env, c syncCoster) {
+	c.chargeWake(env)
+	s.ch <- env.Clock().Now()
+}
+
+func (s *sem) pend(env core.Env, c syncCoster) {
+	c.chargeWait(env)
+	stamp := <-s.ch
+	env.Clock().SyncTo(stamp)
+}
+
+// task is one contiguous index-range assignment.
+type task struct {
+	fn    func(env core.Env, index int)
+	lo    int
+	hi    int
+	stamp cycles.Cycles
+}
+
+// worker is one runtime thread.
+type worker struct {
+	id   int
+	mail chan task
+	done *sem
+	env  core.Env
+	join core.PthreadJoin
+}
+
+// Runtime is the mini-Legion instance.
+type Runtime struct {
+	env     core.Env
+	coster  syncCoster
+	workers []*worker
+	done    *sem
+	mu      sync.Mutex
+	closed  bool
+
+	// Launches counts index launches (for reporting).
+	Launches int
+	// SyncOps counts semaphore operations (the hot-spot metric).
+	SyncOps int
+}
+
+// New starts a runtime with the given number of worker threads, created
+// through env's pthread surface (so under Multiverse each worker is an
+// HRT thread in its own execution group). The synchronization binding is
+// chosen by capability: AeroKernel events when available, futexes
+// otherwise — the runtime-developer decision the accelerator model is
+// about.
+func New(env core.Env, nworkers int) (*Runtime, error) {
+	if nworkers < 1 {
+		return nil, fmt.Errorf("legion: need at least one worker")
+	}
+	rt := &Runtime{env: env, done: newSem(nworkers)}
+	if ak, ok := env.(scheme.AKCaller); ok {
+		rt.coster = akEventCoster{ak: ak}
+	} else {
+		rt.coster = futexCoster{}
+	}
+
+	ready := make(chan *worker, nworkers)
+	for i := 0; i < nworkers; i++ {
+		w := &worker{id: i, mail: make(chan task, 1), done: rt.done}
+		join, err := env.PthreadCreate(func(wenv core.Env) {
+			w.env = wenv
+			ready <- w
+			for t := range w.mail {
+				wenv.Clock().SyncTo(t.stamp)
+				for idx := t.lo; idx < t.hi; idx++ {
+					t.fn(wenv, idx)
+				}
+				w.done.post(wenv, rt.coster)
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("legion: spawning worker %d: %w", i, err)
+		}
+		w.join = join
+		rt.workers = append(rt.workers, w)
+	}
+	for range rt.workers {
+		<-ready
+	}
+	return rt, nil
+}
+
+// SyncBinding names the synchronization primitive in use.
+func (rt *Runtime) SyncBinding() string { return rt.coster.name() }
+
+// Workers returns the pool size.
+func (rt *Runtime) Workers() int { return len(rt.workers) }
+
+// IndexLaunch runs fn(i) for every i in [0, n), split contiguously across
+// the workers, and blocks until all complete — one bulk-synchronous step.
+func (rt *Runtime) IndexLaunch(n int, fn func(env core.Env, index int)) {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		panic("legion: IndexLaunch after Shutdown")
+	}
+	rt.Launches++
+	rt.mu.Unlock()
+
+	p := len(rt.workers)
+	for i, w := range rt.workers {
+		lo := i * n / p
+		hi := (i + 1) * n / p
+		rt.coster.chargeWake(rt.env)
+		rt.countSync()
+		w.mail <- task{fn: fn, lo: lo, hi: hi, stamp: rt.env.Clock().Now()}
+	}
+	for range rt.workers {
+		rt.done.pend(rt.env, rt.coster)
+		rt.countSync()
+	}
+}
+
+func (rt *Runtime) countSync() {
+	rt.mu.Lock()
+	rt.SyncOps++
+	rt.mu.Unlock()
+}
+
+// Reduce runs fn over [0, n) with a per-worker float64 accumulator and
+// returns the sum — the dot-product shape every CG iteration needs twice.
+func (rt *Runtime) Reduce(n int, fn func(env core.Env, index int) float64) float64 {
+	partials := make([]float64, len(rt.workers))
+	p := len(rt.workers)
+	rt.IndexLaunch(p, func(env core.Env, widx int) {
+		lo := widx * n / p
+		hi := (widx + 1) * n / p
+		acc := 0.0
+		for i := lo; i < hi; i++ {
+			acc += fn(env, i)
+		}
+		partials[widx] = acc
+	})
+	total := 0.0
+	for _, v := range partials {
+		total += v
+	}
+	return total
+}
+
+// Shutdown stops the workers and joins them.
+func (rt *Runtime) Shutdown() {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return
+	}
+	rt.closed = true
+	rt.mu.Unlock()
+	for _, w := range rt.workers {
+		close(w.mail)
+	}
+	for _, w := range rt.workers {
+		w.join()
+	}
+}

@@ -1,0 +1,33 @@
+package linuxabi
+
+// Call is one system-call invocation in transportable form: the register
+// image (number + up to six arguments) plus an out-of-band payload slice
+// standing in for the bytes a real kernel would copy from user memory
+// (write buffers, path strings).
+//
+// The same structure crosses the Multiverse event channel when the HRT
+// forwards a system call to the ROS, which is why it lives in the ABI
+// package rather than in the ROS kernel.
+type Call struct {
+	Num  Sysno
+	Args [6]uint64
+	// Path carries the pathname argument for path-taking calls
+	// (open/stat/getcwd). A real kernel would read it from user memory at
+	// Args[0]; the simulation transports it explicitly.
+	Path string
+	// Data carries outbound payload bytes (write). Its length must agree
+	// with the size argument in Args.
+	Data []byte
+}
+
+// Result is the completion of a Call: the return register, an errno, and
+// any inbound payload bytes (read results) a real kernel would have copied
+// into user memory.
+type Result struct {
+	Ret  uint64
+	Err  Errno
+	Data []byte
+}
+
+// Ok reports whether the call succeeded.
+func (r Result) Ok() bool { return r.Err == OK }

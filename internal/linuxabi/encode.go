@@ -1,0 +1,73 @@
+package linuxabi
+
+import "encoding/binary"
+
+// The simulated kernel returns structured results (stat buffers, rusage)
+// as little-endian fixed layouts in Result.Data, standing in for the
+// copy-out a real kernel performs into user memory. These helpers are the
+// only encode/decode points, so both kernel and libc agree by
+// construction.
+
+// statEncodedSize is the wire size of an encoded Stat.
+const statEncodedSize = 4 * 8
+
+// EncodeStat serializes st.
+func EncodeStat(st Stat) []byte {
+	b := make([]byte, statEncodedSize)
+	binary.LittleEndian.PutUint64(b[0:], st.Ino)
+	binary.LittleEndian.PutUint64(b[8:], st.Size)
+	binary.LittleEndian.PutUint64(b[16:], uint64(st.Mode))
+	var d uint64
+	if st.IsDir {
+		d = 1
+	}
+	binary.LittleEndian.PutUint64(b[24:], d)
+	return b
+}
+
+// DecodeStat parses an encoded Stat.
+func DecodeStat(b []byte) (Stat, bool) {
+	if len(b) < statEncodedSize {
+		return Stat{}, false
+	}
+	return Stat{
+		Ino:   binary.LittleEndian.Uint64(b[0:]),
+		Size:  binary.LittleEndian.Uint64(b[8:]),
+		Mode:  uint32(binary.LittleEndian.Uint64(b[16:])),
+		IsDir: binary.LittleEndian.Uint64(b[24:]) != 0,
+	}, true
+}
+
+// rusageEncodedSize is the wire size of an encoded Rusage.
+const rusageEncodedSize = 10 * 8
+
+// EncodeRusage serializes ru.
+func EncodeRusage(ru Rusage) []byte {
+	b := make([]byte, rusageEncodedSize)
+	binary.LittleEndian.PutUint64(b[0:], uint64(ru.UserTime.Sec))
+	binary.LittleEndian.PutUint64(b[8:], uint64(ru.UserTime.Usec))
+	binary.LittleEndian.PutUint64(b[16:], uint64(ru.SysTime.Sec))
+	binary.LittleEndian.PutUint64(b[24:], uint64(ru.SysTime.Usec))
+	binary.LittleEndian.PutUint64(b[32:], ru.MaxRSSKb)
+	binary.LittleEndian.PutUint64(b[40:], ru.MinorFault)
+	binary.LittleEndian.PutUint64(b[48:], ru.MajorFault)
+	binary.LittleEndian.PutUint64(b[56:], ru.NVCSw)
+	binary.LittleEndian.PutUint64(b[64:], ru.NIvCSw)
+	return b
+}
+
+// DecodeRusage parses an encoded Rusage.
+func DecodeRusage(b []byte) (Rusage, bool) {
+	if len(b) < rusageEncodedSize {
+		return Rusage{}, false
+	}
+	return Rusage{
+		UserTime:   Timeval{Sec: int64(binary.LittleEndian.Uint64(b[0:])), Usec: int64(binary.LittleEndian.Uint64(b[8:]))},
+		SysTime:    Timeval{Sec: int64(binary.LittleEndian.Uint64(b[16:])), Usec: int64(binary.LittleEndian.Uint64(b[24:]))},
+		MaxRSSKb:   binary.LittleEndian.Uint64(b[32:]),
+		MinorFault: binary.LittleEndian.Uint64(b[40:]),
+		MajorFault: binary.LittleEndian.Uint64(b[48:]),
+		NVCSw:      binary.LittleEndian.Uint64(b[56:]),
+		NIvCSw:     binary.LittleEndian.Uint64(b[64:]),
+	}, true
+}

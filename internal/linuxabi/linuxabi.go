@@ -1,0 +1,238 @@
+// Package linuxabi defines the Linux x86-64 ABI surface the simulation
+// speaks: system call numbers, errno values, and the flag constants and
+// structures used by the runtime systems under test.
+//
+// The values match the real Linux x86-64 ABI so that traces produced by the
+// simulated ROS read like the paper's strace-derived tables (Figures 10-12).
+package linuxabi
+
+import "fmt"
+
+// Sysno is a Linux x86-64 system call number.
+type Sysno uint64
+
+// System call numbers (x86-64). Only the calls the paper's evaluation
+// exercises — plus the "disallowed functionality" set from section 4.2 —
+// are defined.
+const (
+	SysRead         Sysno = 0
+	SysWrite        Sysno = 1
+	SysOpen         Sysno = 2
+	SysClose        Sysno = 3
+	SysStat         Sysno = 4
+	SysFstat        Sysno = 5
+	SysLseek        Sysno = 8
+	SysMmap         Sysno = 9
+	SysMprotect     Sysno = 10
+	SysMunmap       Sysno = 11
+	SysBrk          Sysno = 12
+	SysRtSigaction  Sysno = 13
+	SysRtSigreturn  Sysno = 15
+	SysIoctl        Sysno = 16
+	SysPoll         Sysno = 7
+	SysSetitimer    Sysno = 38
+	SysGetpid       Sysno = 39
+	SysClone        Sysno = 56
+	SysFork         Sysno = 57
+	SysExecve       Sysno = 59
+	SysExit         Sysno = 60
+	SysUname        Sysno = 63
+	SysFutex        Sysno = 202
+	SysGetdents64   Sysno = 217
+	SysGetcwd       Sysno = 79
+	SysGettimeofday Sysno = 96
+	SysGetrusage    Sysno = 98
+	SysTimerCreate  Sysno = 222
+	SysExitGroup    Sysno = 231
+	SysNanosleep    Sysno = 35
+	SysClockGettime Sysno = 228
+)
+
+var sysNames = map[Sysno]string{
+	SysRead:         "read",
+	SysWrite:        "write",
+	SysOpen:         "open",
+	SysClose:        "close",
+	SysStat:         "stat",
+	SysFstat:        "fstat",
+	SysLseek:        "lseek",
+	SysMmap:         "mmap",
+	SysMprotect:     "mprotect",
+	SysMunmap:       "munmap",
+	SysBrk:          "brk",
+	SysRtSigaction:  "rt_sigaction",
+	SysRtSigreturn:  "rt_sigreturn",
+	SysIoctl:        "ioctl",
+	SysNanosleep:    "nanosleep",
+	SysClockGettime: "clock_gettime",
+	SysPoll:         "poll",
+	SysSetitimer:    "setitimer",
+	SysGetpid:       "getpid",
+	SysClone:        "clone",
+	SysFork:         "fork",
+	SysExecve:       "execve",
+	SysExit:         "exit",
+	SysUname:        "uname",
+	SysFutex:        "futex",
+	SysGetdents64:   "getdents64",
+	SysGetcwd:       "getcwd",
+	SysGettimeofday: "gettimeofday",
+	SysGetrusage:    "getrusage",
+	SysTimerCreate:  "timer_create",
+	SysExitGroup:    "exit_group",
+}
+
+// String returns the conventional name of the system call.
+func (s Sysno) String() string {
+	if n, ok := sysNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("sys_%d", uint64(s))
+}
+
+// Errno is a Linux error number. Zero means success.
+type Errno uint64
+
+// Errno values used by the simulation.
+const (
+	OK      Errno = 0
+	EPERM   Errno = 1
+	ENOENT  Errno = 2
+	EINTR   Errno = 4
+	EBADF   Errno = 9
+	ENOMEM  Errno = 12
+	EACCES  Errno = 13
+	EFAULT  Errno = 14
+	EEXIST  Errno = 17
+	ENOTDIR Errno = 20
+	EISDIR  Errno = 21
+	EINVAL  Errno = 22
+	EMFILE  Errno = 24
+	ENOSPC  Errno = 28
+	ENOSYS  Errno = 38
+)
+
+var errNames = map[Errno]string{
+	OK:      "OK",
+	EPERM:   "EPERM",
+	ENOENT:  "ENOENT",
+	EINTR:   "EINTR",
+	EBADF:   "EBADF",
+	ENOMEM:  "ENOMEM",
+	EACCES:  "EACCES",
+	EFAULT:  "EFAULT",
+	EEXIST:  "EEXIST",
+	ENOTDIR: "ENOTDIR",
+	EISDIR:  "EISDIR",
+	EINVAL:  "EINVAL",
+	EMFILE:  "EMFILE",
+	ENOSPC:  "ENOSPC",
+	ENOSYS:  "ENOSYS",
+}
+
+// Error implements the error interface so syscall implementations can
+// return an Errno directly where convenient.
+func (e Errno) Error() string {
+	if n, ok := errNames[e]; ok {
+		return n
+	}
+	return fmt.Sprintf("errno(%d)", uint64(e))
+}
+
+// Memory protection bits for mmap/mprotect.
+const (
+	ProtNone  = 0x0
+	ProtRead  = 0x1
+	ProtWrite = 0x2
+	ProtExec  = 0x4
+)
+
+// mmap flags.
+const (
+	MapShared    = 0x01
+	MapPrivate   = 0x02
+	MapFixed     = 0x10
+	MapAnonymous = 0x20
+)
+
+// open flags.
+const (
+	ORdonly = 0x0
+	OWronly = 0x1
+	ORdwr   = 0x2
+	OCreat  = 0x40
+	OTrunc  = 0x200
+	OAppend = 0x400
+)
+
+// Signal numbers.
+type Signal int
+
+const (
+	SIGINT    Signal = 2
+	SIGKILL   Signal = 9
+	SIGSEGV   Signal = 11
+	SIGALRM   Signal = 14
+	SIGTERM   Signal = 15
+	SIGCHLD   Signal = 17
+	SIGVTALRM Signal = 26
+	SIGPROF   Signal = 27
+)
+
+var sigNames = map[Signal]string{
+	SIGINT:    "SIGINT",
+	SIGKILL:   "SIGKILL",
+	SIGSEGV:   "SIGSEGV",
+	SIGALRM:   "SIGALRM",
+	SIGTERM:   "SIGTERM",
+	SIGCHLD:   "SIGCHLD",
+	SIGVTALRM: "SIGVTALRM",
+	SIGPROF:   "SIGPROF",
+}
+
+// String returns the conventional signal name.
+func (s Signal) String() string {
+	if n, ok := sigNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("signal(%d)", int(s))
+}
+
+// Stat is the subset of struct stat the simulation's programs consume.
+type Stat struct {
+	Ino   uint64
+	Size  uint64
+	Mode  uint32
+	IsDir bool
+}
+
+// Timeval mirrors struct timeval.
+type Timeval struct {
+	Sec  int64
+	Usec int64
+}
+
+// Rusage mirrors the fields of struct rusage that Figure 10 reports.
+type Rusage struct {
+	UserTime   Timeval
+	SysTime    Timeval
+	MaxRSSKb   uint64
+	MinorFault uint64
+	MajorFault uint64
+	NVCSw      uint64 // voluntary context switches
+	NIvCSw     uint64 // involuntary context switches
+}
+
+// SigactionFlags subset.
+const (
+	SAOnStack = 0x08000000
+	SARestart = 0x10000000
+	SASiginfo = 0x00000004
+)
+
+// ITimer kinds for setitimer.
+const (
+	ITimerReal    = 0
+	ITimerVirtual = 1
+	ITimerProf    = 2
+)

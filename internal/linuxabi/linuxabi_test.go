@@ -1,0 +1,121 @@
+package linuxabi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSysnoNames(t *testing.T) {
+	// Numbers must match the real x86-64 ABI so traces read like the
+	// paper's.
+	cases := map[Sysno]string{
+		0:   "read",
+		1:   "write",
+		2:   "open",
+		9:   "mmap",
+		10:  "mprotect",
+		11:  "munmap",
+		13:  "rt_sigaction",
+		15:  "rt_sigreturn",
+		39:  "getpid",
+		96:  "gettimeofday",
+		98:  "getrusage",
+		231: "exit_group",
+	}
+	for num, want := range cases {
+		if num.String() != want {
+			t.Errorf("sysno %d = %q, want %q", uint64(num), num.String(), want)
+		}
+	}
+	if Sysno(9999).String() != "sys_9999" {
+		t.Errorf("unknown sysno renders %q", Sysno(9999).String())
+	}
+}
+
+func TestErrnoError(t *testing.T) {
+	if ENOENT.Error() != "ENOENT" {
+		t.Errorf("ENOENT = %q", ENOENT.Error())
+	}
+	if Errno(999).Error() == "" {
+		t.Error("unknown errno should render")
+	}
+	var err error = EINVAL // Errno satisfies error
+	if err.Error() != "EINVAL" {
+		t.Errorf("as error: %q", err.Error())
+	}
+}
+
+func TestSignalString(t *testing.T) {
+	if SIGSEGV.String() != "SIGSEGV" {
+		t.Errorf("SIGSEGV = %q", SIGSEGV.String())
+	}
+	if SIGVTALRM.String() != "SIGVTALRM" {
+		t.Errorf("SIGVTALRM = %q", SIGVTALRM.String())
+	}
+}
+
+func TestResultOk(t *testing.T) {
+	if !(Result{Err: OK}).Ok() {
+		t.Error("OK result not ok")
+	}
+	if (Result{Err: ENOENT}).Ok() {
+		t.Error("ENOENT result ok")
+	}
+}
+
+func TestStatRoundTrip(t *testing.T) {
+	st := Stat{Ino: 7, Size: 1234, Mode: 0o100644, IsDir: false}
+	got, ok := DecodeStat(EncodeStat(st))
+	if !ok || got != st {
+		t.Errorf("round trip = %+v, %v", got, ok)
+	}
+	if _, ok := DecodeStat([]byte{1, 2}); ok {
+		t.Error("short stat decoded")
+	}
+}
+
+func TestRusageRoundTrip(t *testing.T) {
+	ru := Rusage{
+		UserTime:   Timeval{Sec: 1, Usec: 500000},
+		SysTime:    Timeval{Sec: 0, Usec: 250},
+		MaxRSSKb:   81920,
+		MinorFault: 31082,
+		NVCSw:      491,
+		NIvCSw:     12,
+	}
+	got, ok := DecodeRusage(EncodeRusage(ru))
+	if !ok || got != ru {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, ok := DecodeRusage(nil); ok {
+		t.Error("nil rusage decoded")
+	}
+}
+
+// Properties: encode/decode round-trips for arbitrary values.
+func TestEncodeProperties(t *testing.T) {
+	statProp := func(ino, size uint64, mode uint32, dir bool) bool {
+		st := Stat{Ino: ino, Size: size, Mode: mode, IsDir: dir}
+		got, ok := DecodeStat(EncodeStat(st))
+		return ok && got == st
+	}
+	if err := quick.Check(statProp, nil); err != nil {
+		t.Error(err)
+	}
+	ruProp := func(us, ss int64, rss, minf, majf, nv, niv uint64) bool {
+		ru := Rusage{
+			UserTime:   Timeval{Sec: us % 1e6, Usec: us % 1e6},
+			SysTime:    Timeval{Sec: ss % 1e6, Usec: ss % 1e6},
+			MaxRSSKb:   rss,
+			MinorFault: minf,
+			MajorFault: majf,
+			NVCSw:      nv,
+			NIvCSw:     niv,
+		}
+		got, ok := DecodeRusage(EncodeRusage(ru))
+		return ok && got == ru
+	}
+	if err := quick.Check(ruProp, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+package machine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RedZoneSize is the System V x86-64 red zone: 128 bytes below RSP that
+// leaf functions may use without adjusting the stack pointer. Code compiled
+// for user space (like the legacy libraries a hybridized runtime drags
+// along) assumes nothing asynchronously writes there — an assumption
+// kernel-mode interrupt delivery breaks unless the kernel switches stacks
+// (IST) or pulls RSP down first (section 4.4).
+const RedZoneSize = 128
+
+// frameBytes is the size of the state an interrupt pushes (SS, RSP,
+// RFLAGS, CS, RIP, error code — 6 words).
+const frameBytes = 48
+
+// Stack models one execution stack as real bytes, so red-zone clobbering
+// by interrupt frames is observable rather than hypothetical.
+type Stack struct {
+	mu   sync.Mutex
+	data []byte
+	sp   int // offset of the stack pointer within data; grows downward
+}
+
+// NewStack allocates a stack of the given size with RSP at the top.
+func NewStack(size int) *Stack {
+	if size < frameBytes+RedZoneSize {
+		size = frameBytes + RedZoneSize
+	}
+	return &Stack{data: make([]byte, size), sp: size}
+}
+
+// SP returns the current stack-pointer offset.
+func (s *Stack) SP() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sp
+}
+
+// PullDown moves RSP down by n bytes and returns the new offset — the
+// Nautilus syscall-stub entry move that protects the red zone when a
+// hardware stack switch is unavailable (SYSCALL cannot use the IST).
+func (s *Stack) PullDown(n int) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sp-n < 0 {
+		return 0, fmt.Errorf("machine: stack overflow pulling down %d bytes", n)
+	}
+	s.sp -= n
+	return s.sp, nil
+}
+
+// Release moves RSP back up by n bytes (stub exit).
+func (s *Stack) Release(n int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sp+n > len(s.data) {
+		return fmt.Errorf("machine: stack underflow releasing %d bytes", n)
+	}
+	s.sp += n
+	return nil
+}
+
+// WriteRedZone stores b into the red zone at the given offset below RSP
+// (0 <= off < RedZoneSize), the way a compiled leaf function would.
+func (s *Stack) WriteRedZone(off int, b byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off < 0 || off >= RedZoneSize {
+		return fmt.Errorf("machine: red zone offset %d out of range", off)
+	}
+	idx := s.sp - 1 - off
+	if idx < 0 {
+		return fmt.Errorf("machine: red zone write below stack")
+	}
+	s.data[idx] = b
+	return nil
+}
+
+// ReadRedZone loads the byte at the given offset below RSP.
+func (s *Stack) ReadRedZone(off int) (byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off < 0 || off >= RedZoneSize {
+		return 0, fmt.Errorf("machine: red zone offset %d out of range", off)
+	}
+	idx := s.sp - 1 - off
+	if idx < 0 {
+		return 0, fmt.Errorf("machine: red zone read below stack")
+	}
+	return s.data[idx], nil
+}
+
+// PushFrame pushes an interrupt frame at the current RSP, overwriting
+// whatever lies just below it — including a red zone, if this stack is the
+// interrupted thread's own stack. The frame bytes are a recognizable
+// pattern so tests can observe the clobbering.
+func (s *Stack) PushFrame(f *InterruptFrame) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lo := s.sp - frameBytes
+	if lo < 0 {
+		lo = 0
+	}
+	for i := lo; i < s.sp; i++ {
+		s.data[i] = 0xCC ^ byte(f.Vector)
+	}
+	s.sp = lo
+}
+
+// PopFrame unwinds the most recent interrupt frame (iretq).
+func (s *Stack) PopFrame() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sp += frameBytes
+	if s.sp > len(s.data) {
+		s.sp = len(s.data)
+	}
+}

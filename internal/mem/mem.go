@@ -1,0 +1,258 @@
+// Package mem models the physical memory of the simulated machine.
+//
+// Physical memory is a set of 4 KiB frames grouped into NUMA zones. The HVM
+// partitions frames between the ROS and the HRT (the HRT additionally sees
+// all ROS frames, per the paper's HVM design), and the paging package builds
+// page tables out of frames allocated here.
+//
+// Frame contents are materialized lazily: most frames in the simulation only
+// need identity and accounting, not bytes. Frames that back page tables or
+// shared protocol pages allocate real storage on first touch.
+package mem
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PageSize is the only page size the simulation uses (4 KiB), matching the
+// paging structures the paper manipulates (PML4 entries cover 512 GiB each;
+// leaf mappings are 4 KiB).
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// Frame is a physical frame number. The physical address of a frame is
+// Frame << PageShift.
+type Frame uint64
+
+// Addr returns the base physical address of the frame.
+func (f Frame) Addr() uint64 { return uint64(f) << PageShift }
+
+// FrameOf returns the frame containing the physical address.
+func FrameOf(pa uint64) Frame { return Frame(pa >> PageShift) }
+
+// NUMAZone identifies a NUMA zone (one per socket on the simulated
+// machine).
+type NUMAZone int
+
+// Zone describes one contiguous physical memory region belonging to a NUMA
+// zone.
+type Zone struct {
+	ID    NUMAZone
+	Start Frame // first frame
+	Count uint64
+}
+
+// End returns one past the last frame of the zone.
+func (z Zone) End() Frame { return z.Start + Frame(z.Count) }
+
+// PhysMem is the machine's physical memory: a frame allocator over a set of
+// NUMA zones plus lazily materialized frame contents.
+type PhysMem struct {
+	mu    sync.Mutex
+	zones []Zone
+	free  map[NUMAZone][]Frame
+	used  map[Frame]string // frame -> owner tag, for accounting and leak checks
+	data  map[Frame][]byte // materialized contents (page tables, shared pages)
+}
+
+// New builds physical memory with the given zones. Zones must not overlap;
+// New panics on malformed configuration since it reflects a programming
+// error in machine construction, not a runtime condition.
+func New(zones ...Zone) *PhysMem {
+	pm := &PhysMem{
+		free: make(map[NUMAZone][]Frame),
+		used: make(map[Frame]string),
+		data: make(map[Frame][]byte),
+	}
+	for _, z := range zones {
+		if z.Count == 0 {
+			panic(fmt.Sprintf("mem: zone %d has zero frames", z.ID))
+		}
+		for _, prev := range pm.zones {
+			if z.Start < prev.End() && prev.Start < z.End() {
+				panic(fmt.Sprintf("mem: zones %d and %d overlap", prev.ID, z.ID))
+			}
+		}
+		pm.zones = append(pm.zones, z)
+		frames := make([]Frame, 0, z.Count)
+		for f := z.Start; f < z.End(); f++ {
+			frames = append(frames, f)
+		}
+		pm.free[z.ID] = frames
+	}
+	return pm
+}
+
+// NewFlat builds a single-zone physical memory of n frames starting at
+// frame 0, for tests and small fixtures.
+func NewFlat(n uint64) *PhysMem {
+	return New(Zone{ID: 0, Start: 0, Count: n})
+}
+
+// Zones returns a copy of the zone table.
+func (pm *PhysMem) Zones() []Zone {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	out := make([]Zone, len(pm.zones))
+	copy(out, pm.zones)
+	return out
+}
+
+// Alloc takes one free frame from the given zone, tagging it with owner.
+func (pm *PhysMem) Alloc(zone NUMAZone, owner string) (Frame, error) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	frames := pm.free[zone]
+	if len(frames) == 0 {
+		return 0, fmt.Errorf("mem: zone %d exhausted (owner %q)", zone, owner)
+	}
+	f := frames[len(frames)-1]
+	pm.free[zone] = frames[:len(frames)-1]
+	pm.used[f] = owner
+	return f, nil
+}
+
+// AllocN allocates n frames from the zone. On failure nothing is leaked.
+func (pm *PhysMem) AllocN(zone NUMAZone, n int, owner string) ([]Frame, error) {
+	out := make([]Frame, 0, n)
+	for i := 0; i < n; i++ {
+		f, err := pm.Alloc(zone, owner)
+		if err != nil {
+			pm.FreeAll(out)
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// Free returns a frame to its zone's free list and drops its contents.
+func (pm *PhysMem) Free(f Frame) error {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	if _, ok := pm.used[f]; !ok {
+		return fmt.Errorf("mem: double free of frame %#x", uint64(f))
+	}
+	delete(pm.used, f)
+	delete(pm.data, f)
+	z, ok := pm.zoneOf(f)
+	if !ok {
+		return fmt.Errorf("mem: frame %#x outside all zones", uint64(f))
+	}
+	pm.free[z.ID] = append(pm.free[z.ID], f)
+	return nil
+}
+
+// FreeAll frees every frame in the slice, ignoring individual errors; used
+// for cleanup paths.
+func (pm *PhysMem) FreeAll(frames []Frame) {
+	for _, f := range frames {
+		_ = pm.Free(f)
+	}
+}
+
+// Owner reports the owner tag of an allocated frame.
+func (pm *PhysMem) Owner(f Frame) (string, bool) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	o, ok := pm.used[f]
+	return o, ok
+}
+
+// InUse returns the number of allocated frames.
+func (pm *PhysMem) InUse() int {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return len(pm.used)
+}
+
+// FreeCount returns the number of free frames in the zone.
+func (pm *PhysMem) FreeCount(zone NUMAZone) int {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return len(pm.free[zone])
+}
+
+// Page returns the materialized 4 KiB contents of an allocated frame,
+// allocating zeroed storage on first touch. The returned slice is shared
+// with the frame; callers that access it concurrently must synchronize
+// themselves (ReadU64/WriteU64 do, and are the right interface for
+// protocol pages).
+func (pm *PhysMem) Page(f Frame) ([]byte, error) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return pm.pageLocked(f)
+}
+
+func (pm *PhysMem) pageLocked(f Frame) ([]byte, error) {
+	if _, ok := pm.used[f]; !ok {
+		return nil, fmt.Errorf("mem: access to unallocated frame %#x", uint64(f))
+	}
+	p, ok := pm.data[f]
+	if !ok {
+		p = make([]byte, PageSize)
+		pm.data[f] = p
+	}
+	return p, nil
+}
+
+// ReadU64 reads a 64-bit little-endian word at a physical address. The
+// address must lie within an allocated frame.
+func (pm *PhysMem) ReadU64(pa uint64) (uint64, error) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	p, off, err := pm.pageAtLocked(pa, 8)
+	if err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(p[off+i])
+	}
+	return v, nil
+}
+
+// WriteU64 writes a 64-bit little-endian word at a physical address.
+func (pm *PhysMem) WriteU64(pa uint64, v uint64) error {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	p, off, err := pm.pageAtLocked(pa, 8)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 8; i++ {
+		p[off+i] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+func (pm *PhysMem) pageAtLocked(pa uint64, size int) ([]byte, int, error) {
+	off := int(pa & (PageSize - 1))
+	if off+size > PageSize {
+		return nil, 0, fmt.Errorf("mem: %d-byte access at %#x crosses a page boundary", size, pa)
+	}
+	p, err := pm.pageLocked(FrameOf(pa))
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, off, nil
+}
+
+func (pm *PhysMem) zoneOf(f Frame) (Zone, bool) {
+	for _, z := range pm.zones {
+		if f >= z.Start && f < z.End() {
+			return z, true
+		}
+	}
+	return Zone{}, false
+}
+
+// ZoneOf reports which zone a frame belongs to.
+func (pm *PhysMem) ZoneOf(f Frame) (Zone, bool) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return pm.zoneOf(f)
+}

@@ -1,0 +1,169 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameAddr(t *testing.T) {
+	if Frame(1).Addr() != 4096 {
+		t.Errorf("frame 1 addr = %#x", Frame(1).Addr())
+	}
+	if FrameOf(0x5123) != 5 {
+		t.Errorf("FrameOf(0x5123) = %d", FrameOf(0x5123))
+	}
+}
+
+func TestAllocFree(t *testing.T) {
+	pm := NewFlat(4)
+	var frames []Frame
+	for i := 0; i < 4; i++ {
+		f, err := pm.Alloc(0, "test")
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		frames = append(frames, f)
+	}
+	if _, err := pm.Alloc(0, "test"); err == nil {
+		t.Error("alloc on exhausted zone should fail")
+	}
+	if pm.InUse() != 4 {
+		t.Errorf("InUse = %d", pm.InUse())
+	}
+	for _, f := range frames {
+		if err := pm.Free(f); err != nil {
+			t.Fatalf("free: %v", err)
+		}
+	}
+	if pm.InUse() != 0 {
+		t.Errorf("InUse after free = %d", pm.InUse())
+	}
+	if err := pm.Free(frames[0]); err == nil {
+		t.Error("double free should fail")
+	}
+}
+
+func TestAllocNRollsBack(t *testing.T) {
+	pm := NewFlat(3)
+	if _, err := pm.AllocN(0, 5, "big"); err == nil {
+		t.Fatal("AllocN beyond capacity should fail")
+	}
+	if pm.InUse() != 0 {
+		t.Errorf("failed AllocN leaked %d frames", pm.InUse())
+	}
+	fs, err := pm.AllocN(0, 3, "ok")
+	if err != nil {
+		t.Fatalf("AllocN: %v", err)
+	}
+	if len(fs) != 3 {
+		t.Errorf("got %d frames", len(fs))
+	}
+}
+
+func TestZones(t *testing.T) {
+	pm := New(
+		Zone{ID: 0, Start: 0, Count: 2},
+		Zone{ID: 1, Start: 2, Count: 2},
+	)
+	f0, err := pm.Alloc(0, "z0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := pm.Alloc(1, "z1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	z0, ok := pm.ZoneOf(f0)
+	if !ok || z0.ID != 0 {
+		t.Errorf("frame %d in zone %v", f0, z0.ID)
+	}
+	z1, ok := pm.ZoneOf(f1)
+	if !ok || z1.ID != 1 {
+		t.Errorf("frame %d in zone %v", f1, z1.ID)
+	}
+	if pm.FreeCount(0) != 1 || pm.FreeCount(1) != 1 {
+		t.Errorf("free counts = %d, %d", pm.FreeCount(0), pm.FreeCount(1))
+	}
+}
+
+func TestOverlappingZonesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("overlapping zones should panic")
+		}
+	}()
+	New(Zone{ID: 0, Start: 0, Count: 4}, Zone{ID: 1, Start: 2, Count: 4})
+}
+
+func TestOwnerTag(t *testing.T) {
+	pm := NewFlat(2)
+	f, _ := pm.Alloc(0, "page-table")
+	owner, ok := pm.Owner(f)
+	if !ok || owner != "page-table" {
+		t.Errorf("owner = %q, %v", owner, ok)
+	}
+}
+
+func TestReadWriteU64(t *testing.T) {
+	pm := NewFlat(2)
+	f, _ := pm.Alloc(0, "data")
+	pa := f.Addr() + 64
+	if err := pm.WriteU64(pa, 0xdeadbeefcafef00d); err != nil {
+		t.Fatal(err)
+	}
+	v, err := pm.ReadU64(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xdeadbeefcafef00d {
+		t.Errorf("ReadU64 = %#x", v)
+	}
+	// Unallocated frame access fails.
+	if _, err := pm.ReadU64(1 << 30); err == nil {
+		t.Error("read of unallocated frame should fail")
+	}
+	// Cross-page access fails.
+	if err := pm.WriteU64(f.Addr()+4090, 1); err == nil {
+		t.Error("page-crossing write should fail")
+	}
+}
+
+func TestFreeDropsContents(t *testing.T) {
+	pm := NewFlat(1)
+	f, _ := pm.Alloc(0, "a")
+	if err := pm.WriteU64(f.Addr(), 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.Free(f); err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := pm.Alloc(0, "b")
+	if f2 != f {
+		t.Fatalf("expected frame reuse")
+	}
+	v, err := pm.ReadU64(f2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("reallocated frame not zeroed: %#x", v)
+	}
+}
+
+// Property: WriteU64 then ReadU64 round-trips for any aligned offset.
+func TestReadWriteRoundTripProperty(t *testing.T) {
+	pm := NewFlat(4)
+	f, _ := pm.Alloc(0, "prop")
+	prop := func(off uint16, v uint64) bool {
+		o := uint64(off) % (PageSize - 8)
+		pa := f.Addr() + o
+		if err := pm.WriteU64(pa, v); err != nil {
+			return false
+		}
+		got, err := pm.ReadU64(pa)
+		return err == nil && got == v
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

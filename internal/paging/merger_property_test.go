@@ -1,0 +1,66 @@
+package paging
+
+import (
+	"testing"
+	"testing/quick"
+
+	"multiverse/internal/mem"
+)
+
+// Property: after a merger, every lower-half mapping present in the ROS
+// space resolves identically through the HRT space, and higher-half HRT
+// mappings are untouched.
+func TestMergerVisibilityProperty(t *testing.T) {
+	pm := mem.NewFlat(4096)
+	rosAS, err := NewAddressSpace(pm, 0, "ros")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hrtAS, err := NewAddressSpace(pm, 0, "hrt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A higher-half HRT mapping that must survive mergers.
+	kframe, _ := pm.Alloc(0, "kernel")
+	kva := HigherHalfMin + 0x1000
+	if err := hrtAS.Map(kva, kframe, PteWrite); err != nil {
+		t.Fatal(err)
+	}
+
+	prop := func(rawVAs []uint32) bool {
+		// Map a batch of arbitrary lower-half pages in the ROS.
+		var vas []uint64
+		for _, raw := range rawVAs {
+			if len(vas) >= 8 {
+				break
+			}
+			va := (uint64(raw) << 12) % (LowerHalfMax &^ 0xfff)
+			f, err := pm.Alloc(0, "page")
+			if err != nil {
+				return false
+			}
+			if err := rosAS.Map(va, f, PteUser|PteWrite); err != nil {
+				// Already mapped from a previous iteration: fine.
+				_ = pm.Free(f)
+				continue
+			}
+			vas = append(vas, va)
+		}
+		if _, err := hrtAS.CopyLowerHalfFrom(rosAS); err != nil {
+			return false
+		}
+		for _, va := range vas {
+			rosPTE, _ := rosAS.Lookup(va)
+			hrtPTE, _ := hrtAS.Lookup(va)
+			if rosPTE != hrtPTE || hrtPTE&PtePresent == 0 {
+				return false
+			}
+		}
+		// Higher half untouched.
+		kPTE, _ := hrtAS.Lookup(kva)
+		return kPTE&PtePresent != 0 && mem.FrameOf(kPTE&0x000ffffffffff000) == kframe
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

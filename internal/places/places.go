@@ -1,0 +1,65 @@
+// Package places glues the runtime's place parallelism to Multiverse
+// execution environments: each place spawned from Scheme runs a fresh
+// interpreter instance on a thread created through the environment's
+// pthread surface — natively an ordinary Linux thread, under Multiverse a
+// new execution group (top-level HRT thread + ROS partner) through the
+// pthread_create override.
+package places
+
+import (
+	"fmt"
+	"sync"
+
+	"multiverse/internal/core"
+	"multiverse/internal/scheme"
+)
+
+// Attach enables (place-spawn ...) / (place-wait ...) in the engine,
+// backed by env's thread creation.
+func Attach(eng *scheme.Engine, env core.Env) {
+	eng.SetPlaceSpawner(func(src string) (func() (string, error), error) {
+		var (
+			mu     sync.Mutex
+			result string
+			perr   error
+		)
+		join, err := env.PthreadCreate(func(child core.Env) {
+			childEng, cerr := scheme.NewEngine(child)
+			if cerr != nil {
+				mu.Lock()
+				perr = fmt.Errorf("place boot: %w", cerr)
+				mu.Unlock()
+				return
+			}
+			v, cerr := childEng.RunString(src)
+			childEng.Shutdown()
+			mu.Lock()
+			defer mu.Unlock()
+			if cerr != nil {
+				perr = cerr
+				return
+			}
+			result = scheme.WriteString(v)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return func() (string, error) {
+			join()
+			mu.Lock()
+			defer mu.Unlock()
+			return result, perr
+		}, nil
+	})
+}
+
+// NewEngine builds an engine with places attached — the standard entry
+// point for hosts that want full runtime functionality.
+func NewEngine(env core.Env) (*scheme.Engine, error) {
+	eng, err := scheme.NewEngine(env)
+	if err != nil {
+		return nil, err
+	}
+	Attach(eng, env)
+	return eng, nil
+}

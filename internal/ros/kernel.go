@@ -1,0 +1,176 @@
+// Package ros models the Regular Operating System — the legacy Linux-like
+// kernel that runs on the ROS partition of the HVM (or on the bare machine
+// in the paper's "Native" configuration).
+//
+// It is a deliberately small but real kernel: processes own page tables
+// built by internal/paging, memory is demand-paged out of the machine's
+// physical frames, system calls are dispatched by Linux x86-64 numbers,
+// signals are delivered to registered user handlers, and every interaction
+// is accounted the way Figure 10's utilization table needs (system calls,
+// user/system time, max resident set, page faults, context switches).
+package ros
+
+import (
+	"fmt"
+	"sync"
+
+	"multiverse/internal/cycles"
+	"multiverse/internal/machine"
+	"multiverse/internal/mem"
+	"multiverse/internal/vfs"
+)
+
+// World distinguishes how the ROS itself is hosted: on bare metal
+// ("Native" in Figure 13) or as an HVM guest ("Virtual"), which adds
+// amortized exit overheads to kernel entries and page faults.
+type World int
+
+const (
+	// Native: the ROS runs on bare metal.
+	Native World = iota
+	// Virtual: the ROS runs as an HVM guest.
+	Virtual
+)
+
+// String names the world.
+func (w World) String() string {
+	if w == Native {
+		return "native"
+	}
+	return "virtual"
+}
+
+// Kernel is the ROS kernel instance.
+type Kernel struct {
+	machine *machine.Machine
+	cost    *cycles.CostModel
+	world   World
+	cores   []machine.CoreID
+	fs      *vfs.FS
+
+	mu      sync.Mutex
+	nextPid int
+	procs   map[int]*Process
+}
+
+// NewKernel boots a ROS on the given cores of the machine. fs may be nil,
+// in which case an empty filesystem is created.
+func NewKernel(m *machine.Machine, world World, cores []machine.CoreID, fs *vfs.FS) (*Kernel, error) {
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("ros: kernel needs at least one core")
+	}
+	if fs == nil {
+		fs = vfs.New()
+	}
+	k := &Kernel{
+		machine: m,
+		cost:    m.Cost,
+		world:   world,
+		cores:   append([]machine.CoreID(nil), cores...),
+		fs:      fs,
+		nextPid: 100,
+		procs:   make(map[int]*Process),
+	}
+	return k, nil
+}
+
+// FS returns the kernel's filesystem.
+func (k *Kernel) FS() *vfs.FS { return k.fs }
+
+// World reports the hosting world.
+func (k *Kernel) World() World { return k.world }
+
+// Cost returns the cost model.
+func (k *Kernel) Cost() *cycles.CostModel { return k.cost }
+
+// Machine returns the hardware.
+func (k *Kernel) Machine() *machine.Machine { return k.machine }
+
+// Cores returns the ROS partition.
+func (k *Kernel) Cores() []machine.CoreID {
+	return append([]machine.CoreID(nil), k.cores...)
+}
+
+// BootCore returns the first ROS core (where processes start).
+func (k *Kernel) BootCore() machine.CoreID { return k.cores[0] }
+
+// Zone returns the NUMA zone the kernel allocates process memory from
+// (local to its boot core — the HVM maps ROS memory to ROS-local zones).
+func (k *Kernel) Zone() mem.NUMAZone { return k.machine.ZoneOfCore(k.cores[0]) }
+
+// Spawn creates a process with an empty address space and a main thread on
+// the boot core. name is diagnostic (the executable name).
+func (k *Kernel) Spawn(name string) (*Process, error) {
+	k.mu.Lock()
+	pid := k.nextPid
+	k.nextPid++
+	k.mu.Unlock()
+
+	p, err := newProcess(k, pid, name)
+	if err != nil {
+		return nil, err
+	}
+	k.mu.Lock()
+	k.procs[pid] = p
+	k.mu.Unlock()
+
+	// The boot core runs this process; load its page tables.
+	core := k.machine.Core(k.BootCore())
+	core.MMU.LoadCR3(p.space)
+	return p, nil
+}
+
+// Process returns the process with the given pid.
+func (k *Kernel) Process(pid int) (*Process, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p, ok := k.procs[pid]
+	return p, ok
+}
+
+// reap removes an exited process.
+func (k *Kernel) reap(pid int) {
+	k.mu.Lock()
+	delete(k.procs, pid)
+	k.mu.Unlock()
+}
+
+// enterKernel charges the cost of one kernel entry (SYSCALL path),
+// including the virtualization tax when running as a guest.
+func (k *Kernel) enterKernel(clk *cycles.Clock) {
+	clk.Advance(k.cost.SyscallEntry)
+	if k.world == Virtual {
+		clk.Advance(k.cost.VirtSyscallExtra)
+	}
+}
+
+// exitKernel charges the SYSRET path.
+func (k *Kernel) exitKernel(clk *cycles.Clock) {
+	clk.Advance(k.cost.SyscallExit)
+}
+
+// ProcessGDT returns the canonical descriptor table a process runs under:
+// null, kernel code/data, user code/data, and a TLS data segment. The
+// partner-thread superposition mirrors this (plus the thread's FS.base)
+// onto the HRT core.
+func (k *Kernel) ProcessGDT() machine.GDT {
+	return machine.GDT{Entries: []machine.SegmentDescriptor{
+		{}, // null
+		{Base: 0, Limit: ^uint32(0), DPL: 0, Code: true}, // kernel code
+		{Base: 0, Limit: ^uint32(0), DPL: 0},             // kernel data
+		{Base: 0, Limit: ^uint32(0), DPL: 3, Code: true}, // user code
+		{Base: 0, Limit: ^uint32(0), DPL: 3},             // user data
+		{Base: 0, Limit: ^uint32(0), DPL: 3},             // TLS (%fs)
+	}}
+}
+
+// isROSCore reports whether a core belongs to this kernel's partition
+// (vdso calls on foreign — HRT — cores see a sparser TLB).
+func (k *Kernel) isROSCore(c machine.CoreID) bool {
+	for _, rc := range k.cores {
+		if rc == c {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,452 @@
+package ros
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"multiverse/internal/cycles"
+	"multiverse/internal/linuxabi"
+	"multiverse/internal/mem"
+	"multiverse/internal/paging"
+	"multiverse/internal/vfs"
+)
+
+// vma is one virtual memory area created by mmap/brk. Pages inside it are
+// demand-mapped on first touch (minor faults).
+type vma struct {
+	start  uint64
+	length uint64
+	prot   int
+	pages  map[uint64]mem.Frame // page base -> backing frame
+}
+
+func (v *vma) end() uint64 { return v.start + v.length }
+
+func (v *vma) contains(addr uint64) bool {
+	return addr >= v.start && addr < v.end()
+}
+
+// allows reports whether the VMA's protections permit the access.
+func (v *vma) allows(write bool) bool {
+	if write {
+		return v.prot&linuxabi.ProtWrite != 0
+	}
+	return v.prot&linuxabi.ProtRead != 0
+}
+
+// sigaction is one registered disposition.
+type sigaction struct {
+	handlerAddr uint64
+	flags       uint64
+}
+
+// SignalContext is what a delivered signal handler sees (a trimmed
+// siginfo/ucontext). Clock is the virtual clock of the context the handler
+// runs on — a ROS thread natively, an HRT thread under Multiverse. For
+// fault-path deliveries, Sys issues system calls in the delivering
+// thread's kernel context: under Multiverse the handler runs on the ROS
+// side of the execution group (the partner replicated the access), so its
+// own system calls execute natively there rather than re-crossing the
+// event channel the group is already converged on.
+type SignalContext struct {
+	Sig       linuxabi.Signal
+	FaultAddr uint64 // SIGSEGV: faulting address
+	Write     bool   // SIGSEGV: access was a write
+	Clock     *cycles.Clock
+	Sys       func(call linuxabi.Call) linuxabi.Result
+}
+
+// SignalHandlerFunc is the Go closure standing in for the handler code at
+// a registered handler address.
+type SignalHandlerFunc func(*SignalContext)
+
+// Stats is the per-process accounting Figure 10 reports.
+type Stats struct {
+	Syscalls      map[linuxabi.Sysno]uint64
+	UserCycles    cycles.Cycles
+	SysCycles     cycles.Cycles
+	MinorFaults   uint64
+	MajorFaults   uint64
+	MaxRSSPages   uint64
+	VoluntaryCS   uint64
+	InvoluntaryCS uint64
+	SignalsSent   uint64
+}
+
+// TotalSyscalls sums the per-call counters.
+func (s *Stats) TotalSyscalls() uint64 {
+	var n uint64
+	for _, c := range s.Syscalls {
+		n += c
+	}
+	return n
+}
+
+// MaxRSSKb converts the peak resident set to KiB.
+func (s *Stats) MaxRSSKb() uint64 { return s.MaxRSSPages * mem.PageSize / 1024 }
+
+// Process is one ROS process.
+type Process struct {
+	kern *Kernel
+	pid  int
+	name string
+
+	mu         sync.Mutex
+	space      *paging.AddressSpace
+	vmas       []*vma // sorted by start
+	brk        uint64
+	mmapBase   uint64
+	residency  uint64 // currently mapped pages
+	fds        map[int]*vfs.File
+	nextFd     int
+	cwd        string
+	sigactions map[linuxabi.Signal]sigaction
+	handlers   map[uint64]SignalHandlerFunc
+	threads    map[int]*Thread
+	threadFns  map[uint64]func(*Thread)
+	nextTid    int
+	exited     bool
+	exitCode   uint64
+	stdout     []byte
+	stdin      []byte
+
+	// itimer state (setitimer(ITIMER_*)): virtual deadline and interval.
+	timerDeadline cycles.Cycles
+	timerInterval cycles.Cycles
+	timerSig      linuxabi.Signal
+
+	// Optional fault trace, for the paper's fidelity criterion: "if we
+	// collect a trace of page faults in the application running native
+	// and under Multiverse, the traces should look identical"
+	// (section 4.4). Under Multiverse the partner thread replicates each
+	// forwarded access, so the trace records here either way.
+	faultTrace    []FaultRecord
+	faultTraceCap int
+
+	stats Stats
+}
+
+// FaultRecord is one entry of the page-fault trace.
+type FaultRecord struct {
+	Addr  uint64
+	Write bool
+}
+
+// EnableFaultTrace starts recording up to max kernel-handled user page
+// faults.
+func (p *Process) EnableFaultTrace(max int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.faultTraceCap = max
+	p.faultTrace = make([]FaultRecord, 0, max)
+}
+
+// FaultTrace returns a copy of the recorded trace.
+func (p *Process) FaultTrace() []FaultRecord {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]FaultRecord(nil), p.faultTrace...)
+}
+
+// Fixed layout constants for the simulated process image.
+const (
+	brkBase  uint64 = 0x0000_0000_0120_0000 // heap starts above a nominal image
+	mmapBase uint64 = 0x0000_7f00_0000_0000 // mmap region, grows upward
+)
+
+func newProcess(k *Kernel, pid int, name string) (*Process, error) {
+	space, err := paging.NewAddressSpace(k.machine.Phys, k.Zone(), fmt.Sprintf("%s.%d", name, pid))
+	if err != nil {
+		return nil, fmt.Errorf("ros: creating address space: %w", err)
+	}
+	p := &Process{
+		kern:       k,
+		pid:        pid,
+		name:       name,
+		space:      space,
+		brk:        brkBase,
+		mmapBase:   mmapBase,
+		fds:        make(map[int]*vfs.File),
+		nextFd:     3, // 0,1,2 reserved for stdio
+		cwd:        "/",
+		sigactions: make(map[linuxabi.Signal]sigaction),
+		handlers:   make(map[uint64]SignalHandlerFunc),
+		threads:    make(map[int]*Thread),
+		nextTid:    1,
+		stats:      Stats{Syscalls: make(map[linuxabi.Sysno]uint64)},
+	}
+	return p, nil
+}
+
+// Pid returns the process id.
+func (p *Process) Pid() int { return p.pid }
+
+// Name returns the executable name.
+func (p *Process) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Process) Kernel() *Kernel { return p.kern }
+
+// Space returns the process page tables (the merger reads its CR3).
+func (p *Process) Space() *paging.AddressSpace {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.space
+}
+
+// CR3 returns the process's page-table root physical address.
+func (p *Process) CR3() uint64 { return p.Space().CR3() }
+
+// Stats returns a snapshot of the accounting counters.
+func (p *Process) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := p.stats
+	out.Syscalls = make(map[linuxabi.Sysno]uint64, len(p.stats.Syscalls))
+	for k, v := range p.stats.Syscalls {
+		out.Syscalls[k] = v
+	}
+	return out
+}
+
+// ChargeUser adds user-mode compute time to the accounting; the runtime
+// under test calls this as it works.
+func (p *Process) ChargeUser(c cycles.Cycles) {
+	p.mu.Lock()
+	p.stats.UserCycles += c
+	p.mu.Unlock()
+}
+
+func (p *Process) chargeSys(c cycles.Cycles) {
+	p.mu.Lock()
+	p.stats.SysCycles += c
+	p.mu.Unlock()
+}
+
+// CountVoluntaryCS records a voluntary context switch (blocking).
+func (p *Process) CountVoluntaryCS() {
+	p.mu.Lock()
+	p.stats.VoluntaryCS++
+	p.mu.Unlock()
+}
+
+// countInvoluntaryCS records a preemption (timer-driven).
+func (p *Process) countInvoluntaryCS() {
+	p.mu.Lock()
+	p.stats.InvoluntaryCS++
+	p.mu.Unlock()
+}
+
+// RegisterHandler associates handler code (a Go closure) with a handler
+// address in the process image, so rt_sigaction can refer to it the way
+// real code refers to a function pointer.
+func (p *Process) RegisterHandler(addr uint64, fn SignalHandlerFunc) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.handlers[addr] = fn
+}
+
+// Exited reports whether the process has exited and with what code.
+func (p *Process) Exited() (bool, uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.exited, p.exitCode
+}
+
+// ---- VMA management -------------------------------------------------
+
+// findVMA returns the VMA containing addr.
+func (p *Process) findVMA(addr uint64) *vma {
+	for _, v := range p.vmas {
+		if v.contains(addr) {
+			return v
+		}
+	}
+	return nil
+}
+
+// insertVMA adds a VMA keeping the list sorted; overlap is a caller bug.
+func (p *Process) insertVMA(v *vma) linuxabi.Errno {
+	for _, ex := range p.vmas {
+		if v.start < ex.end() && ex.start < v.end() {
+			return linuxabi.EEXIST
+		}
+	}
+	p.vmas = append(p.vmas, v)
+	sort.Slice(p.vmas, func(i, j int) bool { return p.vmas[i].start < p.vmas[j].start })
+	return linuxabi.OK
+}
+
+// mapPage demand-maps one page of a VMA, charging frame zeroing and PTE
+// installation to clk and counting a minor fault.
+func (p *Process) mapPage(v *vma, base uint64, clk *cycles.Clock) linuxabi.Errno {
+	f, err := p.kern.machine.Phys.Alloc(p.kern.Zone(), fmt.Sprintf("proc%d:page", p.pid))
+	if err != nil {
+		return linuxabi.ENOMEM
+	}
+	flags := uint64(paging.PteUser)
+	if v.prot&linuxabi.ProtWrite != 0 {
+		flags |= paging.PteWrite
+	}
+	if err := p.space.Map(base, f, flags); err != nil {
+		_ = p.kern.machine.Phys.Free(f)
+		return linuxabi.ENOMEM
+	}
+	v.pages[base] = f
+	p.residency++
+	if p.residency > p.stats.MaxRSSPages {
+		p.stats.MaxRSSPages = p.residency
+	}
+	p.stats.MinorFaults++
+	clk.Advance(p.kern.cost.PageZero + p.kern.cost.PTEWrite)
+	return linuxabi.OK
+}
+
+// protFlags converts mmap PROT_* bits to PTE flags.
+func protFlags(prot int) uint64 {
+	flags := uint64(paging.PteUser)
+	if prot&linuxabi.ProtWrite != 0 {
+		flags |= paging.PteWrite
+	}
+	return flags
+}
+
+// ResidentPages returns the current resident set in pages.
+func (p *Process) ResidentPages() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.residency
+}
+
+// ---- Fault handling --------------------------------------------------
+
+// maxFaultRetries bounds the access-retry loop; a handler that cannot make
+// progress in this many rounds is broken.
+const maxFaultRetries = 8
+
+// Touch performs one user memory access at addr on behalf of thread t,
+// demand-paging and delivering SIGSEGV exactly as the kernel fault path
+// would. This is also the entry point for *replicated* accesses: when the
+// HRT forwards a fault, the partner thread replays the access here and
+// "the ROS will then handle it as it would normally" (section 3.2).
+func (p *Process) Touch(t *Thread, addr uint64, write bool) linuxabi.Errno {
+	core := p.kern.machine.Core(t.Core)
+	for try := 0; try < maxFaultRetries; try++ {
+		_, fault := core.MMU.Translate(addr, paging.Access{Write: write, User: true}, t.Clock, p.kern.cost)
+		if fault == nil {
+			return linuxabi.OK
+		}
+		if errno := p.handleFault(t, fault); errno != linuxabi.OK {
+			return errno
+		}
+	}
+	return linuxabi.EFAULT
+}
+
+// handleFault is the kernel page-fault handler: demand-map, fix
+// protections changed under the VMA, or deliver SIGSEGV.
+func (p *Process) handleFault(t *Thread, fault *paging.Fault) linuxabi.Errno {
+	start := t.Clock.Now()
+	if p.kern.world == Virtual {
+		t.Clock.Advance(p.kern.cost.VirtFaultExtra)
+	}
+	p.mu.Lock()
+	if p.faultTraceCap > 0 && len(p.faultTrace) < p.faultTraceCap {
+		p.faultTrace = append(p.faultTrace, FaultRecord{Addr: paging.PageBase(fault.Addr), Write: fault.Write})
+	}
+	v := p.findVMA(fault.Addr)
+	if v == nil || !v.allows(fault.Write) {
+		// Genuine access violation: deliver SIGSEGV if a handler is
+		// registered; otherwise the access fails.
+		sa, ok := p.sigactions[linuxabi.SIGSEGV]
+		fn := p.handlers[sa.handlerAddr]
+		p.mu.Unlock()
+		if !ok || fn == nil {
+			p.chargeSys(t.Clock.Now() - start)
+			return linuxabi.EFAULT
+		}
+		p.deliverSignal(t.Clock, fn, &SignalContext{
+			Sig:       linuxabi.SIGSEGV,
+			FaultAddr: fault.Addr,
+			Write:     fault.Write,
+			Sys:       func(call linuxabi.Call) linuxabi.Result { return p.Syscall(t, call) },
+		})
+		p.chargeSys(t.Clock.Now() - start)
+		return linuxabi.OK // handler ran; caller retries the access
+	}
+
+	base := paging.PageBase(fault.Addr)
+	if _, mapped := v.pages[base]; !mapped {
+		errno := p.mapPage(v, base, t.Clock)
+		p.mu.Unlock()
+		p.chargeSys(t.Clock.Now() - start)
+		return errno
+	}
+	// Page is mapped and the VMA permits the access, but the PTE
+	// disagrees (a stale protection after mprotect widened the VMA).
+	// Refresh the PTE.
+	if err := p.space.Protect(base, protFlags(v.prot)); err != nil {
+		p.mu.Unlock()
+		p.chargeSys(t.Clock.Now() - start)
+		return linuxabi.EFAULT
+	}
+	t.Clock.Advance(p.kern.cost.PTEWrite)
+	p.kern.machine.Core(t.Core).MMU.TLB().FlushVA(base)
+	p.mu.Unlock()
+	p.chargeSys(t.Clock.Now() - start)
+	return linuxabi.OK
+}
+
+// deliverSignal runs a user signal handler on the context owning clk,
+// charging delivery and the implicit rt_sigreturn on the way out (both of
+// which show up in the Figure 11/12 syscall profiles).
+func (p *Process) deliverSignal(clk *cycles.Clock, fn SignalHandlerFunc, ctx *SignalContext) {
+	clk.Advance(p.kern.cost.ROSSignalDeliver)
+	ctx.Clock = clk
+	fn(ctx)
+	p.mu.Lock()
+	p.stats.Syscalls[linuxabi.SysRtSigreturn]++
+	p.stats.SignalsSent++
+	p.mu.Unlock()
+	clk.Advance(p.kern.cost.ROSSignalReturn)
+}
+
+// SendSignal delivers sig to the process on the context owning clk (e.g.
+// the itimer expiry path). Unhandled signals are ignored except
+// SIGKILL/SIGSEGV, which fail the caller.
+func (p *Process) SendSignal(clk *cycles.Clock, sig linuxabi.Signal) linuxabi.Errno {
+	p.mu.Lock()
+	sa, ok := p.sigactions[sig]
+	fn := p.handlers[sa.handlerAddr]
+	p.mu.Unlock()
+	if !ok || fn == nil {
+		if sig == linuxabi.SIGKILL || sig == linuxabi.SIGSEGV {
+			return linuxabi.EFAULT
+		}
+		return linuxabi.OK
+	}
+	p.deliverSignal(clk, fn, &SignalContext{Sig: sig})
+	return linuxabi.OK
+}
+
+// CheckTimer fires the interval timer if the context's virtual time passed
+// the deadline, delivering the timer signal (the cooperative-threading
+// tick Racket's runtime relies on). Returns true if it fired.
+func (p *Process) CheckTimer(clk *cycles.Clock) bool {
+	p.mu.Lock()
+	if p.timerDeadline == 0 || clk.Now() < p.timerDeadline {
+		p.mu.Unlock()
+		return false
+	}
+	sig := p.timerSig
+	if p.timerInterval > 0 {
+		p.timerDeadline = clk.Now() + p.timerInterval
+	} else {
+		p.timerDeadline = 0
+	}
+	p.mu.Unlock()
+	p.countInvoluntaryCS()
+	_ = p.SendSignal(clk, sig)
+	return true
+}

@@ -1,0 +1,79 @@
+package scheme_test
+
+import (
+	"testing"
+
+	"multiverse/internal/scheme"
+)
+
+func TestExtendedBuiltins(t *testing.T) {
+	eng, _ := newNativeEngine(t)
+	cases := [][2]string{
+		{"(sort '(3 1 2) <)", "(1 2 3)"},
+		{"(sort '(3 1 2) >)", "(3 2 1)"},
+		{"(sort '() <)", "()"},
+		{"(list-sort-numeric '(2.5 1 3))", "(1 2.5 3)"},
+		{"(string-upcase \"aBc\")", "\"ABC\""},
+		{"(string-downcase \"AbC\")", "\"abc\""},
+		{"(string-contains? \"hello\" \"ell\")", "#t"},
+		{"(string-contains? \"hello\" \"xyz\")", "#f"},
+		{"(string-split \"a,b,c\" #\\,)", "(\"a\" \"b\" \"c\")"},
+		{"(string<? \"abc\" \"abd\")", "#t"},
+		{"(char-alphabetic? #\\q)", "#t"},
+		{"(char-alphabetic? #\\5)", "#f"},
+		{"(char-numeric? #\\7)", "#t"},
+		{"(char-whitespace? #\\space)", "#t"},
+		{"(char-upcase #\\a)", "#\\A"},
+		{"(char<? #\\a #\\b)", "#t"},
+		{"(vector-copy #(1 2))", "#(1 2)"},
+		{"(vector-map add1 #(1 2 3))", "#(2 3 4)"},
+		{"(let ((n 0)) (vector-for-each (lambda (x) (set! n (+ n x))) #(1 2 3)) n)", "6"},
+	}
+	for _, c := range cases {
+		evalTo(t, eng, c[0], c[1])
+	}
+	// sort with a failing comparator surfaces the error.
+	if _, err := eng.RunString("(sort '(1 2) (lambda (a b) (car 5)))"); err == nil {
+		t.Error("sort swallowed comparator error")
+	}
+}
+
+func TestSleepAdvancesClock(t *testing.T) {
+	eng, sys := newNativeEngine(t)
+	before := sys.Main.Clock.Now()
+	evalTo(t, eng, "(sleep 5) 'ok", "ok")
+	elapsedMs := (sys.Main.Clock.Now() - before).Nanoseconds() / 1e6
+	if elapsedMs < 5 {
+		t.Errorf("sleep advanced only %.2f ms", elapsedMs)
+	}
+	st := sys.Proc.Stats()
+	if st.Syscalls[35] == 0 { // nanosleep
+		t.Error("sleep did not go through nanosleep(2)")
+	}
+}
+
+func TestMonotonicNanos(t *testing.T) {
+	eng, _ := newNativeEngine(t)
+	v, err := eng.RunString("(let ((a (current-monotonic-nanos))) (sleep 1) (< a (current-monotonic-nanos)))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != scheme.True {
+		t.Error("monotonic clock did not advance")
+	}
+}
+
+func TestGCStatsBuiltin(t *testing.T) {
+	eng, _ := newNativeEngine(t)
+	v, err := eng.RunString("(collect-garbage) (gc-stats)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, ok := scheme.ListToSlice(v)
+	if !ok || len(stats) != 5 {
+		t.Fatalf("gc-stats = %s", scheme.WriteString(v))
+	}
+	if stats[0].Int < 1 {
+		t.Error("collections not reported")
+	}
+}

@@ -1,0 +1,787 @@
+package scheme
+
+import "fmt"
+
+// Eval evaluates expr in env with proper tail calls: tail positions update
+// expr/env and loop rather than recursing, so iterative Scheme (named
+// let, do loops, tail recursion) runs in constant Go stack — the
+// tail-call elimination Racket guarantees.
+func (in *Interp) Eval(expr *Obj, env *Frame) (*Obj, error) {
+	for {
+		in.tick()
+		switch expr.Kind {
+		case KSymbol:
+			v, ok := env.Lookup(expr)
+			if !ok {
+				return nil, evalError("unbound variable %s", expr.Str)
+			}
+			return v, nil
+		case KPair:
+			// fall through to combination handling below
+		default:
+			return expr, nil // self-evaluating
+		}
+
+		head := expr.Car
+		if head.Kind == KSymbol {
+			special := string(head.Str)
+			switch special {
+			case "quote":
+				return expr.Cdr.Car, nil
+
+			case "if":
+				args, ok := ListToSlice(expr.Cdr)
+				if !ok || len(args) < 2 || len(args) > 3 {
+					return nil, evalError("if: malformed")
+				}
+				c, err := in.Eval(args[0], env)
+				if err != nil {
+					return nil, err
+				}
+				if Truthy(c) {
+					expr = args[1]
+				} else if len(args) == 3 {
+					expr = args[2]
+				} else {
+					return Unspecified, nil
+				}
+				continue
+
+			case "define":
+				return in.evalDefine(expr.Cdr, env)
+
+			case "set!":
+				args, ok := ListToSlice(expr.Cdr)
+				if !ok || len(args) != 2 || args[0].Kind != KSymbol {
+					return nil, evalError("set!: malformed")
+				}
+				v, err := in.Eval(args[1], env)
+				if err != nil {
+					return nil, err
+				}
+				if !env.Set(args[0], v) {
+					return nil, evalError("set!: unbound variable %s", args[0].Str)
+				}
+				return Unspecified, nil
+
+			case "lambda":
+				return in.makeClosure(expr.Cdr, env)
+
+			case "begin":
+				body, ok := ListToSlice(expr.Cdr)
+				if !ok {
+					return nil, evalError("begin: malformed")
+				}
+				if len(body) == 0 {
+					return Unspecified, nil
+				}
+				for _, e := range body[:len(body)-1] {
+					if _, err := in.Eval(e, env); err != nil {
+						return nil, err
+					}
+				}
+				expr = body[len(body)-1]
+				continue
+
+			case "let":
+				body, le, err := in.evalLet(expr.Cdr, env)
+				if err != nil {
+					return nil, err
+				}
+				tail, err := in.evalSeq(body, le)
+				if err != nil {
+					return nil, err
+				}
+				if tail == nil {
+					return Unspecified, nil
+				}
+				expr, env = tail, le
+				continue
+
+			case "let*":
+				body, le, err := in.evalLetStar(expr.Cdr, env)
+				if err != nil {
+					return nil, err
+				}
+				tail, err := in.evalSeq(body, le)
+				if err != nil {
+					return nil, err
+				}
+				if tail == nil {
+					return Unspecified, nil
+				}
+				expr, env = tail, le
+				continue
+
+			case "letrec", "letrec*":
+				body, le, err := in.evalLetrec(expr.Cdr, env)
+				if err != nil {
+					return nil, err
+				}
+				tail, err := in.evalSeq(body, le)
+				if err != nil {
+					return nil, err
+				}
+				if tail == nil {
+					return Unspecified, nil
+				}
+				expr, env = tail, le
+				continue
+
+			case "cond":
+				ne, done, v, err := in.evalCond(expr.Cdr, env)
+				if err != nil {
+					return nil, err
+				}
+				if done {
+					return v, nil
+				}
+				expr = ne
+				continue
+
+			case "case":
+				ne, done, v, err := in.evalCase(expr.Cdr, env)
+				if err != nil {
+					return nil, err
+				}
+				if done {
+					return v, nil
+				}
+				expr = ne
+				continue
+
+			case "and":
+				args, _ := ListToSlice(expr.Cdr)
+				if len(args) == 0 {
+					return True, nil
+				}
+				for _, e := range args[:len(args)-1] {
+					v, err := in.Eval(e, env)
+					if err != nil {
+						return nil, err
+					}
+					if !Truthy(v) {
+						return v, nil
+					}
+				}
+				expr = args[len(args)-1]
+				continue
+
+			case "or":
+				args, _ := ListToSlice(expr.Cdr)
+				if len(args) == 0 {
+					return False, nil
+				}
+				for _, e := range args[:len(args)-1] {
+					v, err := in.Eval(e, env)
+					if err != nil {
+						return nil, err
+					}
+					if Truthy(v) {
+						return v, nil
+					}
+				}
+				expr = args[len(args)-1]
+				continue
+
+			case "when", "unless":
+				args, ok := ListToSlice(expr.Cdr)
+				if !ok || len(args) < 1 {
+					return nil, evalError("%s: malformed", special)
+				}
+				c, err := in.Eval(args[0], env)
+				if err != nil {
+					return nil, err
+				}
+				hit := Truthy(c)
+				if special == "unless" {
+					hit = !hit
+				}
+				if !hit || len(args) == 1 {
+					return Unspecified, nil
+				}
+				for _, e := range args[1 : len(args)-1] {
+					if _, err := in.Eval(e, env); err != nil {
+						return nil, err
+					}
+				}
+				expr = args[len(args)-1]
+				continue
+
+			case "do":
+				v, err := in.evalDo(expr.Cdr, env)
+				return v, err
+
+			case "quasiquote":
+				return in.evalQuasi(expr.Cdr.Car, env, 1)
+			}
+		}
+
+		// Combination: evaluate operator and operands, then apply.
+		fn, err := in.Eval(head, env)
+		if err != nil {
+			return nil, err
+		}
+		var args []*Obj
+		for cur := expr.Cdr; cur.Kind == KPair; cur = cur.Cdr {
+			a, err := in.Eval(cur.Car, env)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+		}
+
+		switch fn.Kind {
+		case KBuiltin:
+			return fn.Fn(in, args)
+		case KClosure:
+			frame, err := in.bindParams(fn, args)
+			if err != nil {
+				return nil, err
+			}
+			if len(fn.Body) == 0 {
+				return Unspecified, nil
+			}
+			for _, e := range fn.Body[:len(fn.Body)-1] {
+				if _, err := in.Eval(e, frame); err != nil {
+					return nil, err
+				}
+			}
+			expr, env = fn.Body[len(fn.Body)-1], frame
+			continue
+		default:
+			return nil, evalError("not a procedure: %s", WriteString(fn))
+		}
+	}
+}
+
+// Apply invokes a procedure from Go (builtins like map/apply use it). Not
+// a tail position.
+func (in *Interp) Apply(fn *Obj, args []*Obj) (*Obj, error) {
+	switch fn.Kind {
+	case KBuiltin:
+		in.tick()
+		return fn.Fn(in, args)
+	case KClosure:
+		frame, err := in.bindParams(fn, args)
+		if err != nil {
+			return nil, err
+		}
+		var out *Obj = Unspecified
+		for _, e := range fn.Body {
+			v, err := in.Eval(e, frame)
+			if err != nil {
+				return nil, err
+			}
+			out = v
+		}
+		return out, nil
+	default:
+		return nil, evalError("apply: not a procedure: %s", WriteString(fn))
+	}
+}
+
+func (in *Interp) bindParams(fn *Obj, args []*Obj) (*Frame, error) {
+	frame := NewFrame(fn.Env)
+	if fn.Rest == nil && len(args) != len(fn.Params) {
+		return nil, evalError("arity: want %d args, got %d", len(fn.Params), len(args))
+	}
+	if fn.Rest != nil && len(args) < len(fn.Params) {
+		return nil, evalError("arity: want at least %d args, got %d", len(fn.Params), len(args))
+	}
+	for i, p := range fn.Params {
+		frame.Define(p, args[i])
+	}
+	if fn.Rest != nil {
+		frame.Define(fn.Rest, in.List(args[len(fn.Params):]...))
+	}
+	return frame, nil
+}
+
+// makeClosure builds a closure from (lambda formals body...).
+func (in *Interp) makeClosure(form *Obj, env *Frame) (*Obj, error) {
+	if form.Kind != KPair {
+		return nil, evalError("lambda: malformed")
+	}
+	params, rest, err := parseFormals(form.Car)
+	if err != nil {
+		return nil, err
+	}
+	body, ok := ListToSlice(form.Cdr)
+	if !ok {
+		return nil, evalError("lambda: malformed body")
+	}
+	c := in.alloc(KClosure)
+	c.Params = params
+	c.Rest = rest
+	c.Body = body
+	c.Env = env
+	return c, nil
+}
+
+func parseFormals(f *Obj) (params []*Obj, rest *Obj, err error) {
+	switch f.Kind {
+	case KSymbol: // (lambda args ...)
+		return nil, f, nil
+	case KNil:
+		return nil, nil, nil
+	case KPair:
+		cur := f
+		for cur.Kind == KPair {
+			if cur.Car.Kind != KSymbol {
+				return nil, nil, evalError("lambda: non-symbol formal")
+			}
+			params = append(params, cur.Car)
+			cur = cur.Cdr
+		}
+		if cur.Kind == KSymbol {
+			rest = cur
+		} else if cur.Kind != KNil {
+			return nil, nil, evalError("lambda: malformed formals")
+		}
+		return params, rest, nil
+	default:
+		return nil, nil, evalError("lambda: malformed formals")
+	}
+}
+
+// evalDefine handles (define x v) and (define (f . formals) body...).
+func (in *Interp) evalDefine(form *Obj, env *Frame) (*Obj, error) {
+	if form.Kind != KPair {
+		return nil, evalError("define: malformed")
+	}
+	target := form.Car
+	switch target.Kind {
+	case KSymbol:
+		if form.Cdr.Kind != KPair {
+			env.Define(target, Unspecified)
+			return Unspecified, nil
+		}
+		v, err := in.Eval(form.Cdr.Car, env)
+		if err != nil {
+			return nil, err
+		}
+		env.Define(target, v)
+		return Unspecified, nil
+	case KPair:
+		name := target.Car
+		if name.Kind != KSymbol {
+			return nil, evalError("define: bad function name")
+		}
+		lam := in.Cons(target.Cdr, form.Cdr) // (formals body...)
+		c, err := in.makeClosure(lam, env)
+		if err != nil {
+			return nil, err
+		}
+		c.Name = string(name.Str)
+		env.Define(name, c)
+		return Unspecified, nil
+	default:
+		return nil, evalError("define: malformed")
+	}
+}
+
+// evalSeq evaluates all but the last expression of a body, returning the
+// last as the caller's new tail expression (nil for an empty body). It
+// never allocates: multi-expression bodies need no begin-wrapping.
+func (in *Interp) evalSeq(body []*Obj, env *Frame) (*Obj, error) {
+	if len(body) == 0 {
+		return nil, nil
+	}
+	for _, e := range body[:len(body)-1] {
+		if _, err := in.Eval(e, env); err != nil {
+			return nil, err
+		}
+	}
+	return body[len(body)-1], nil
+}
+
+// evalLet handles plain and named let, returning the body and the new
+// environment.
+func (in *Interp) evalLet(form *Obj, env *Frame) ([]*Obj, *Frame, error) {
+	if form.Kind != KPair {
+		return nil, nil, evalError("let: malformed")
+	}
+	// Named let: (let loop ((v init)...) body...)
+	if form.Car.Kind == KSymbol {
+		name := form.Car
+		rest := form.Cdr
+		if rest.Kind != KPair {
+			return nil, nil, evalError("named let: malformed")
+		}
+		binds, body := rest.Car, rest.Cdr
+		params, inits, err := in.parseBindings(binds)
+		if err != nil {
+			return nil, nil, err
+		}
+		loopEnv := NewFrame(env)
+		// Named-let loop procedures are compiled to jumps by real
+		// runtimes (Racket never materializes them), so this one is not
+		// a heap allocation: loops stay allocation-free.
+		c := &Obj{Kind: KClosure}
+		c.Params = params
+		c.Body, _ = ListToSlice(body)
+		c.Env = loopEnv
+		c.Name = string(name.Str)
+		loopEnv.Define(name, c)
+		args := make([]*Obj, len(inits))
+		for i, e := range inits {
+			v, err := in.Eval(e, env)
+			if err != nil {
+				return nil, nil, err
+			}
+			args[i] = v
+		}
+		frame, err := in.bindParams(c, args)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c.Body, frame, nil
+	}
+
+	binds, body := form.Car, form.Cdr
+	params, inits, err := in.parseBindings(binds)
+	if err != nil {
+		return nil, nil, err
+	}
+	frame := NewFrame(env)
+	for i, p := range params {
+		v, err := in.Eval(inits[i], env)
+		if err != nil {
+			return nil, nil, err
+		}
+		frame.Define(p, v)
+	}
+	bodyList, _ := ListToSlice(body)
+	return bodyList, frame, nil
+}
+
+func (in *Interp) evalLetStar(form *Obj, env *Frame) ([]*Obj, *Frame, error) {
+	if form.Kind != KPair {
+		return nil, nil, evalError("let*: malformed")
+	}
+	params, inits, err := in.parseBindings(form.Car)
+	if err != nil {
+		return nil, nil, err
+	}
+	frame := env
+	for i, p := range params {
+		frame = NewFrame(frame)
+		v, err := in.Eval(inits[i], frame)
+		if err != nil {
+			return nil, nil, err
+		}
+		frame.Define(p, v)
+	}
+	if frame == env {
+		frame = NewFrame(env)
+	}
+	bodyList, _ := ListToSlice(form.Cdr)
+	return bodyList, frame, nil
+}
+
+func (in *Interp) evalLetrec(form *Obj, env *Frame) ([]*Obj, *Frame, error) {
+	if form.Kind != KPair {
+		return nil, nil, evalError("letrec: malformed")
+	}
+	params, inits, err := in.parseBindings(form.Car)
+	if err != nil {
+		return nil, nil, err
+	}
+	frame := NewFrame(env)
+	for _, p := range params {
+		frame.Define(p, Unspecified)
+	}
+	for i, p := range params {
+		v, err := in.Eval(inits[i], frame)
+		if err != nil {
+			return nil, nil, err
+		}
+		frame.Define(p, v)
+	}
+	bodyList, _ := ListToSlice(form.Cdr)
+	return bodyList, frame, nil
+}
+
+func (in *Interp) parseBindings(binds *Obj) (params []*Obj, inits []*Obj, err error) {
+	cur := binds
+	for cur.Kind == KPair {
+		b := cur.Car
+		if b.Kind != KPair || b.Car.Kind != KSymbol || b.Cdr.Kind != KPair {
+			return nil, nil, evalError("let: malformed binding %s", WriteString(b))
+		}
+		params = append(params, b.Car)
+		inits = append(inits, b.Cdr.Car)
+		cur = cur.Cdr
+	}
+	if cur.Kind != KNil {
+		return nil, nil, evalError("let: improper binding list")
+	}
+	return params, inits, nil
+}
+
+// evalCond returns either a tail expression or a final value.
+func (in *Interp) evalCond(clauses *Obj, env *Frame) (tail *Obj, done bool, v *Obj, err error) {
+	for cur := clauses; cur.Kind == KPair; cur = cur.Cdr {
+		cl := cur.Car
+		if cl.Kind != KPair {
+			return nil, false, nil, evalError("cond: malformed clause")
+		}
+		test := cl.Car
+		isElse := test.Kind == KSymbol && string(test.Str) == "else"
+		var tv *Obj
+		if isElse {
+			tv = True
+		} else {
+			tv, err = in.Eval(test, env)
+			if err != nil {
+				return nil, false, nil, err
+			}
+		}
+		if !Truthy(tv) {
+			continue
+		}
+		body, _ := ListToSlice(cl.Cdr)
+		if len(body) == 0 {
+			return nil, true, tv, nil
+		}
+		// (test => proc)
+		if len(body) == 2 && body[0].Kind == KSymbol && string(body[0].Str) == "=>" {
+			proc, err := in.Eval(body[1], env)
+			if err != nil {
+				return nil, false, nil, err
+			}
+			v, err := in.Apply(proc, []*Obj{tv})
+			return nil, true, v, err
+		}
+		for _, e := range body[:len(body)-1] {
+			if _, err := in.Eval(e, env); err != nil {
+				return nil, false, nil, err
+			}
+		}
+		return body[len(body)-1], false, nil, nil
+	}
+	return nil, true, Unspecified, nil
+}
+
+func (in *Interp) evalCase(form *Obj, env *Frame) (tail *Obj, done bool, v *Obj, err error) {
+	if form.Kind != KPair {
+		return nil, false, nil, evalError("case: malformed")
+	}
+	key, err := in.Eval(form.Car, env)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	for cur := form.Cdr; cur.Kind == KPair; cur = cur.Cdr {
+		cl := cur.Car
+		if cl.Kind != KPair {
+			return nil, false, nil, evalError("case: malformed clause")
+		}
+		match := false
+		if cl.Car.Kind == KSymbol && string(cl.Car.Str) == "else" {
+			match = true
+		} else {
+			for dc := cl.Car; dc.Kind == KPair; dc = dc.Cdr {
+				if eqv(key, dc.Car) {
+					match = true
+					break
+				}
+			}
+		}
+		if !match {
+			continue
+		}
+		body, _ := ListToSlice(cl.Cdr)
+		if len(body) == 0 {
+			return nil, true, Unspecified, nil
+		}
+		for _, e := range body[:len(body)-1] {
+			if _, err := in.Eval(e, env); err != nil {
+				return nil, false, nil, err
+			}
+		}
+		return body[len(body)-1], false, nil, nil
+	}
+	return nil, true, Unspecified, nil
+}
+
+// evalDo implements (do ((var init step)...) (test result...) body...).
+func (in *Interp) evalDo(form *Obj, env *Frame) (*Obj, error) {
+	if form.Kind != KPair || form.Cdr.Kind != KPair {
+		return nil, evalError("do: malformed")
+	}
+	var names []*Obj
+	var steps []*Obj
+	frame := NewFrame(env)
+	for cur := form.Car; cur.Kind == KPair; cur = cur.Cdr {
+		spec, _ := ListToSlice(cur.Car)
+		if len(spec) < 2 || spec[0].Kind != KSymbol {
+			return nil, evalError("do: malformed variable spec")
+		}
+		v, err := in.Eval(spec[1], env)
+		if err != nil {
+			return nil, err
+		}
+		frame.Define(spec[0], v)
+		names = append(names, spec[0])
+		if len(spec) >= 3 {
+			steps = append(steps, spec[2])
+		} else {
+			steps = append(steps, spec[0])
+		}
+	}
+	testClause, _ := ListToSlice(form.Cdr.Car)
+	if len(testClause) == 0 {
+		return nil, evalError("do: missing test")
+	}
+	body, _ := ListToSlice(form.Cdr.Cdr)
+	for {
+		in.tick()
+		tv, err := in.Eval(testClause[0], frame)
+		if err != nil {
+			return nil, err
+		}
+		if Truthy(tv) {
+			out := Unspecified
+			for _, e := range testClause[1:] {
+				out, err = in.Eval(e, frame)
+				if err != nil {
+					return nil, err
+				}
+			}
+			return out, nil
+		}
+		for _, e := range body {
+			if _, err := in.Eval(e, frame); err != nil {
+				return nil, err
+			}
+		}
+		next := NewFrame(env)
+		for i, n := range names {
+			v, err := in.Eval(steps[i], frame)
+			if err != nil {
+				return nil, err
+			}
+			next.Define(n, v)
+		}
+		frame = next
+	}
+}
+
+// evalQuasi implements one-level quasiquotation with unquote and
+// unquote-splicing (enough for the benchmark sources).
+func (in *Interp) evalQuasi(form *Obj, env *Frame, depth int) (*Obj, error) {
+	if form.Kind != KPair {
+		return form, nil
+	}
+	if form.Car.Kind == KSymbol {
+		switch string(form.Car.Str) {
+		case "unquote":
+			if depth == 1 {
+				return in.Eval(form.Cdr.Car, env)
+			}
+			inner, err := in.evalQuasi(form.Cdr.Car, env, depth-1)
+			if err != nil {
+				return nil, err
+			}
+			return in.List(in.Intern("unquote"), inner), nil
+		case "quasiquote":
+			inner, err := in.evalQuasi(form.Cdr.Car, env, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			return in.List(in.Intern("quasiquote"), inner), nil
+		}
+	}
+	// Element-wise reconstruction with splicing support.
+	var items []*Obj
+	cur := form
+	for cur.Kind == KPair {
+		el := cur.Car
+		if el.Kind == KPair && el.Car.Kind == KSymbol && string(el.Car.Str) == "unquote-splicing" && depth == 1 {
+			spliced, err := in.Eval(el.Cdr.Car, env)
+			if err != nil {
+				return nil, err
+			}
+			parts, ok := ListToSlice(spliced)
+			if !ok {
+				return nil, evalError("unquote-splicing: not a list")
+			}
+			items = append(items, parts...)
+		} else {
+			v, err := in.evalQuasi(el, env, depth)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, v)
+		}
+		cur = cur.Cdr
+	}
+	tail := Nil
+	if cur.Kind != KNil {
+		t, err := in.evalQuasi(cur, env, depth)
+		if err != nil {
+			return nil, err
+		}
+		tail = t
+	}
+	out := tail
+	for i := len(items) - 1; i >= 0; i-- {
+		out = in.Cons(items[i], out)
+	}
+	return out, nil
+}
+
+// eqv implements eqv? semantics.
+func eqv(a, b *Obj) bool {
+	if a == b {
+		return true
+	}
+	if a.Kind != b.Kind {
+		// Allow int/float comparison failure (eqv? is strict).
+		return false
+	}
+	switch a.Kind {
+	case KInt, KChar:
+		return a.Int == b.Int
+	case KFloat:
+		return a.Float == b.Float
+	case KString:
+		return false // distinct string objects are not eqv?
+	default:
+		return false
+	}
+}
+
+// equalObj implements equal? (deep).
+func equalObj(a, b *Obj) bool {
+	if eqv(a, b) {
+		return true
+	}
+	if a.Kind != b.Kind {
+		if IsNumber(a) && IsNumber(b) {
+			return false
+		}
+		return false
+	}
+	switch a.Kind {
+	case KString, KSymbol:
+		return string(a.Str) == string(b.Str)
+	case KPair:
+		return equalObj(a.Car, b.Car) && equalObj(a.Cdr, b.Cdr)
+	case KVector:
+		if len(a.Vec) != len(b.Vec) {
+			return false
+		}
+		for i := range a.Vec {
+			if !equalObj(a.Vec[i], b.Vec[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+var _ = fmt.Sprintf

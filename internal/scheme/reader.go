@@ -1,0 +1,291 @@
+package scheme
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Reader parses s-expressions into heap objects. Parsing allocates through
+// the interpreter so that program text costs heap, as it does in Racket.
+type Reader struct {
+	src []rune
+	pos int
+	in  *Interp
+}
+
+// NewReader makes a reader over src allocating in in's heap.
+func NewReader(in *Interp, src string) *Reader {
+	return &Reader{src: []rune(src), in: in}
+}
+
+// ReadAll parses every datum in the source.
+func (r *Reader) ReadAll() ([]*Obj, error) {
+	var out []*Obj
+	for {
+		o, err := r.Read()
+		if err != nil {
+			return nil, err
+		}
+		if o == nil {
+			return out, nil
+		}
+		out = append(out, o)
+	}
+}
+
+// Read parses one datum; nil at end of input.
+func (r *Reader) Read() (*Obj, error) {
+	r.skipSpace()
+	if r.pos >= len(r.src) {
+		return nil, nil
+	}
+	return r.datum()
+}
+
+func (r *Reader) skipSpace() {
+	for r.pos < len(r.src) {
+		c := r.src[r.pos]
+		switch {
+		case unicode.IsSpace(c):
+			r.pos++
+		case c == ';':
+			for r.pos < len(r.src) && r.src[r.pos] != '\n' {
+				r.pos++
+			}
+		case c == '#' && r.pos+1 < len(r.src) && r.src[r.pos+1] == '|':
+			depth := 1
+			r.pos += 2
+			for r.pos < len(r.src) && depth > 0 {
+				if r.src[r.pos] == '|' && r.pos+1 < len(r.src) && r.src[r.pos+1] == '#' {
+					depth--
+					r.pos += 2
+				} else if r.src[r.pos] == '#' && r.pos+1 < len(r.src) && r.src[r.pos+1] == '|' {
+					depth++
+					r.pos += 2
+				} else {
+					r.pos++
+				}
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (r *Reader) errf(format string, args ...any) error {
+	return fmt.Errorf("read: %s (at offset %d)", fmt.Sprintf(format, args...), r.pos)
+}
+
+func (r *Reader) datum() (*Obj, error) {
+	c := r.src[r.pos]
+	switch {
+	case c == '(' || c == '[':
+		return r.list(closer(c))
+	case c == ')' || c == ']':
+		return nil, r.errf("unexpected %q", c)
+	case c == '\'':
+		r.pos++
+		return r.wrapped("quote")
+	case c == '`':
+		r.pos++
+		return r.wrapped("quasiquote")
+	case c == ',':
+		r.pos++
+		if r.pos < len(r.src) && r.src[r.pos] == '@' {
+			r.pos++
+			return r.wrapped("unquote-splicing")
+		}
+		return r.wrapped("unquote")
+	case c == '"':
+		return r.string()
+	case c == '#':
+		return r.hash()
+	default:
+		return r.atom()
+	}
+}
+
+func closer(open rune) rune {
+	if open == '[' {
+		return ']'
+	}
+	return ')'
+}
+
+func (r *Reader) wrapped(sym string) (*Obj, error) {
+	r.skipSpace()
+	if r.pos >= len(r.src) {
+		return nil, r.errf("unexpected end after %s", sym)
+	}
+	d, err := r.datum()
+	if err != nil {
+		return nil, err
+	}
+	return r.in.Cons(r.in.Intern(sym), r.in.Cons(d, Nil)), nil
+}
+
+func (r *Reader) list(close rune) (*Obj, error) {
+	r.pos++ // consume opener
+	var items []*Obj
+	var tail *Obj
+	for {
+		r.skipSpace()
+		if r.pos >= len(r.src) {
+			return nil, r.errf("unterminated list")
+		}
+		c := r.src[r.pos]
+		if c == close || c == ')' || c == ']' {
+			r.pos++
+			break
+		}
+		if c == '.' && r.pos+1 < len(r.src) && isDelim(r.src[r.pos+1]) {
+			r.pos++
+			t, err := r.Read()
+			if err != nil {
+				return nil, err
+			}
+			if t == nil {
+				return nil, r.errf("missing datum after dot")
+			}
+			tail = t
+			r.skipSpace()
+			if r.pos >= len(r.src) || (r.src[r.pos] != close && r.src[r.pos] != ')' && r.src[r.pos] != ']') {
+				return nil, r.errf("malformed dotted list")
+			}
+			r.pos++
+			break
+		}
+		d, err := r.datum()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, d)
+	}
+	out := Nil
+	if tail != nil {
+		out = tail
+	}
+	for i := len(items) - 1; i >= 0; i-- {
+		out = r.in.Cons(items[i], out)
+	}
+	return out, nil
+}
+
+func isDelim(c rune) bool {
+	return unicode.IsSpace(c) || c == '(' || c == ')' || c == '[' || c == ']' || c == '"' || c == ';'
+}
+
+func (r *Reader) string() (*Obj, error) {
+	r.pos++ // opening quote
+	var b strings.Builder
+	for r.pos < len(r.src) {
+		c := r.src[r.pos]
+		switch c {
+		case '"':
+			r.pos++
+			return r.in.NewString([]byte(b.String())), nil
+		case '\\':
+			r.pos++
+			if r.pos >= len(r.src) {
+				return nil, r.errf("unterminated escape")
+			}
+			switch e := r.src[r.pos]; e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\', '"':
+				b.WriteRune(e)
+			default:
+				return nil, r.errf("bad escape \\%c", e)
+			}
+			r.pos++
+		default:
+			b.WriteRune(c)
+			r.pos++
+		}
+	}
+	return nil, r.errf("unterminated string")
+}
+
+func (r *Reader) hash() (*Obj, error) {
+	if r.pos+1 >= len(r.src) {
+		return nil, r.errf("lone #")
+	}
+	switch c := r.src[r.pos+1]; {
+	case c == 't':
+		r.pos += 2
+		return True, nil
+	case c == 'f':
+		r.pos += 2
+		return False, nil
+	case c == '\\':
+		r.pos += 2
+		return r.char()
+	case c == '(':
+		r.pos++
+		lst, err := r.list(')')
+		if err != nil {
+			return nil, err
+		}
+		items, _ := ListToSlice(lst)
+		return r.in.NewVector(items), nil
+	default:
+		return nil, r.errf("unsupported # syntax #%c", c)
+	}
+}
+
+var namedChars = map[string]rune{
+	"space":   ' ',
+	"newline": '\n',
+	"tab":     '\t',
+	"nul":     0,
+	"return":  '\r',
+}
+
+func (r *Reader) char() (*Obj, error) {
+	if r.pos >= len(r.src) {
+		return nil, r.errf("unterminated character")
+	}
+	start := r.pos
+	r.pos++
+	for r.pos < len(r.src) && !isDelim(r.src[r.pos]) {
+		r.pos++
+	}
+	name := string(r.src[start:r.pos])
+	if len(name) == 1 {
+		return r.in.NewChar(rune(name[0])), nil
+	}
+	if c, ok := namedChars[name]; ok {
+		return r.in.NewChar(c), nil
+	}
+	return nil, r.errf("unknown character name %q", name)
+}
+
+func (r *Reader) atom() (*Obj, error) {
+	start := r.pos
+	for r.pos < len(r.src) && !isDelim(r.src[r.pos]) {
+		r.pos++
+	}
+	tok := string(r.src[start:r.pos])
+	if tok == "" {
+		return nil, r.errf("empty token")
+	}
+	if i, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return r.in.NewInt(i), nil
+	}
+	if f, err := strconv.ParseFloat(tok, 64); err == nil && looksNumeric(tok) {
+		return r.in.NewFloat(f), nil
+	}
+	return r.in.Intern(tok), nil
+}
+
+// looksNumeric guards against ParseFloat accepting symbols like "Inf".
+func looksNumeric(tok string) bool {
+	c := tok[0]
+	return c == '+' || c == '-' || c == '.' || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,207 @@
+package scheme_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"multiverse/internal/core"
+	"multiverse/internal/scheme"
+)
+
+func newInterp(t *testing.T) *scheme.Interp {
+	t.Helper()
+	sys, err := core.NewSystem(nil, core.Options{AppName: "reader-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := scheme.NewInterp(sys.NativeEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func readOne(t *testing.T, in *scheme.Interp, src string) *scheme.Obj {
+	t.Helper()
+	o, err := scheme.NewReader(in, src).Read()
+	if err != nil {
+		t.Fatalf("read %q: %v", src, err)
+	}
+	return o
+}
+
+func TestReaderForms(t *testing.T) {
+	in := newInterp(t)
+	cases := [][2]string{
+		{"42", "42"},
+		{"-17", "-17"},
+		{"3.25", "3.25"},
+		{"-0.5", "-0.5"},
+		{"#t", "#t"},
+		{"#f", "#f"},
+		{"foo", "foo"},
+		{`"a\nb"`, `"a\nb"`},
+		{"(1 2 3)", "(1 2 3)"},
+		{"[1 2]", "(1 2)"},
+		{"(1 . 2)", "(1 . 2)"},
+		{"(1 2 . 3)", "(1 2 . 3)"},
+		{"'x", "(quote x)"},
+		{"`(a ,b ,@c)", "(quasiquote (a (unquote b) (unquote-splicing c)))"},
+		{"#(1 2)", "#(1 2)"},
+		{`#\a`, `#\a`},
+		{`#\space`, `#\ `},
+		{"()", "()"},
+		{"( ( ) )", "(())"},
+		{"; comment\n5", "5"},
+		{"#| block |# 6", "6"},
+		{"#| nested #| deep |# |# 7", "7"},
+	}
+	for _, c := range cases {
+		got := scheme.WriteString(readOne(t, in, c[0]))
+		if got != c[1] {
+			t.Errorf("read %q = %s, want %s", c[0], got, c[1])
+		}
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	in := newInterp(t)
+	bad := []string{
+		"(1 2",
+		")",
+		`"unterminated`,
+		"(1 . )",
+		"(1 . 2 3)",
+		`#\nosuchchar`,
+		"#z",
+		`"bad \q escape"`,
+	}
+	for _, src := range bad {
+		if _, err := scheme.NewReader(in, src).Read(); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestReaderMultipleForms(t *testing.T) {
+	in := newInterp(t)
+	forms, err := scheme.NewReader(in, "1 2 (3 4)").ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forms) != 3 {
+		t.Fatalf("forms = %d", len(forms))
+	}
+}
+
+func TestDisplayVsWrite(t *testing.T) {
+	in := newInterp(t)
+	s := in.NewString([]byte("hi\n"))
+	if scheme.DisplayString(s) != "hi\n" {
+		t.Errorf("display = %q", scheme.DisplayString(s))
+	}
+	if scheme.WriteString(s) != `"hi\n"` {
+		t.Errorf("write = %q", scheme.WriteString(s))
+	}
+	c := in.NewChar('x')
+	if scheme.DisplayString(c) != "x" || scheme.WriteString(c) != `#\x` {
+		t.Error("char rendering wrong")
+	}
+}
+
+func TestCyclicStructurePrintsSafely(t *testing.T) {
+	in := newInterp(t)
+	p := in.Cons(in.NewInt(1), scheme.Nil)
+	p.Cdr = p // cycle
+	s := scheme.WriteString(p)
+	if !strings.Contains(s, "cycle") {
+		t.Errorf("cycle rendering = %q", s)
+	}
+}
+
+// Property: for arbitrary integer lists, write->read round-trips.
+func TestReadWriteRoundTripProperty(t *testing.T) {
+	in := newInterp(t)
+	prop := func(xs []int32) bool {
+		elems := make([]*scheme.Obj, len(xs))
+		for i, x := range xs {
+			elems[i] = in.NewInt(int64(x))
+		}
+		lst := in.List(elems...)
+		text := scheme.WriteString(lst)
+		back, err := scheme.NewReader(in, text).Read()
+		if err != nil {
+			return false
+		}
+		return scheme.WriteString(back) == text
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: arithmetic in the interpreter agrees with Go for int64 inputs
+// that avoid overflow.
+func TestArithmeticAgreesWithGoProperty(t *testing.T) {
+	sys, err := core.NewSystem(nil, core.Options{AppName: "arith"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := scheme.NewEngine(sys.NativeEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a, b int16) bool {
+		src := "(+ (* " + scheme.WriteString(intObj(eng, int64(a))) + " " +
+			scheme.WriteString(intObj(eng, int64(b))) + ") " +
+			scheme.WriteString(intObj(eng, int64(a))) + ")"
+		v, err := eng.RunString(src)
+		if err != nil {
+			return false
+		}
+		want := int64(a)*int64(b) + int64(a)
+		return v.Kind == scheme.KInt && v.Int == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func intObj(eng *scheme.Engine, v int64) *scheme.Obj {
+	return eng.Interp().NewInt(v)
+}
+
+// Property: (reverse (reverse l)) == l for arbitrary small int lists.
+func TestReverseInvolutionProperty(t *testing.T) {
+	sys, err := core.NewSystem(nil, core.Options{AppName: "rev"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := scheme.NewEngine(sys.NativeEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(xs []int8) bool {
+		if len(xs) > 20 {
+			xs = xs[:20]
+		}
+		var sb strings.Builder
+		sb.WriteString("(equal? (reverse (reverse '(")
+		for _, x := range xs {
+			sb.WriteString(scheme.WriteString(eng.Interp().NewInt(int64(x))))
+			sb.WriteByte(' ')
+		}
+		sb.WriteString("))) '(")
+		for _, x := range xs {
+			sb.WriteString(scheme.WriteString(eng.Interp().NewInt(int64(x))))
+			sb.WriteByte(' ')
+		}
+		sb.WriteString("))")
+		v, err := eng.RunString(sb.String())
+		return err == nil && v == scheme.True
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,198 @@
+package scheme_test
+
+import (
+	"strings"
+	"testing"
+
+	"multiverse/internal/core"
+	"multiverse/internal/scheme"
+)
+
+// newNativeEngine builds an engine on a native (non-hybrid) system.
+func newNativeEngine(t *testing.T) (*scheme.Engine, *core.System) {
+	t.Helper()
+	sys, err := core.NewSystem(nil, core.Options{AppName: "scheme-test"})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	if err := scheme.InstallPrelude(sys.Kernel.FS()); err != nil {
+		t.Fatalf("InstallPrelude: %v", err)
+	}
+	eng, err := scheme.NewEngine(sys.NativeEnv())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	return eng, sys
+}
+
+// evalTo runs src and checks the written representation of the result.
+func evalTo(t *testing.T, eng *scheme.Engine, src, want string) {
+	t.Helper()
+	v, err := eng.RunString(src)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	if got := scheme.WriteString(v); got != want {
+		t.Errorf("eval %q = %s, want %s", src, got, want)
+	}
+}
+
+func TestEvalBasics(t *testing.T) {
+	eng, _ := newNativeEngine(t)
+	cases := [][2]string{
+		{"(+ 1 2 3)", "6"},
+		{"(* 2 3.5)", "7.0"},
+		{"(- 10 4 3)", "3"},
+		{"(/ 12 4)", "3"},
+		{"(/ 1 2)", "0.5"},
+		{"(quotient 17 5)", "3"},
+		{"(remainder 17 5)", "2"},
+		{"(modulo -7 3)", "2"},
+		{"(if (> 3 2) 'yes 'no)", "yes"},
+		{"(car '(1 2 3))", "1"},
+		{"(cdr '(1 2 3))", "(2 3)"},
+		{"(cons 1 2)", "(1 . 2)"},
+		{"(length '(a b c d))", "4"},
+		{"(append '(1 2) '(3 4) '(5))", "(1 2 3 4 5)"},
+		{"(reverse '(1 2 3))", "(3 2 1)"},
+		{"(let ((x 2) (y 3)) (* x y))", "6"},
+		{"(let* ((x 2) (y (* x x))) y)", "4"},
+		{"(letrec ((even? (lambda (n) (if (= n 0) #t (odd? (- n 1))))) (odd? (lambda (n) (if (= n 0) #f (even? (- n 1)))))) (even? 10))", "#t"},
+		{"(define (fact n) (if (= n 0) 1 (* n (fact (- n 1))))) (fact 10)", "3628800"},
+		{"((lambda (a . rest) (cons a rest)) 1 2 3)", "(1 2 3)"},
+		{"(map (lambda (x) (* x x)) '(1 2 3 4))", "(1 4 9 16)"},
+		{"(apply + 1 2 '(3 4))", "10"},
+		{"(vector-ref (vector 1 2 3) 1)", "2"},
+		{"(let ((v (make-vector 3 0))) (vector-set! v 1 9) (vector-ref v 1))", "9"},
+		{"(string-append \"foo\" \"bar\")", "\"foobar\""},
+		{"(substring \"hello\" 1 3)", "\"el\""},
+		{"(string->number \"42\")", "42"},
+		{"(number->string 3.5)", "\"3.5\""},
+		{"(cond ((= 1 2) 'a) ((= 1 1) 'b) (else 'c))", "b"},
+		{"(case 2 ((1) 'one) ((2 3) 'two-or-three) (else 'other))", "two-or-three"},
+		{"(and 1 2 3)", "3"},
+		{"(or #f #f 7)", "7"},
+		{"(do ((i 0 (+ i 1)) (acc 0 (+ acc i))) ((= i 5) acc))", "10"},
+		{"`(1 ,(+ 1 1) ,@(list 3 4))", "(1 2 3 4)"},
+		{"(let loop ((i 0) (acc '())) (if (= i 3) (reverse acc) (loop (+ i 1) (cons i acc))))", "(0 1 2)"},
+		{"(filter even? '(1 2 3 4 5 6))", "(2 4 6)"},
+		{"(fold-left + 0 '(1 2 3 4))", "10"},
+		{"(iota 4)", "(0 1 2 3)"},
+		{"(expt 2 10)", "1024"},
+		{"(sqrt 16.0)", "4.0"},
+		{"(min 3 1 2)", "1"},
+		{"(max 3 1 2)", "3"},
+		{"(assq 'b '((a 1) (b 2)))", "(b 2)"},
+		{"(equal? '(1 (2 3)) '(1 (2 3)))", "#t"},
+		{"(eq? 'a 'a)", "#t"},
+		{"(begin (define x 1) (set! x 5) x)", "5"},
+	}
+	for _, c := range cases {
+		evalTo(t, eng, c[0], c[1])
+	}
+}
+
+func TestTailCallsRunDeep(t *testing.T) {
+	eng, _ := newNativeEngine(t)
+	// A loop of 500k iterations would blow the Go stack without TCO.
+	evalTo(t, eng,
+		"(define (loop n acc) (if (= n 0) acc (loop (- n 1) (+ acc 1)))) (loop 500000 0)",
+		"500000")
+}
+
+func TestGCCollectsAndRuns(t *testing.T) {
+	eng, sys := newNativeEngine(t)
+	// Allocate enough garbage to force several collections.
+	evalTo(t, eng, `
+		(define (churn n)
+		  (if (= n 0)
+		      'done
+		      (begin (make-vector 100 n) (churn (- n 1)))))
+		(churn 5000)`, "done")
+	gc := eng.Interp().GC()
+	if gc.Collections == 0 {
+		t.Error("no collections ran")
+	}
+	st := sys.Proc.Stats()
+	if st.Syscalls[9] == 0 { // mmap
+		t.Error("no heap mmap traffic")
+	}
+	if st.Syscalls[11] == 0 { // munmap
+		t.Error("no segments were ever freed")
+	}
+	if st.MinorFaults == 0 {
+		t.Error("no demand paging happened")
+	}
+}
+
+func TestGCWriteBarrierFaults(t *testing.T) {
+	eng, _ := newNativeEngine(t)
+	// Build a long-lived structure, force a collection (protecting its
+	// segments), then mutate it: the mutation must take barrier faults.
+	evalTo(t, eng, `
+		(define keep (make-vector 2000 0))
+		(collect-garbage)
+		(let loop ((i 0))
+		  (if (= i 2000) 'mutated
+		      (begin (vector-set! keep i i) (loop (+ i 1)))))`,
+		"mutated")
+	gc := eng.Interp().GC()
+	if gc.BarrierFaults == 0 {
+		t.Error("mutating protected segments raised no barrier faults")
+	}
+	evalTo(t, eng, "(vector-ref keep 1999)", "1999")
+}
+
+func TestOutputThroughWriteSyscall(t *testing.T) {
+	eng, sys := newNativeEngine(t)
+	if _, err := eng.RunString(`(display "hello") (newline) (display 42) (newline)`); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := string(sys.Proc.Stdout())
+	if out != "hello\n42\n" {
+		t.Errorf("stdout = %q", out)
+	}
+	st := sys.Proc.Stats()
+	if st.Syscalls[1] == 0 { // write
+		t.Error("display did not go through write(2)")
+	}
+}
+
+func TestREPL(t *testing.T) {
+	eng, sys := newNativeEngine(t)
+	sys.Proc.SetStdin([]byte("(+ 1 2)\n(define v 10)\n(* v v)\n"))
+	if err := eng.REPL(); err != nil {
+		t.Fatalf("REPL: %v", err)
+	}
+	out := string(sys.Proc.Stdout())
+	if !strings.Contains(out, "> 3") || !strings.Contains(out, "> 100") {
+		t.Errorf("REPL output = %q", out)
+	}
+}
+
+func TestSchedulerTimerFires(t *testing.T) {
+	eng, sys := newNativeEngine(t)
+	evalTo(t, eng,
+		"(define (spin n) (if (= n 0) 'ok (spin (- n 1)))) (spin 2000000)",
+		"ok")
+	if eng.Interp().TimerFires() == 0 {
+		t.Error("interval timer never fired during a long computation")
+	}
+	st := sys.Proc.Stats()
+	if st.Syscalls[38] == 0 { // setitimer
+		t.Error("engine never armed the timer")
+	}
+}
+
+func TestErrorsSurface(t *testing.T) {
+	eng, _ := newNativeEngine(t)
+	if _, err := eng.RunString("(car 5)"); err == nil {
+		t.Error("car of non-pair should error")
+	}
+	if _, err := eng.RunString("(undefined-proc 1)"); err == nil {
+		t.Error("unbound variable should error")
+	}
+	if _, err := eng.RunString("(error \"boom\" 42)"); err == nil {
+		t.Error("(error) should error")
+	}
+}

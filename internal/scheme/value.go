@@ -1,0 +1,250 @@
+// Package scheme is the runtime system Multiverse hybridizes in this
+// reproduction: a from-scratch Scheme interpreter standing in for Racket.
+//
+// Like Racket, it is a dynamic-language runtime whose execution is full of
+// low-level OS interactions (the paper's Figure 10 point): its heap is
+// built from mmap'd segments, its garbage collector uses mprotect and
+// SIGSEGV-driven write barriers (the SenoraGC/precise-GC discipline), its
+// cooperative green threads ride on setitimer/poll, and it loads its
+// prelude through the filesystem. Every one of those interactions goes
+// through the simulated Linux ABI — natively, virtualized, or forwarded
+// from kernel mode when hybridized.
+package scheme
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates heap objects.
+type Kind uint8
+
+// Object kinds.
+const (
+	KNil Kind = iota
+	KBool
+	KInt
+	KFloat
+	KChar
+	KSymbol
+	KString
+	KPair
+	KVector
+	KClosure
+	KBuiltin
+	KUnspecified
+	KEOF
+	KPort
+)
+
+// Obj is one Scheme value. Objects live in GC segments: Addr is the
+// simulated heap address of the cell, and seg points at its segment for
+// the write barrier. Immediate-like values (small ints, booleans, nil)
+// are preallocated and have no segment.
+type Obj struct {
+	Kind Kind
+
+	Int   int64
+	Float float64
+	Str   []byte // KString (mutable, as in Scheme), KSymbol (name)
+	Car   *Obj
+	Cdr   *Obj
+	Vec   []*Obj
+
+	// Closure fields.
+	Params []*Obj // parameter symbols
+	Rest   *Obj   // rest parameter symbol or nil
+	Body   []*Obj
+	Env    *Frame
+
+	// Builtin fields.
+	Name string
+	Fn   func(in *Interp, args []*Obj) (*Obj, error)
+
+	Addr uint64 // simulated heap address (0 for immediates)
+	seg  *segment
+	mark bool
+}
+
+// Preallocated immediates.
+var (
+	Nil         = &Obj{Kind: KNil}
+	True        = &Obj{Kind: KBool, Int: 1}
+	False       = &Obj{Kind: KBool}
+	Unspecified = &Obj{Kind: KUnspecified}
+	EOFObject   = &Obj{Kind: KEOF}
+)
+
+// Boolean wraps a Go bool.
+func Boolean(b bool) *Obj {
+	if b {
+		return True
+	}
+	return False
+}
+
+// Truthy follows Scheme: everything but #f is true.
+func Truthy(o *Obj) bool { return o != False }
+
+// IsNumber reports int or float.
+func IsNumber(o *Obj) bool { return o.Kind == KInt || o.Kind == KFloat }
+
+// AsFloat widens a number to float64.
+func AsFloat(o *Obj) float64 {
+	if o.Kind == KInt {
+		return float64(o.Int)
+	}
+	return o.Float
+}
+
+// Frame is one lexical environment frame. Frames are heap-allocated
+// conceptually but represented natively; the GC treats the frame chain as
+// roots through the interpreter's thread state.
+type Frame struct {
+	vars   map[*Obj]*Obj // symbol -> value
+	parent *Frame
+}
+
+// NewFrame makes a child frame.
+func NewFrame(parent *Frame) *Frame {
+	return &Frame{vars: make(map[*Obj]*Obj, 8), parent: parent}
+}
+
+// Lookup resolves a symbol through the frame chain.
+func (f *Frame) Lookup(sym *Obj) (*Obj, bool) {
+	for fr := f; fr != nil; fr = fr.parent {
+		if v, ok := fr.vars[sym]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Define binds a symbol in this frame.
+func (f *Frame) Define(sym *Obj, v *Obj) { f.vars[sym] = v }
+
+// Set assigns an existing binding, reporting whether it was found.
+func (f *Frame) Set(sym *Obj, v *Obj) bool {
+	for fr := f; fr != nil; fr = fr.parent {
+		if _, ok := fr.vars[sym]; ok {
+			fr.vars[sym] = v
+			return true
+		}
+	}
+	return false
+}
+
+// ListToSlice converts a proper list to a slice; ok is false for improper
+// lists.
+func ListToSlice(o *Obj) ([]*Obj, bool) {
+	var out []*Obj
+	for cur := o; ; {
+		switch cur.Kind {
+		case KNil:
+			return out, true
+		case KPair:
+			out = append(out, cur.Car)
+			cur = cur.Cdr
+		default:
+			return out, false
+		}
+	}
+}
+
+// WriteString renders o in (write)-style notation.
+func WriteString(o *Obj) string {
+	var b strings.Builder
+	writeObj(&b, o, true, make(map[*Obj]bool))
+	return b.String()
+}
+
+// DisplayString renders o in (display)-style notation.
+func DisplayString(o *Obj) string {
+	var b strings.Builder
+	writeObj(&b, o, false, make(map[*Obj]bool))
+	return b.String()
+}
+
+func writeObj(b *strings.Builder, o *Obj, write bool, seen map[*Obj]bool) {
+	if o == nil {
+		b.WriteString("#<null>")
+		return
+	}
+	switch o.Kind {
+	case KNil:
+		b.WriteString("()")
+	case KBool:
+		if o == True {
+			b.WriteString("#t")
+		} else {
+			b.WriteString("#f")
+		}
+	case KInt:
+		b.WriteString(strconv.FormatInt(o.Int, 10))
+	case KFloat:
+		s := strconv.FormatFloat(o.Float, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") && !strings.Contains(s, "Inf") && !strings.Contains(s, "NaN") {
+			s += ".0"
+		}
+		b.WriteString(s)
+	case KChar:
+		if write {
+			b.WriteString("#\\")
+		}
+		b.WriteRune(rune(o.Int))
+	case KSymbol:
+		b.Write(o.Str)
+	case KString:
+		if write {
+			b.WriteString(strconv.Quote(string(o.Str)))
+		} else {
+			b.Write(o.Str)
+		}
+	case KPair:
+		if seen[o] {
+			b.WriteString("#<cycle>")
+			return
+		}
+		seen[o] = true
+		b.WriteByte('(')
+		cur := o
+		first := true
+		for cur.Kind == KPair {
+			if !first {
+				b.WriteByte(' ')
+			}
+			writeObj(b, cur.Car, write, seen)
+			first = false
+			cur = cur.Cdr
+			if seen[cur] {
+				break
+			}
+		}
+		if cur.Kind != KNil {
+			b.WriteString(" . ")
+			writeObj(b, cur, write, seen)
+		}
+		b.WriteByte(')')
+		delete(seen, o)
+	case KVector:
+		b.WriteString("#(")
+		for i, e := range o.Vec {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			writeObj(b, e, write, seen)
+		}
+		b.WriteByte(')')
+	case KClosure:
+		b.WriteString("#<procedure>")
+	case KBuiltin:
+		fmt.Fprintf(b, "#<procedure:%s>", o.Name)
+	case KUnspecified:
+		b.WriteString("#<void>")
+	case KEOF:
+		b.WriteString("#<eof>")
+	default:
+		fmt.Fprintf(b, "#<unknown:%d>", o.Kind)
+	}
+}

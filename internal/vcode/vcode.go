@@ -1,0 +1,329 @@
+// Package vcode is a second guest runtime for Multiverse: a stack-based
+// vector virtual machine in the mould of the NESL VCODE interpreter — one
+// of the three runtimes the paper's group hand-ported to Nautilus
+// (section 2) and a natural target for automatic hybridization.
+//
+// The VM executes a small data-parallel instruction set over
+// double-precision vectors. Its memory discipline is what matters for
+// Multiverse: every vector lives in its own mmap'd region (released with
+// munmap when popped), and results leave through write(2) — so a VCODE
+// program produces the same class of legacy-ABI traffic as any real
+// vector interpreter, and hybridization forwards all of it.
+package vcode
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"multiverse/internal/cycles"
+	"multiverse/internal/linuxabi"
+	"multiverse/internal/ros"
+)
+
+// OS is the consumer-side view of the execution environment (a subset of
+// core.Env, as with the Scheme runtime).
+type OS interface {
+	Clock() *cycles.Clock
+	Compute(c cycles.Cycles)
+	Syscall(call linuxabi.Call) linuxabi.Result
+	Touch(addr uint64, write bool) error
+	CheckTimer() bool
+	RegisterSignalCode(addr uint64, fn func(*ros.SignalContext))
+}
+
+// elemCost is the virtual cost of one elementwise operation.
+const elemCost = 6
+
+// vector is one stack slot: data plus its mmap'd backing region.
+type vector struct {
+	data []float64
+	addr uint64
+	size uint64
+}
+
+// Op is one decoded instruction.
+type Op struct {
+	Name string
+	Args []float64
+	Line int
+}
+
+// Program is a parsed VCODE program.
+type Program struct {
+	Ops []Op
+}
+
+// Parse reads the one-instruction-per-line assembly format. Lines starting
+// with ';' are comments.
+func Parse(src string) (*Program, error) {
+	var p Program
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		fields := strings.Fields(line)
+		op := Op{Name: strings.ToUpper(fields[0]), Line: lineNo + 1}
+		for _, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("vcode: line %d: bad operand %q", lineNo+1, f)
+			}
+			op.Args = append(op.Args, v)
+		}
+		p.Ops = append(p.Ops, op)
+	}
+	return &p, nil
+}
+
+// VM is one interpreter instance.
+type VM struct {
+	os    OS
+	stack []*vector
+
+	// Stats.
+	Executed uint64
+	Allocs   uint64
+}
+
+// NewVM prepares a VM on the environment. Like any runtime it announces
+// itself to the OS (a small startup syscall footprint).
+func NewVM(osenv OS) *VM {
+	vm := &VM{os: osenv}
+	_ = osenv.Syscall(linuxabi.Call{Num: linuxabi.SysGetpid})
+	return vm
+}
+
+// alloc maps a backing region for n elements and touches its pages in
+// (the interpreter writes the vector immediately).
+func (vm *VM) alloc(n int) (*vector, error) {
+	size := uint64(n*8+4095) &^ 4095
+	if size == 0 {
+		size = 4096
+	}
+	res := vm.os.Syscall(linuxabi.Call{
+		Num: linuxabi.SysMmap,
+		Args: [6]uint64{
+			0, size,
+			linuxabi.ProtRead | linuxabi.ProtWrite,
+			linuxabi.MapPrivate | linuxabi.MapAnonymous,
+		},
+	})
+	if !res.Ok() {
+		return nil, fmt.Errorf("vcode: vector mmap: %v", res.Err)
+	}
+	for off := uint64(0); off < size; off += 4096 {
+		if err := vm.os.Touch(res.Ret+off, true); err != nil {
+			return nil, fmt.Errorf("vcode: vector touch: %w", err)
+		}
+	}
+	vm.Allocs++
+	return &vector{data: make([]float64, n), addr: res.Ret, size: size}, nil
+}
+
+func (vm *VM) free(v *vector) {
+	_ = vm.os.Syscall(linuxabi.Call{Num: linuxabi.SysMunmap, Args: [6]uint64{v.addr, v.size}})
+}
+
+func (vm *VM) push(v *vector) { vm.stack = append(vm.stack, v) }
+
+func (vm *VM) pop() (*vector, error) {
+	if len(vm.stack) == 0 {
+		return nil, fmt.Errorf("vcode: stack underflow")
+	}
+	v := vm.stack[len(vm.stack)-1]
+	vm.stack = vm.stack[:len(vm.stack)-1]
+	return v, nil
+}
+
+// Depth returns the current stack depth.
+func (vm *VM) Depth() int { return len(vm.stack) }
+
+// Run executes the program, writing WRITE output through the environment.
+func (vm *VM) Run(p *Program) error {
+	for _, op := range p.Ops {
+		vm.Executed++
+		vm.os.CheckTimer()
+		if err := vm.step(op); err != nil {
+			return fmt.Errorf("vcode: line %d (%s): %w", op.Line, op.Name, err)
+		}
+	}
+	return nil
+}
+
+func (vm *VM) step(op Op) error {
+	charge := func(n int) { vm.os.Compute(cycles.Cycles(n) * elemCost) }
+
+	binary := func(f func(a, b float64) float64) error {
+		b, err := vm.pop()
+		if err != nil {
+			return err
+		}
+		a, err := vm.pop()
+		if err != nil {
+			return err
+		}
+		if len(a.data) != len(b.data) {
+			return fmt.Errorf("length mismatch %d vs %d", len(a.data), len(b.data))
+		}
+		out, err := vm.alloc(len(a.data))
+		if err != nil {
+			return err
+		}
+		for i := range a.data {
+			out.data[i] = f(a.data[i], b.data[i])
+		}
+		charge(len(a.data))
+		vm.free(a)
+		vm.free(b)
+		vm.push(out)
+		return nil
+	}
+
+	reduce := func(init float64, f func(acc, x float64) float64) error {
+		a, err := vm.pop()
+		if err != nil {
+			return err
+		}
+		acc := init
+		for _, x := range a.data {
+			acc = f(acc, x)
+		}
+		charge(len(a.data))
+		vm.free(a)
+		out, err := vm.alloc(1)
+		if err != nil {
+			return err
+		}
+		out.data[0] = acc
+		vm.push(out)
+		return nil
+	}
+
+	switch op.Name {
+	case "CONST": // CONST n v
+		if len(op.Args) != 2 {
+			return fmt.Errorf("want n and v")
+		}
+		n := int(op.Args[0])
+		out, err := vm.alloc(n)
+		if err != nil {
+			return err
+		}
+		for i := range out.data {
+			out.data[i] = op.Args[1]
+		}
+		charge(n)
+		vm.push(out)
+		return nil
+	case "IOTA": // IOTA n
+		if len(op.Args) != 1 {
+			return fmt.Errorf("want n")
+		}
+		n := int(op.Args[0])
+		out, err := vm.alloc(n)
+		if err != nil {
+			return err
+		}
+		for i := range out.data {
+			out.data[i] = float64(i)
+		}
+		charge(n)
+		vm.push(out)
+		return nil
+	case "ADD":
+		return binary(func(a, b float64) float64 { return a + b })
+	case "SUB":
+		return binary(func(a, b float64) float64 { return a - b })
+	case "MUL":
+		return binary(func(a, b float64) float64 { return a * b })
+	case "DIV":
+		return binary(func(a, b float64) float64 { return a / b })
+	case "MAXV":
+		return binary(math.Max)
+	case "SCALE": // SCALE v — multiply top by constant
+		if len(op.Args) != 1 {
+			return fmt.Errorf("want v")
+		}
+		a, err := vm.pop()
+		if err != nil {
+			return err
+		}
+		for i := range a.data {
+			a.data[i] *= op.Args[0]
+		}
+		charge(len(a.data))
+		vm.push(a)
+		return nil
+	case "SCAN": // inclusive prefix sum
+		a, err := vm.pop()
+		if err != nil {
+			return err
+		}
+		acc := 0.0
+		for i, x := range a.data {
+			acc += x
+			a.data[i] = acc
+		}
+		charge(len(a.data))
+		vm.push(a)
+		return nil
+	case "SUM":
+		return reduce(0, func(acc, x float64) float64 { return acc + x })
+	case "MAX":
+		return reduce(math.Inf(-1), math.Max)
+	case "MIN":
+		return reduce(math.Inf(1), math.Min)
+	case "DUP":
+		if len(vm.stack) == 0 {
+			return fmt.Errorf("stack underflow")
+		}
+		top := vm.stack[len(vm.stack)-1]
+		out, err := vm.alloc(len(top.data))
+		if err != nil {
+			return err
+		}
+		copy(out.data, top.data)
+		charge(len(top.data))
+		vm.push(out)
+		return nil
+	case "POP":
+		v, err := vm.pop()
+		if err != nil {
+			return err
+		}
+		vm.free(v)
+		return nil
+	case "WRITE": // pop and print
+		v, err := vm.pop()
+		if err != nil {
+			return err
+		}
+		var b strings.Builder
+		b.WriteByte('[')
+		for i, x := range v.data {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+		}
+		b.WriteString("]\n")
+		out := []byte(b.String())
+		res := vm.os.Syscall(linuxabi.Call{
+			Num:  linuxabi.SysWrite,
+			Args: [6]uint64{1, v.addr, uint64(len(out))},
+			Data: out,
+		})
+		vm.free(v)
+		if !res.Ok() {
+			return fmt.Errorf("write: %v", res.Err)
+		}
+		return nil
+	case "HALT":
+		return nil
+	default:
+		return fmt.Errorf("unknown instruction")
+	}
+}

@@ -22,31 +22,94 @@ import (
 	"multiverse/internal/machine"
 	"multiverse/internal/ros"
 	"multiverse/internal/scheme"
+	"multiverse/internal/telemetry"
 	"multiverse/internal/vfs"
 )
 
 // newHybrid builds an initialized hybrid system for microbenchmarks.
 func newHybrid(b *testing.B, hrtCore machine.CoreID) *core.System {
 	b.Helper()
+	sys, err := newHybridOpts(hrtCore, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+func newHybridOpts(hrtCore machine.CoreID, tracer *telemetry.Tracer) (*core.System, error) {
 	fat, err := core.Build(core.BuildInput{
 		App:        core.NewAppImage("bench"),
 		AeroKernel: core.NewAeroKernelImage(),
 	})
 	if err != nil {
-		b.Fatal(err)
+		return nil, err
 	}
 	sys, err := core.NewSystem(fat, core.Options{
 		Hybrid:   true,
 		AppName:  "bench",
 		HRTCores: []machine.CoreID{hrtCore},
+		Tracer:   tracer,
 	})
 	if err != nil {
-		b.Fatal(err)
+		return nil, err
 	}
 	if err := sys.InitRuntime(); err != nil {
-		b.Fatal(err)
+		return nil, err
 	}
-	return sys
+	return sys, nil
+}
+
+// TestFig2TelemetryInvariance pins the telemetry layer's core contract:
+// recording spans and metrics never advances a virtual clock, so every
+// Figure 2 latency is identical — not merely close — with tracing on.
+func TestFig2TelemetryInvariance(t *testing.T) {
+	measure := func(tracer *telemetry.Tracer) map[string]cycles.Cycles {
+		sys, err := newHybridOpts(1, tracer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clk := sys.Main.Clock
+		out := make(map[string]cycles.Cycles)
+
+		start := clk.Now()
+		if err := sys.HVM.MergeAddressSpace(clk, sys.Proc.CR3()); err != nil {
+			t.Fatal(err)
+		}
+		out["merger"] = clk.Now() - start
+
+		noop := sys.AK.RegisterFunc("inv_noop", func(*aerokernel.Thread, []uint64) uint64 { return 0 })
+		start = clk.Now()
+		if _, err := sys.HVM.AsyncCall(clk, noop); err != nil {
+			t.Fatal(err)
+		}
+		out["async"] = clk.Now() - start
+
+		s, err := sys.HVM.SetupSync(clk, 0x7f55_0000_0000, sys.Kernel.BootCore(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		pollClk := cycles.NewClock(clk.Now())
+		go func() {
+			for s.Poll(pollClk, func(fn uint64, args []uint64) uint64 { return 0 }) {
+			}
+		}()
+		start = clk.Now()
+		if _, err := s.Invoke(clk, noop); err != nil {
+			t.Fatal(err)
+		}
+		out["sync"] = clk.Now() - start
+		return out
+	}
+
+	off := measure(nil)
+	on := measure(telemetry.New())
+	for name, want := range off {
+		if got := on[name]; got != want {
+			t.Errorf("%s latency changed with tracing on: %d vs %d cycles (delta %d)",
+				name, got, want, int64(got)-int64(want))
+		}
+	}
 }
 
 func reportVCycles(b *testing.B, total cycles.Cycles) {

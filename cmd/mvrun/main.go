@@ -9,6 +9,7 @@
 //	mvrun -world native program.scm
 //	echo '(+ 1 2)' | mvrun -world multiverse -repl
 //	mvrun -bench binary-tree-2 -world multiverse
+//	mvrun -bench fasta -world multiverse -trace=out.json -metrics
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"multiverse/internal/bench"
 	"multiverse/internal/core"
 	"multiverse/internal/scheme"
+	"multiverse/internal/telemetry"
 	"multiverse/internal/vcode"
 	"multiverse/internal/vfs"
 )
@@ -32,9 +34,11 @@ func main() {
 	benchName := flag.String("bench", "", "run a named paper benchmark instead of a file")
 	stats := flag.Bool("stats", false, "print run statistics afterwards")
 	hotspots := flag.Bool("hotspots", false, "print the legacy-interface hotspot report (multiverse world only)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in Perfetto)")
+	metrics := flag.Bool("metrics", false, "dump the run's metrics registry to stderr afterwards")
 	flag.Parse()
 
-	if err := run(*world, *runtimeName, *expr, *repl, *benchName, *stats, *hotspots, flag.Args()); err != nil {
+	if err := run(*world, *runtimeName, *expr, *repl, *benchName, *stats, *hotspots, *tracePath, *metrics, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "mvrun: %v\n", err)
 		os.Exit(1)
 	}
@@ -53,7 +57,7 @@ func parseWorld(s string) (core.World, error) {
 	}
 }
 
-func run(worldName, runtimeName, expr string, repl bool, benchName string, stats, hotspots bool, args []string) error {
+func run(worldName, runtimeName, expr string, repl bool, benchName string, stats, hotspots bool, tracePath string, metrics bool, args []string) error {
 	w, err := parseWorld(worldName)
 	if err != nil {
 		return err
@@ -62,12 +66,19 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 		return fmt.Errorf("unknown runtime %q (want scheme or vcode)", runtimeName)
 	}
 
+	// Telemetry: tracing costs only when requested; the metrics registry
+	// always exists (counters are near-free) and is dumped on demand.
+	var tracer *telemetry.Tracer
+	if tracePath != "" {
+		tracer = telemetry.New()
+	}
+
 	if benchName != "" {
 		prog, ok := bench.ProgramByName(benchName)
 		if !ok {
 			return fmt.Errorf("unknown benchmark %q", benchName)
 		}
-		res, err := bench.RunBenchmark(prog, w)
+		res, err := bench.RunBenchmarkCfg(prog, w, bench.RunConfig{Tracer: tracer})
 		if err != nil {
 			return err
 		}
@@ -75,7 +86,10 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 		if stats {
 			printStats(res)
 		}
-		return nil
+		if metrics {
+			fmt.Fprint(os.Stderr, res.Metrics.Dump())
+		}
+		return writeTrace(tracer, tracePath)
 	}
 
 	// Assemble the program source.
@@ -99,7 +113,7 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 	if err := scheme.InstallPrelude(fs); err != nil {
 		return err
 	}
-	sys, err := bench.NewSystemForWorld(w, fs, "mvrun")
+	sys, err := bench.NewSystemForWorldCfg(w, fs, "mvrun", bench.RunConfig{Tracer: tracer})
 	if err != nil {
 		return err
 	}
@@ -153,16 +167,40 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 		fmt.Fprintf(os.Stderr, "\n[%s] %.4f virtual seconds, %d syscalls, %d faults, %d ctx switches\n",
 			w, sys.Main.Clock.Now().Seconds(), st.TotalSyscalls(),
 			st.MinorFaults+st.MajorFaults, st.VoluntaryCS+st.InvoluntaryCS)
+		// The boundary line prints in every world: the baselines simply
+		// have an empty boundary (all zeros), which is itself informative.
+		var fwdSys, fwdFaults uint64
+		var merges int
 		if sys.AK != nil {
-			fmt.Fprintf(os.Stderr, "[%s] forwarded: %d syscalls, %d page faults; merges: %d\n",
-				w, sys.AK.ForwardedSyscalls(), sys.AK.ForwardedFaults(), sys.AK.MergeCount())
+			fwdSys, fwdFaults, merges = sys.AK.ForwardedSyscalls(), sys.AK.ForwardedFaults(), sys.AK.MergeCount()
 		}
+		fmt.Fprintf(os.Stderr, "[%s] forwarded: %d syscalls, %d page faults; merges: %d\n",
+			w, fwdSys, fwdFaults, merges)
+	}
+	if metrics {
+		fmt.Fprint(os.Stderr, sys.Metrics().Dump())
 	}
 	if hotspots && sys.AK != nil {
 		fmt.Fprintln(os.Stderr)
 		fmt.Fprint(os.Stderr, sys.Hotspots().Report())
 	}
-	return nil
+	return writeTrace(tracer, tracePath)
+}
+
+// writeTrace exports the recorded spans as Chrome trace-event JSON.
+func writeTrace(tracer *telemetry.Tracer, path string) error {
+	if tracer == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	return f.Close()
 }
 
 func printStats(res *bench.RunResult) {
@@ -170,10 +208,10 @@ func printStats(res *bench.RunResult) {
 	fmt.Fprintf(os.Stderr, "  syscalls=%d faults=%d maxrss=%dKb ctxsw=%d\n",
 		res.Stats.TotalSyscalls(), res.Stats.MinorFaults+res.Stats.MajorFaults,
 		res.Stats.MaxRSSKb(), res.Stats.VoluntaryCS+res.Stats.InvoluntaryCS)
-	if res.World == core.WorldHRT {
-		fmt.Fprintf(os.Stderr, "  forwarded: syscalls=%d faults=%d merges=%d\n",
-			res.ForwardedSyscalls, res.ForwardedFaults, res.Merges)
-	}
+	// Uniform across worlds: the baselines report an empty boundary
+	// rather than omitting the line.
+	fmt.Fprintf(os.Stderr, "  forwarded: syscalls=%d faults=%d merges=%d\n",
+		res.ForwardedSyscalls, res.ForwardedFaults, res.Merges)
 	fmt.Fprintf(os.Stderr, "  gc: collections=%d barrier-faults=%d reductions=%d\n",
 		res.GCCollections, res.BarrierFaults, res.Reductions)
 }

@@ -6,6 +6,7 @@
 //
 //	mvtool build -app myapp -overrides overrides.conf -o myapp.fat
 //	mvtool inspect myapp.fat
+//	mvtool trace out.json
 package main
 
 import (
@@ -27,6 +28,8 @@ func main() {
 		err = build(os.Args[2:])
 	case "inspect":
 		err = inspect(os.Args[2:])
+	case "trace":
+		err = traceCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -39,6 +42,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: mvtool build -app NAME [-overrides FILE] -o OUT.fat")
 	fmt.Fprintln(os.Stderr, "       mvtool inspect FILE.fat")
+	fmt.Fprintln(os.Stderr, "       mvtool trace [-top N] FILE.json")
 	os.Exit(2)
 }
 

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// traceCmd summarizes a Chrome trace-event JSON produced by
+// `mvrun -trace`: top spans by cumulative cycles, and per-event-kind
+// latency percentiles for the boundary-crossing spans.
+func traceCmd(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	top := fs.Int("top", 15, "how many span names to list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: mvtool trace [-top N] FILE.json")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+			Tid  int    `json:"tid"`
+			Args struct {
+				Cycles uint64 `json:"cycles"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("parsing trace: %w", err)
+	}
+
+	type agg struct {
+		name   string
+		cat    string
+		count  uint64
+		cycles uint64
+		each   []uint64
+	}
+	byName := make(map[string]*agg)
+	events := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		events++
+		a := byName[ev.Name]
+		if a == nil {
+			a = &agg{name: ev.Name, cat: ev.Cat}
+			byName[ev.Name] = a
+		}
+		a.count++
+		a.cycles += ev.Args.Cycles
+		a.each = append(a.each, ev.Args.Cycles)
+	}
+	if events == 0 {
+		return fmt.Errorf("no span events in %s", fs.Arg(0))
+	}
+
+	all := make([]*agg, 0, len(byName))
+	for _, a := range byName {
+		all = append(all, a)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].cycles != all[j].cycles {
+			return all[i].cycles > all[j].cycles
+		}
+		return all[i].name < all[j].name
+	})
+
+	fmt.Printf("%d spans, %d distinct names\n\n", events, len(all))
+	fmt.Printf("top spans by cumulative cycles:\n")
+	fmt.Printf("  %-28s %-10s %8s %14s %12s\n", "span", "cat", "count", "cycles", "mean")
+	for i, a := range all {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("  %-28s %-10s %8d %14d %12d\n", a.name, a.cat, a.count, a.cycles, a.cycles/a.count)
+	}
+
+	fmt.Printf("\nper-event-kind latency percentiles (cycles):\n")
+	fmt.Printf("  %-28s %8s %10s %10s %10s\n", "kind", "count", "p50", "p90", "p99")
+	for _, a := range all {
+		if !strings.HasPrefix(a.name, "forward:") && !strings.HasPrefix(a.name, "sync-") &&
+			a.name != "merger" && a.name != "gc-pause" && a.name != "async-call" {
+			continue
+		}
+		sort.Slice(a.each, func(i, j int) bool { return a.each[i] < a.each[j] })
+		fmt.Printf("  %-28s %8d %10d %10d %10d\n", a.name, a.count,
+			pct(a.each, 0.50), pct(a.each, 0.90), pct(a.each, 0.99))
+	}
+	return nil
+}
+
+// pct returns the p-th percentile of sorted values (nearest-rank).
+func pct(sorted []uint64, p float64) uint64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

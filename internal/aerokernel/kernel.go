@@ -23,6 +23,7 @@ import (
 	"multiverse/internal/image"
 	"multiverse/internal/machine"
 	"multiverse/internal/paging"
+	"multiverse/internal/telemetry"
 )
 
 // AKFunc is an AeroKernel function callable by address or by name (the
@@ -75,6 +76,11 @@ type Kernel struct {
 	events chan *hvm.HRTRequest
 	halted bool
 
+	// Telemetry handed over by the HVM at boot (hvm.BootInfo). tracer may
+	// be nil (tracing off); metrics is never nil after Boot.
+	tracer  *telemetry.Tracer
+	metrics *telemetry.Registry
+
 	// Counters for the evaluation.
 	forwardedFaults   uint64
 	forwardedSyscalls uint64
@@ -99,6 +105,11 @@ func Boot(m *machine.Machine, info hvm.BootInfo) (*Kernel, error) {
 		nextFunc:  funcBase,
 		lastFault: make(map[machine.CoreID]uint64),
 		events:    make(chan *hvm.HRTRequest, 4),
+		tracer:    info.Tracer,
+		metrics:   info.Metrics,
+	}
+	if k.metrics == nil {
+		k.metrics = telemetry.NewRegistry()
 	}
 	zone := m.ZoneOfCore(info.Core)
 	space, err := paging.NewAddressSpace(m.Phys, zone, "hrt")
@@ -118,6 +129,7 @@ func Boot(m *machine.Machine, info hvm.BootInfo) (*Kernel, error) {
 		return nil, fmt.Errorf("aerokernel: higher-half identity map: %w", err)
 	}
 	k.space = space
+	space.SetTelemetry(k.metrics)
 
 	for _, c := range k.cores {
 		core := m.Core(c)
@@ -277,12 +289,20 @@ func (k *Kernel) ForwardedSyscalls() uint64 {
 // cr3) into the HRT's PML4 and broadcasts a TLB shootdown to all HRT
 // cores — the address-space merger superposition.
 func (k *Kernel) Merge(clk *cycles.Clock, onCore machine.CoreID, cr3 uint64) error {
+	track := telemetry.Track{Core: int(onCore), Name: "ak"}
+	sp := k.tracer.Begin(track, "merger", "merger", clk.Now(),
+		telemetry.Attr{Key: "cr3", Val: cr3})
+	defer func() { sp.EndAt(clk.Now()) }()
+	start := clk.Now()
 	rosSpace := paging.FromCR3(k.m.Phys, k.m.ZoneOfCore(onCore), cr3, "ros-merge-view")
 	k.mu.Lock()
 	space := k.space
 	k.mu.Unlock()
+	cp := k.tracer.Begin(track, "merger", "pml4-copy", clk.Now())
 	n, err := space.CopyLowerHalfFrom(rosSpace)
 	clk.Advance(cycles.Cycles(n) * k.cost.PML4EntryCopy)
+	cp.SetAttr("entries", uint64(n))
+	cp.EndAt(clk.Now())
 	if err != nil {
 		return fmt.Errorf("aerokernel: merger: %w", err)
 	}
@@ -296,12 +316,16 @@ func (k *Kernel) Merge(clk *cycles.Clock, onCore machine.CoreID, cr3 uint64) err
 			return fmt.Errorf("aerokernel: restoring AK memory slot: %w", err)
 		}
 	}
+	sd := k.tracer.Begin(track, "merger", "tlb-shootdown", clk.Now())
 	k.m.ShootdownTLB(onCore, k.cores)
+	sd.EndAt(clk.Now())
 	k.mu.Lock()
 	k.merged = true
 	k.rosCR3 = cr3
 	k.merges++
 	k.mu.Unlock()
+	k.metrics.Counter("ak.merges").Inc()
+	k.metrics.LatencyHistogram("ak.merge.latency").Observe(clk.Now() - start)
 	return nil
 }
 
@@ -428,6 +452,7 @@ func (k *Kernel) handleFault(t *Thread, f *machine.InterruptFrame) error {
 		k.mu.Lock()
 		k.remerges++
 		k.mu.Unlock()
+		k.metrics.Counter("ak.remerges").Inc()
 	} else if dup {
 		// Same address faulted twice in a row: the ROS must have
 		// changed a top-level mapping after our merger. Re-merge.
@@ -438,6 +463,7 @@ func (k *Kernel) handleFault(t *Thread, f *machine.InterruptFrame) error {
 		k.remerges++
 		delete(k.lastFault, t.Core)
 		k.mu.Unlock()
+		k.metrics.Counter("ak.remerges").Inc()
 		return nil
 	}
 
@@ -451,6 +477,7 @@ func (k *Kernel) handleFault(t *Thread, f *machine.InterruptFrame) error {
 	k.mu.Lock()
 	k.forwardedFaults++
 	k.mu.Unlock()
+	k.metrics.Counter("ak.forwarded_faults").Inc()
 	reply, err := ch.Forward(t.Clock, &hvm.Envelope{
 		Kind:       hvm.EvPageFault,
 		FaultAddr:  addr,

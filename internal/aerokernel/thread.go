@@ -248,6 +248,7 @@ func (t *Thread) Syscall(call linuxabi.Call) linuxabi.Result {
 	k.mu.Lock()
 	k.forwardedSyscalls++
 	k.mu.Unlock()
+	k.metrics.Counter("ak.forwarded_syscalls").Inc()
 
 	t.mu.Lock()
 	svc := t.syncSvc

@@ -9,7 +9,23 @@ import (
 	"multiverse/internal/cycles"
 	"multiverse/internal/linuxabi"
 	"multiverse/internal/machine"
+	"multiverse/internal/telemetry"
 )
+
+// latencyHistogramNotes appends one note per recorded boundary-latency
+// histogram so the figure carries a distribution, not just a mean —
+// future performance work has a trajectory to compare against.
+func latencyHistogramNotes(t *Table, reg *telemetry.Registry, names ...string) {
+	for _, name := range names {
+		h := reg.LatencyHistogram(name)
+		if h.Count() == 0 {
+			continue
+		}
+		t.AddNote("latency %s: n=%d mean=%d p50=%d p90=%d p99=%d cycles",
+			name, h.Count(), uint64(h.Mean()),
+			uint64(h.Quantile(0.50)), uint64(h.Quantile(0.90)), uint64(h.Quantile(0.99)))
+	}
+}
 
 // avgCycles averages a measured callback over runs, using the clock delta
 // around each call.
@@ -121,6 +137,8 @@ func Figure2(runs int) (*Table, error) {
 	row("Synchronous Call (different socket)", syncCross)
 	row("Synchronous Call (same socket)", syncSame)
 	t.AddNote("paper: ~33K / ~25K / ~1060 / ~790 cycles")
+	latencyHistogramNotes(t, sys.Metrics(),
+		"hvm.merge_request.latency", "hvm.async_call.latency", "sync.invoke.latency")
 	return t, nil
 }
 
@@ -264,6 +282,8 @@ func Figure9(runs int) (*Table, error) {
 	}
 	t.AddNote("vdso calls (getpid, gettimeofday) run slightly faster under Multiverse (sparse HRT TLB)")
 	t.AddNote("forwarded calls pay the ~25K-cycle event-channel round trip; copy-dominated 1 MiB calls amortize it")
+	latencyHistogramNotes(t, sysM.Metrics(),
+		"forward.syscall.latency", "forward.page-fault.latency", "sync.syscall.latency")
 	return t, nil
 }
 

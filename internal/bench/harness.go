@@ -8,6 +8,7 @@ import (
 	"multiverse/internal/cycles"
 	"multiverse/internal/ros"
 	"multiverse/internal/scheme"
+	"multiverse/internal/telemetry"
 	"multiverse/internal/vfs"
 )
 
@@ -33,6 +34,22 @@ type RunResult struct {
 	GCCollections uint64
 	BarrierFaults uint64
 	Reductions    uint64
+
+	// Telemetry of the run: Tracer is nil unless tracing was requested;
+	// Metrics is always populated.
+	Tracer  *telemetry.Tracer
+	Metrics *telemetry.Registry
+}
+
+// RunConfig carries the optional knobs of a benchmark run.
+type RunConfig struct {
+	// AKMemory switches the runtime's GC to AeroKernel memory management
+	// (WorldHRT only).
+	AKMemory bool
+	// Tracer records virtual-time spans for the run (nil = tracing off).
+	Tracer *telemetry.Tracer
+	// Metrics receives the run's counters; one is created when nil.
+	Metrics *telemetry.Registry
 }
 
 // BenchDir is where the harness installs program files.
@@ -60,7 +77,12 @@ func provisionFS(prog *Program) (*vfs.FS, error) {
 // three worlds. For WorldHRT the returned system is hybrid and already
 // initialized (AeroKernel booted, address spaces merged).
 func NewSystemForWorld(world core.World, fs *vfs.FS, name string) (*core.System, error) {
-	opts := core.Options{AppName: name, FS: fs}
+	return NewSystemForWorldCfg(world, fs, name, RunConfig{})
+}
+
+// NewSystemForWorldCfg is NewSystemForWorld with telemetry attached.
+func NewSystemForWorldCfg(world core.World, fs *vfs.FS, name string, cfg RunConfig) (*core.System, error) {
+	opts := core.Options{AppName: name, FS: fs, Tracer: cfg.Tracer, Metrics: cfg.Metrics}
 	switch world {
 	case core.WorldNative:
 	case core.WorldVirtual:
@@ -98,13 +120,20 @@ func NewSystemForWorld(world core.World, fs *vfs.FS, name string) (*core.System,
 
 // RunBenchmark executes one program in one world and collects the result.
 func RunBenchmark(prog Program, world core.World) (*RunResult, error) {
-	return RunBenchmarkEx(prog, world, false)
+	return RunBenchmarkCfg(prog, world, RunConfig{})
 }
 
 // RunBenchmarkEx additionally supports the incrementally ported
 // configuration: akMemory switches the runtime's GC to AeroKernel memory
 // management (only meaningful — and only permitted — in WorldHRT).
 func RunBenchmarkEx(prog Program, world core.World, akMemory bool) (*RunResult, error) {
+	return RunBenchmarkCfg(prog, world, RunConfig{AKMemory: akMemory})
+}
+
+// RunBenchmarkCfg is the full-configuration entry point: AK memory plus
+// telemetry.
+func RunBenchmarkCfg(prog Program, world core.World, cfg RunConfig) (*RunResult, error) {
+	akMemory := cfg.AKMemory
 	if akMemory && world != core.WorldHRT {
 		return nil, fmt.Errorf("bench: AK memory requires the Multiverse world")
 	}
@@ -112,7 +141,7 @@ func RunBenchmarkEx(prog Program, world core.World, akMemory bool) (*RunResult, 
 	if err != nil {
 		return nil, err
 	}
-	sys, err := NewSystemForWorld(world, fs, prog.Name)
+	sys, err := NewSystemForWorldCfg(world, fs, prog.Name, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -158,6 +187,8 @@ func RunBenchmarkEx(prog Program, world core.World, akMemory bool) (*RunResult, 
 		Cycles:  sys.Main.Clock.Now(),
 		Stats:   sys.Proc.Stats(),
 		Output:  out,
+		Tracer:  sys.Tracer(),
+		Metrics: sys.Metrics(),
 	}
 	res.Seconds = res.Cycles.Seconds()
 	if engRef != nil {

@@ -17,6 +17,7 @@ import (
 	"multiverse/internal/cycles"
 	"multiverse/internal/linuxabi"
 	"multiverse/internal/ros"
+	"multiverse/internal/telemetry"
 )
 
 // World identifies which of Figure 13's three configurations an Env
@@ -88,7 +89,12 @@ type nativeEnv struct {
 	proc   *ros.Process
 	thread *ros.Thread
 	world  World
+	scope  telemetry.Scope
 }
+
+// TelemetryScope exposes the environment's instruments to runtime layers
+// (the scheme GC) that discover telemetry by interface assertion.
+func (e *nativeEnv) TelemetryScope() telemetry.Scope { return e.scope }
 
 // NewNativeEnv wraps a ROS thread as an execution environment.
 func NewNativeEnv(p *ros.Process, t *ros.Thread) Env {
@@ -131,7 +137,13 @@ func (e *nativeEnv) RegisterSignalCode(addr uint64, fn func(*ros.SignalContext))
 
 func (e *nativeEnv) PthreadCreate(fn func(Env)) (PthreadJoin, error) {
 	nt := e.proc.NewThread(e.thread.Core)
-	child := &nativeEnv{proc: e.proc, thread: nt, world: e.world}
+	child := &nativeEnv{proc: e.proc, thread: nt, world: e.world, scope: telemetry.Scope{
+		Tracer:  e.scope.Tracer,
+		Metrics: e.scope.Metrics,
+		// Each thread gets its own track: span nesting stays per-context
+		// even when sibling threads interleave on a core.
+		Track: telemetry.Track{Core: int(nt.Core), Name: fmt.Sprintf("ros:thread:%d", nt.TID)},
+	}}
 	nt.Start(e.thread.Clock, func(t *ros.Thread) { fn(child) })
 	self := e.thread
 	return func() uint64 { return nt.Join(self) }, nil

@@ -10,6 +10,7 @@ import (
 	"multiverse/internal/linuxabi"
 	"multiverse/internal/machine"
 	"multiverse/internal/ros"
+	"multiverse/internal/telemetry"
 )
 
 // spawnSpec is the pending thread-creation request a partner thread hands
@@ -235,6 +236,16 @@ type hrtEnv struct {
 func (e *hrtEnv) World() World          { return WorldHRT }
 func (e *hrtEnv) Clock() *cycles.Clock  { return e.t.Clock }
 func (e *hrtEnv) Process() *ros.Process { return e.sys.Proc }
+
+// TelemetryScope exposes the run's instruments on the HRT thread's track;
+// layers above (the scheme GC) discover it by interface assertion.
+func (e *hrtEnv) TelemetryScope() telemetry.Scope {
+	return telemetry.Scope{
+		Tracer:  e.sys.tracer,
+		Metrics: e.sys.metrics,
+		Track:   telemetry.Track{Core: int(e.t.Core), Name: "hrt"},
+	}
+}
 
 func (e *hrtEnv) Compute(c cycles.Cycles) {
 	e.t.Clock.Advance(c)

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"multiverse/internal/cycles"
 	"multiverse/internal/linuxabi"
+	"multiverse/internal/telemetry"
 )
 
 // The hotspot profile operationalizes the paper's incremental methodology:
@@ -17,6 +17,14 @@ import (
 // forwards is attributed here with its full round-trip cost, and the
 // report ranks legacy dependencies by the cycles they burn — the porting
 // worklist.
+//
+// The profile keeps no bookkeeping of its own: it is a read view over the
+// system's telemetry registry, where each forwarded dependency is a pair
+// of counters, `hotspot.<name>.count` and `hotspot.<name>.cycles`. The
+// same numbers therefore appear in the --metrics dump.
+
+// hotspotPrefix namespaces the profile's counters in the registry.
+const hotspotPrefix = "hotspot."
 
 // HotspotEntry is one legacy dependency's aggregate cost.
 type HotspotEntry struct {
@@ -25,34 +33,53 @@ type HotspotEntry struct {
 	Cycles cycles.Cycles
 }
 
-// HotspotProfile accumulates forwarded-event costs.
+// HotspotProfile reads forwarded-event costs out of a metrics registry.
 type HotspotProfile struct {
-	mu      sync.Mutex
-	entries map[string]*HotspotEntry
+	reg *telemetry.Registry
 }
 
+// newHotspotProfile returns a profile over a private registry (tests and
+// standalone use; a System's profile shares the run's registry instead).
 func newHotspotProfile() *HotspotProfile {
-	return &HotspotProfile{entries: make(map[string]*HotspotEntry)}
+	return &HotspotProfile{reg: telemetry.NewRegistry()}
 }
 
 func (hp *HotspotProfile) record(name string, cost cycles.Cycles) {
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
-	e := hp.entries[name]
-	if e == nil {
-		e = &HotspotEntry{Name: name}
-		hp.entries[name] = e
-	}
-	e.Count++
-	e.Cycles += cost
+	hp.reg.Counter(hotspotPrefix + name + ".count").Inc()
+	hp.reg.Counter(hotspotPrefix + name + ".cycles").Add(uint64(cost))
 }
 
 // Entries returns the profile sorted by total cycles, descending.
 func (hp *HotspotProfile) Entries() []HotspotEntry {
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
-	out := make([]HotspotEntry, 0, len(hp.entries))
-	for _, e := range hp.entries {
+	byName := make(map[string]*HotspotEntry)
+	hp.reg.EachCounter(func(name string, v uint64) {
+		if !strings.HasPrefix(name, hotspotPrefix) {
+			return
+		}
+		rest := strings.TrimPrefix(name, hotspotPrefix)
+		var dep string
+		var isCount bool
+		switch {
+		case strings.HasSuffix(rest, ".count"):
+			dep, isCount = strings.TrimSuffix(rest, ".count"), true
+		case strings.HasSuffix(rest, ".cycles"):
+			dep = strings.TrimSuffix(rest, ".cycles")
+		default:
+			return
+		}
+		e := byName[dep]
+		if e == nil {
+			e = &HotspotEntry{Name: dep}
+			byName[dep] = e
+		}
+		if isCount {
+			e.Count = v
+		} else {
+			e.Cycles = cycles.Cycles(v)
+		}
+	})
+	out := make([]HotspotEntry, 0, len(byName))
+	for _, e := range byName {
 		out = append(out, *e)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -66,9 +93,7 @@ func (hp *HotspotProfile) Entries() []HotspotEntry {
 
 // Total returns the aggregate forwarded cost.
 func (hp *HotspotProfile) Total() (count uint64, total cycles.Cycles) {
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
-	for _, e := range hp.entries {
+	for _, e := range hp.Entries() {
 		count += e.Count
 		total += e.Cycles
 	}
@@ -99,7 +124,7 @@ func (s *System) Hotspots() *HotspotProfile {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.hotspots == nil {
-		s.hotspots = newHotspotProfile()
+		s.hotspots = &HotspotProfile{reg: s.metrics}
 	}
 	return s.hotspots
 }

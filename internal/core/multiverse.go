@@ -10,6 +10,7 @@ import (
 	"multiverse/internal/linuxabi"
 	"multiverse/internal/machine"
 	"multiverse/internal/ros"
+	"multiverse/internal/telemetry"
 	"multiverse/internal/vfs"
 )
 
@@ -40,6 +41,11 @@ type Options struct {
 	FS *vfs.FS
 	// AppName names the spawned process.
 	AppName string
+	// Tracer records virtual-time spans for the run; nil (the default)
+	// disables tracing at near-zero cost.
+	Tracer *telemetry.Tracer
+	// Metrics is the run's metrics registry; one is created when nil.
+	Metrics *telemetry.Registry
 }
 
 func (o *Options) fill() {
@@ -80,6 +86,9 @@ type System struct {
 	exitHooks     []func()
 	hotspots      *HotspotProfile
 
+	tracer  *telemetry.Tracer
+	metrics *telemetry.Registry
+
 	createThreadAddr uint64
 }
 
@@ -107,6 +116,11 @@ func NewSystem(fat *image.Image, opts Options) (*System, error) {
 		groups:        make(map[uint64]*ExecutionGroup),
 		nextGroupID:   1,
 		exitPending:   make(chan uint64, 64),
+		tracer:        opts.Tracer,
+		metrics:       opts.Metrics,
+	}
+	if s.metrics == nil {
+		s.metrics = telemetry.NewRegistry()
 	}
 
 	world := ros.Native
@@ -114,7 +128,12 @@ func NewSystem(fat *image.Image, opts Options) (*System, error) {
 	var coreIDs []machine.CoreID
 	if opts.Hybrid {
 		world = ros.Virtual // the ROS inside an HVM is a guest
-		h, err := hvm.New(m, hvm.Config{ROSCores: opts.ROSCores, HRTCores: opts.HRTCores})
+		h, err := hvm.New(m, hvm.Config{
+			ROSCores: opts.ROSCores,
+			HRTCores: opts.HRTCores,
+			Tracer:   s.tracer,
+			Metrics:  s.metrics,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -146,7 +165,21 @@ func NewSystem(fat *image.Image, opts Options) (*System, error) {
 
 // NativeEnv returns the environment of the process's main thread for
 // user-level (Native/Virtual) execution.
-func (s *System) NativeEnv() Env { return NewNativeEnv(s.Proc, s.Main) }
+func (s *System) NativeEnv() Env {
+	e := NewNativeEnv(s.Proc, s.Main).(*nativeEnv)
+	e.scope = telemetry.Scope{
+		Tracer:  s.tracer,
+		Metrics: s.metrics,
+		Track:   telemetry.Track{Core: int(s.Main.Core), Name: "ros:main"},
+	}
+	return e
+}
+
+// Tracer returns the run's span tracer (nil when tracing is off).
+func (s *System) Tracer() *telemetry.Tracer { return s.tracer }
+
+// Metrics returns the run's metrics registry (never nil).
+func (s *System) Metrics() *telemetry.Registry { return s.metrics }
 
 // InitRuntime performs the initialization the toolchain's hooks run
 // before main() (section 3.5): register ROS signal handlers, hook process
@@ -202,6 +235,7 @@ func (s *System) InitRuntime() error {
 		return err
 	}
 	s.Overrides = NewOverrideSet(specs, s.Opts.UseSymbolCache)
+	s.Overrides.SetTelemetry(s.tracer, s.metrics)
 
 	// 7. Merge the ROS process's lower half into the HRT address space.
 	if err := s.HVM.MergeAddressSpace(s.Main.Clock, s.Proc.CR3()); err != nil {

@@ -8,6 +8,7 @@ import (
 
 	"multiverse/internal/aerokernel"
 	"multiverse/internal/cycles"
+	"multiverse/internal/telemetry"
 )
 
 // OverrideSpec is one line of the override configuration file: which
@@ -102,6 +103,9 @@ type Wrapper struct {
 
 	invocations uint64
 	lookups     uint64
+
+	tracer  *telemetry.Tracer
+	metrics *telemetry.Registry
 }
 
 // Invoke runs the wrapper on HRT thread t.
@@ -112,9 +116,19 @@ func (w *Wrapper) Invoke(t *aerokernel.Thread, args ...uint64) (uint64, error) {
 	valid := w.UseCache && w.cacheValid
 	w.mu.Unlock()
 
-	if !valid {
+	sp := w.tracer.Begin(telemetry.Track{Core: int(t.Core), Name: "hrt"},
+		"override", "override:"+w.Spec.Legacy, t.Clock.Now())
+	defer func() { sp.EndAt(t.Clock.Now()) }()
+
+	if valid {
+		w.metrics.Counter("override.cache_hits").Inc()
+	} else {
+		w.metrics.Counter("override.cache_misses").Inc()
+		lk := w.tracer.Begin(telemetry.Track{Core: int(t.Core), Name: "hrt"},
+			"override", "symbol-lookup", t.Clock.Now())
 		var ok bool
 		addr, ok = t.Kernel().LookupSymbol(t.Clock, w.Spec.AKSymbol)
+		lk.EndAt(t.Clock.Now())
 		if !ok {
 			return 0, fmt.Errorf("overrides: symbol %q not found in AeroKernel", w.Spec.AKSymbol)
 		}
@@ -126,6 +140,7 @@ func (w *Wrapper) Invoke(t *aerokernel.Thread, args ...uint64) (uint64, error) {
 		}
 		w.mu.Unlock()
 	}
+	w.metrics.Counter("override.invocations").Inc()
 
 	mapped := args
 	if len(w.Spec.ArgMap) > 0 {
@@ -165,6 +180,18 @@ func NewOverrideSet(specs []OverrideSpec, useCache bool) *OverrideSet {
 		s.byLegacy[spec.Legacy] = &Wrapper{Spec: spec, UseCache: useCache}
 	}
 	return s
+}
+
+// SetTelemetry points every wrapper at the run's tracer and metrics.
+// Called by the runtime after construction so NewOverrideSet's signature
+// stays stable for existing callers; both arguments may be nil.
+func (s *OverrideSet) SetTelemetry(tr *telemetry.Tracer, m *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range s.byLegacy {
+		w.tracer = tr
+		w.metrics = m
+	}
 }
 
 // Lookup returns the wrapper interposing the legacy function, if any.

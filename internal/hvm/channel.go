@@ -3,10 +3,12 @@ package hvm
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"multiverse/internal/cycles"
 	"multiverse/internal/linuxabi"
 	"multiverse/internal/machine"
+	"multiverse/internal/telemetry"
 )
 
 // EventKind classifies what an execution group is converging on.
@@ -22,6 +24,8 @@ const (
 	// EvThreadExit notifies the ROS side that the HRT thread exited (the
 	// partner thread then runs its cleanup and exits, unblocking join).
 	EvThreadExit
+
+	numEventKinds
 )
 
 var eventNames = map[EventKind]string{
@@ -57,6 +61,12 @@ type Envelope struct {
 	Arrival cycles.Cycles
 
 	reply chan Reply
+
+	// flow is the deterministic cross-track link id stitching the HRT
+	// forward span to the ROS service span; span is the open service
+	// span between Recv and Complete.
+	flow uint64
+	span *telemetry.Span
 }
 
 // Reply is the ROS side's completion of an Envelope.
@@ -76,6 +86,7 @@ type Reply struct {
 // protocol for event requests and completion" (section 3.2).
 type EventChannel struct {
 	hvm     *HVM
+	id      uint64
 	hrtCore machine.CoreID
 	rosCore machine.CoreID
 
@@ -83,20 +94,38 @@ type EventChannel struct {
 	pending chan *Envelope
 	closed  bool
 
-	// Counters for the evaluation harness.
-	forwarded map[EventKind]uint64
+	// Per-kind forward counts, indexed by EventKind. Atomics, because the
+	// HRT thread forwards while the evaluation harness reads.
+	forwarded [numEventKinds]atomic.Uint64
+
+	// seq numbers this channel's forwards; combined with the channel id
+	// it yields flow ids that depend only on program order, never on
+	// goroutine scheduling.
+	seq atomic.Uint64
 }
 
 // NewEventChannel creates the channel for an execution group whose HRT
 // thread runs on hrtCore and whose partner runs on rosCore.
 func (h *HVM) NewEventChannel(hrtCore, rosCore machine.CoreID) *EventChannel {
 	return &EventChannel{
-		hvm:       h,
-		hrtCore:   hrtCore,
-		rosCore:   rosCore,
-		pending:   make(chan *Envelope, 1),
-		forwarded: make(map[EventKind]uint64),
+		hvm:     h,
+		id:      atomic.AddUint64(&h.channelSeq, 1),
+		hrtCore: hrtCore,
+		rosCore: rosCore,
+		pending: make(chan *Envelope, 1),
 	}
+}
+
+// hrtTrack is the trace track of the HRT thread driving this channel.
+func (c *EventChannel) hrtTrack() telemetry.Track {
+	return telemetry.Track{Core: int(c.hrtCore), Name: "hrt"}
+}
+
+// svcTrack is the trace track of the ROS partner thread servicing this
+// channel. Naming it per channel keeps each partner's span stack private,
+// so parent/child inference never depends on goroutine interleaving.
+func (c *EventChannel) svcTrack() telemetry.Track {
+	return telemetry.Track{Core: int(c.rosCore), Name: fmt.Sprintf("ros:svc:%d", c.id)}
 }
 
 // Forward sends an envelope from the HRT side and blocks until the ROS
@@ -115,19 +144,36 @@ func (c *EventChannel) Forward(clk *cycles.Clock, env *Envelope) (Reply, error) 
 		c.mu.Unlock()
 		return Reply{}, fmt.Errorf("hvm: event channel closed")
 	}
-	c.forwarded[env.Kind]++
 	c.mu.Unlock()
+	if env.Kind > 0 && env.Kind < numEventKinds {
+		c.forwarded[env.Kind].Add(1)
+	}
+	env.flow = c.id<<20 | c.seq.Add(1)
 
+	tr := c.hvm.tracer
+	start := clk.Now()
+	sp := tr.Begin(c.hrtTrack(), "evtchan", "forward:"+env.Kind.String(), start)
+	sp.LinkOut(env.flow)
+
+	leg := tr.Begin(c.hrtTrack(), "evtchan", "request-leg", clk.Now())
 	clk.Advance(cost.EventChannelPost)
 	clk.Advance(cost.HypercallRoundTrip())
 	clk.Advance(cost.VMMRecord)
 	c.hvm.countExit("evtchan")
 	env.Arrival = clk.Now() + cost.InjectWindowROS + cost.SignalInjectROS
+	leg.EndAt(env.Arrival)
 	env.reply = make(chan Reply, 1)
 	c.pending <- env
 	r := <-env.reply
 	// Reply leg: injection back into the HRT plus guest re-entry.
+	inj := tr.Begin(c.hrtTrack(), "evtchan", "reply-inject", r.Departure)
 	clk.SyncTo(r.Departure + cost.InterruptInject + cost.VMEntry)
+	inj.EndAt(clk.Now())
+	sp.EndAt(clk.Now())
+
+	m := c.hvm.metrics
+	m.Counter("forward." + env.Kind.String()).Inc()
+	m.LatencyHistogram("forward." + env.Kind.String() + ".latency").Observe(clk.Now() - start)
 	return r, nil
 }
 
@@ -140,6 +186,8 @@ func (c *EventChannel) Recv(clk *cycles.Clock) *Envelope {
 		return nil
 	}
 	clk.SyncTo(env.Arrival)
+	env.span = c.hvm.tracer.Begin(c.svcTrack(), "evtchan", "service:"+env.Kind.String(), env.Arrival)
+	env.span.LinkIn(env.flow)
 	clk.Advance(c.hvm.cost.ContextSwitch) // partner wakes from its wait
 	clk.Advance(c.hvm.cost.EventChannelPost)
 	return env
@@ -153,6 +201,8 @@ func (c *EventChannel) Complete(clk *cycles.Clock, env *Envelope, r Reply) {
 	clk.Advance(cost.HypercallRoundTrip())
 	c.hvm.countExit("evtchan-complete")
 	r.Departure = clk.Now()
+	env.span.EndAt(clk.Now())
+	env.span = nil
 	env.reply <- r
 }
 
@@ -168,10 +218,15 @@ func (c *EventChannel) Close() {
 }
 
 // ForwardCount reports how many envelopes of a kind have crossed.
+//
+// Deprecated: the channel also records the same counts in the HVM's
+// metrics registry as `forward.<kind>` counters, which aggregate across
+// channels and appear in the --metrics dump. New code should read those.
 func (c *EventChannel) ForwardCount(k EventKind) uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.forwarded[k]
+	if k <= 0 || k >= numEventKinds {
+		return 0
+	}
+	return c.forwarded[k].Load()
 }
 
 // Cores returns the two endpoints' cores.
@@ -184,7 +239,10 @@ func (c *EventChannel) Cores() (hrt, ros machine.CoreID) { return c.hrtCore, c.r
 // (Figure 2's two synchronous rows).
 type SyncChannel struct {
 	hvm        *HVM
+	id         uint64
 	va         uint64
+	rosCore    machine.CoreID
+	hrtCore    machine.CoreID
 	sameSocket bool
 
 	mu     sync.Mutex
@@ -197,6 +255,7 @@ type syncReq struct {
 	fn    uint64
 	args  []uint64
 	stamp cycles.Cycles
+	flow  uint64
 	reply chan syncRep
 }
 
@@ -215,7 +274,10 @@ func (h *HVM) SetupSync(clk *cycles.Clock, va uint64, rosCore, hrtCore machine.C
 	h.hypercall(clk, "sync-setup")
 	return &SyncChannel{
 		hvm:        h,
+		id:         atomic.AddUint64(&h.channelSeq, 1),
 		va:         va,
+		rosCore:    rosCore,
+		hrtCore:    hrtCore,
 		sameSocket: h.machine.SameSocket(rosCore, hrtCore),
 		serve:      make(chan syncReq),
 	}, nil
@@ -240,12 +302,19 @@ func (s *SyncChannel) Invoke(clk *cycles.Clock, fn uint64, args ...uint64) (uint
 		return 0, fmt.Errorf("hvm: sync channel closed")
 	}
 	s.calls++
+	seq := s.calls
 	s.mu.Unlock()
+
+	start := clk.Now()
+	flow := s.id<<20 | seq
+	sp := s.hvm.tracer.Begin(telemetry.Track{Core: int(s.rosCore), Name: "ros:main"},
+		"sync", "sync-invoke", start, telemetry.Attr{Key: "fn", Val: fn})
+	sp.LinkOut(flow)
 
 	// Request leg: half the fixed protocol overhead plus one cacheline
 	// transfer to the polling core.
 	clk.Advance(cost.SyncProtocolOverhead / 2)
-	req := syncReq{fn: fn, args: args, stamp: clk.Now() + line, reply: make(chan syncRep, 1)}
+	req := syncReq{fn: fn, args: args, stamp: clk.Now() + line, flow: flow, reply: make(chan syncRep, 1)}
 	select {
 	case s.serve <- req:
 	default:
@@ -255,6 +324,9 @@ func (s *SyncChannel) Invoke(clk *cycles.Clock, fn uint64, args ...uint64) (uint
 	rep := <-req.reply
 	clk.SyncTo(rep.stamp + line)
 	clk.Advance(cost.SyncProtocolOverhead - cost.SyncProtocolOverhead/2)
+	sp.EndAt(clk.Now())
+	s.hvm.metrics.Counter("sync.invokes").Inc()
+	s.hvm.metrics.LatencyHistogram("sync.invoke.latency").Observe(clk.Now() - start)
 	return rep.ret, nil
 }
 
@@ -267,7 +339,11 @@ func (s *SyncChannel) Poll(clk *cycles.Clock, fns func(fn uint64, args []uint64)
 		return false
 	}
 	clk.SyncTo(req.stamp)
+	sp := s.hvm.tracer.Begin(telemetry.Track{Core: int(s.hrtCore), Name: "hrt"},
+		"sync", "sync-poll", req.stamp, telemetry.Attr{Key: "fn", Val: req.fn})
+	sp.LinkIn(req.flow)
 	ret := fns(req.fn, req.args)
+	sp.EndAt(clk.Now())
 	req.reply <- syncRep{ret: ret, stamp: clk.Now()}
 	return true
 }

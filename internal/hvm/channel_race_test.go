@@ -1,0 +1,87 @@
+package hvm
+
+import (
+	"sync"
+	"testing"
+
+	"multiverse/internal/cycles"
+)
+
+// TestForwardCountConcurrent hammers one channel with concurrent forwards
+// while a reader polls ForwardCount — the satellite-1 audit. Under
+// `go test -race` this fails if the per-kind counters are not atomic.
+func TestForwardCountConcurrent(t *testing.T) {
+	_, h := newHVM(t)
+	c := h.NewEventChannel(1, 0)
+
+	const workers = 4
+	const perWorker = 64
+
+	// Service loop: drain and complete every envelope.
+	svcDone := make(chan struct{})
+	go func() {
+		defer close(svcDone)
+		clk := cycles.NewClock(0)
+		for {
+			env := c.Recv(clk)
+			if env == nil {
+				return
+			}
+			c.Complete(clk, env, Reply{})
+		}
+	}()
+
+	// Concurrent reader of the deprecated counter.
+	readerStop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-readerStop:
+				return
+			default:
+				_ = c.ForwardCount(EvSyscall)
+				_ = c.ForwardCount(EvPageFault)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			clk := cycles.NewClock(0)
+			kind := EvSyscall
+			if w%2 == 1 {
+				kind = EvPageFault
+			}
+			for i := 0; i < perWorker; i++ {
+				if _, err := c.Forward(clk, &Envelope{Kind: kind}); err != nil {
+					t.Errorf("forward: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(readerStop)
+	<-readerDone
+	c.Close()
+	<-svcDone
+
+	want := uint64(workers / 2 * perWorker)
+	if got := c.ForwardCount(EvSyscall); got != want {
+		t.Errorf("ForwardCount(EvSyscall) = %d, want %d", got, want)
+	}
+	if got := c.ForwardCount(EvPageFault); got != want {
+		t.Errorf("ForwardCount(EvPageFault) = %d, want %d", got, want)
+	}
+	if got := h.Metrics().Counter("forward.syscall").Value(); got != want {
+		t.Errorf("forward.syscall counter = %d, want %d", got, want)
+	}
+	if got := h.Metrics().LatencyHistogram("forward.page-fault.latency").Count(); got != want {
+		t.Errorf("forward.page-fault.latency count = %d, want %d", got, want)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"multiverse/internal/image"
 	"multiverse/internal/machine"
 	"multiverse/internal/mem"
+	"multiverse/internal/telemetry"
 )
 
 // HRTOp is the operation code of a ROS->HRT request delivered by the VMM
@@ -91,6 +92,12 @@ type BootInfo struct {
 	HRTCores []machine.CoreID
 	// SharedPage is the VMM<->HRT data page frame.
 	SharedPage mem.Frame
+	// Tracer/Metrics propagate the system's telemetry layer across the
+	// boot protocol so HRT-side instrumentation lands in the same trace
+	// as the ROS side. Tracer may be nil (tracing off); Metrics is
+	// always usable.
+	Tracer  *telemetry.Tracer
+	Metrics *telemetry.Registry
 }
 
 // BootHandler is the AeroKernel's entry point: it brings the kernel up and
@@ -124,12 +131,23 @@ type HVM struct {
 	// Exit statistics per kind, for the "thinner virtualization layer"
 	// analysis.
 	exits map[string]uint64
+
+	// Telemetry: tracer may be nil (tracing off); metrics is always
+	// non-nil. Channel ids make flow links deterministic.
+	tracer     *telemetry.Tracer
+	metrics    *telemetry.Registry
+	channelSeq uint64
 }
 
 // Config partitions the machine.
 type Config struct {
 	ROSCores []machine.CoreID
 	HRTCores []machine.CoreID
+	// Tracer records spans for this HVM's protocols (nil = off).
+	Tracer *telemetry.Tracer
+	// Metrics receives the HVM's counters and histograms; nil allocates
+	// a private registry.
+	Metrics *telemetry.Registry
 }
 
 // New creates an HVM over the machine with the given core partitioning.
@@ -154,6 +172,11 @@ func New(m *machine.Machine, cfg Config) (*HVM, error) {
 		rosCores: append([]machine.CoreID(nil), cfg.ROSCores...),
 		hrtCores: append([]machine.CoreID(nil), cfg.HRTCores...),
 		exits:    make(map[string]uint64),
+		tracer:   cfg.Tracer,
+		metrics:  cfg.Metrics,
+	}
+	if h.metrics == nil {
+		h.metrics = telemetry.NewRegistry()
 	}
 	// The VMM<->HRT shared data page lives in HRT-local memory.
 	f, err := m.Phys.Alloc(m.ZoneOfCore(h.hrtCores[0]), "hvm:shared-page")
@@ -182,6 +205,19 @@ func (h *HVM) HRTCores() []machine.CoreID {
 
 // SharedPage returns the VMM<->HRT data page frame.
 func (h *HVM) SharedPage() mem.Frame { return h.sharedPage }
+
+// Tracer returns the HVM's span tracer (nil when tracing is off).
+func (h *HVM) Tracer() *telemetry.Tracer { return h.tracer }
+
+// Metrics returns the HVM's metrics registry (never nil).
+func (h *HVM) Metrics() *telemetry.Registry { return h.metrics }
+
+// rosMainTrack is the trace track of the ROS-side thread driving the
+// HVM protocol calls (merger, async call, channel setup): the ROS boot
+// core's main context.
+func (h *HVM) rosMainTrack() telemetry.Track {
+	return telemetry.Track{Core: int(h.rosCores[0]), Name: "ros:main"}
+}
 
 // SameSocket reports whether a ROS core and an HRT core share a socket,
 // the property behind the two synchronous-call rows of Figure 2.
@@ -263,6 +299,8 @@ func (h *HVM) BootHRT(clk *cycles.Clock) error {
 		Core:       h.hrtCores[0],
 		HRTCores:   h.HRTCores(),
 		SharedPage: h.sharedPage,
+		Tracer:     h.tracer,
+		Metrics:    h.metrics,
 		Tags: []image.MultibootTag{
 			{Type: image.TagHRTFlags, Data: image.HRTFlagMergeCapable | image.HRTFlagIdentityHigh},
 			{Type: image.TagCommChan, Data: h.sharedPage.Addr()},
@@ -319,6 +357,10 @@ func (h *HVM) inject(clk *cycles.Clock, req *HRTRequest) (chan cycles.Cycles, er
 // copies the lower-half PML4 entries and completes with a hypercall. The
 // caller blocks until completion (the measured Figure 2 row).
 func (h *HVM) MergeAddressSpace(clk *cycles.Clock, rosCR3 uint64) error {
+	sp := h.tracer.Begin(h.rosMainTrack(), "hvm", "merge-request", clk.Now(),
+		telemetry.Attr{Key: "cr3", Val: rosCR3})
+	defer func() { sp.EndAt(clk.Now()) }()
+	start := clk.Now()
 	h.hypercall(clk, "merge")
 	if err := h.machine.Phys.WriteU64(h.sharedPage.Addr()+sharedOffCR3, rosCR3); err != nil {
 		return err
@@ -331,6 +373,8 @@ func (h *HVM) MergeAddressSpace(clk *cycles.Clock, rosCR3 uint64) error {
 		return err
 	}
 	clk.SyncTo(<-done)
+	h.metrics.Counter("hvm.merge_requests").Inc()
+	h.metrics.LatencyHistogram("hvm.merge_request.latency").Observe(clk.Now() - start)
 	return nil
 }
 
@@ -343,6 +387,10 @@ func (h *HVM) AsyncCall(clk *cycles.Clock, fn uint64, args ...uint64) (uint64, e
 	if len(args) > sharedMaxArgs {
 		return 0, fmt.Errorf("hvm: async call with %d args (max %d)", len(args), sharedMaxArgs)
 	}
+	sp := h.tracer.Begin(h.rosMainTrack(), "hvm", "async-call", clk.Now(),
+		telemetry.Attr{Key: "fn", Val: fn})
+	defer func() { sp.EndAt(clk.Now()) }()
+	start := clk.Now()
 	h.hypercall(clk, "asynccall")
 	pa := h.sharedPage.Addr()
 	if err := h.machine.Phys.WriteU64(pa+sharedOffFn, fn); err != nil {
@@ -369,6 +417,8 @@ func (h *HVM) AsyncCall(clk *cycles.Clock, fn uint64, args ...uint64) (uint64, e
 	if err != nil {
 		return 0, err
 	}
+	h.metrics.Counter("hvm.async_calls").Inc()
+	h.metrics.LatencyHistogram("hvm.async_call.latency").Observe(clk.Now() - start)
 	return ret, nil
 }
 

@@ -3,10 +3,12 @@ package hvm
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"multiverse/internal/cycles"
 	"multiverse/internal/linuxabi"
 	"multiverse/internal/machine"
+	"multiverse/internal/telemetry"
 )
 
 // SyncSyscallChannel applies the post-merger synchronous protocol
@@ -20,7 +22,10 @@ import (
 // polling.
 type SyncSyscallChannel struct {
 	hvm        *HVM
+	id         uint64
 	va         uint64
+	rosCore    machine.CoreID
+	hrtCore    machine.CoreID
 	sameSocket bool
 
 	mu     sync.Mutex
@@ -32,6 +37,7 @@ type SyncSyscallChannel struct {
 type syncSysReq struct {
 	call  linuxabi.Call
 	stamp cycles.Cycles
+	flow  uint64
 	reply chan syncSysRep
 }
 
@@ -50,7 +56,10 @@ func (h *HVM) SetupSyncSyscalls(clk *cycles.Clock, va uint64, rosCore, hrtCore m
 	h.hypercall(clk, "sync-syscall-setup")
 	return &SyncSyscallChannel{
 		hvm:        h,
+		id:         atomic.AddUint64(&h.channelSeq, 1),
 		va:         va,
+		rosCore:    rosCore,
+		hrtCore:    hrtCore,
 		sameSocket: h.machine.SameSocket(rosCore, hrtCore),
 		serve:      make(chan syncSysReq),
 	}, nil
@@ -73,14 +82,24 @@ func (s *SyncSyscallChannel) Invoke(clk *cycles.Clock, call linuxabi.Call) (linu
 		return linuxabi.Result{}, fmt.Errorf("hvm: sync syscall channel closed")
 	}
 	s.calls++
+	seq := s.calls
 	s.mu.Unlock()
 
+	start := clk.Now()
+	flow := s.id<<20 | seq
+	sp := s.hvm.tracer.Begin(telemetry.Track{Core: int(s.hrtCore), Name: "hrt"},
+		"sync", "sync-syscall", start, telemetry.Attr{Key: "num", Val: uint64(call.Num)})
+	sp.LinkOut(flow)
+
 	clk.Advance(cost.SyncProtocolOverhead / 2)
-	req := syncSysReq{call: call, stamp: clk.Now() + s.line(), reply: make(chan syncSysRep, 1)}
+	req := syncSysReq{call: call, stamp: clk.Now() + s.line(), flow: flow, reply: make(chan syncSysRep, 1)}
 	s.serve <- req
 	rep := <-req.reply
 	clk.SyncTo(rep.stamp + s.line())
 	clk.Advance(cost.SyncProtocolOverhead - cost.SyncProtocolOverhead/2)
+	sp.EndAt(clk.Now())
+	s.hvm.metrics.Counter("sync.syscalls").Inc()
+	s.hvm.metrics.LatencyHistogram("sync.syscall.latency").Observe(clk.Now() - start)
 	return rep.res, nil
 }
 
@@ -92,7 +111,11 @@ func (s *SyncSyscallChannel) Serve(clk *cycles.Clock, handler func(linuxabi.Call
 		return false
 	}
 	clk.SyncTo(req.stamp)
+	sp := s.hvm.tracer.Begin(telemetry.Track{Core: int(s.rosCore), Name: fmt.Sprintf("ros:syncsvc:%d", s.id)},
+		"sync", "serve-syscall", req.stamp, telemetry.Attr{Key: "num", Val: uint64(req.call.Num)})
+	sp.LinkIn(req.flow)
 	res := handler(req.call)
+	sp.EndAt(clk.Now())
 	req.reply <- syncSysRep{res: res, stamp: clk.Now()}
 	return true
 }

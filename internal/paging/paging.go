@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"multiverse/internal/mem"
+	"multiverse/internal/telemetry"
 )
 
 // EntriesPerTable is the number of entries in one paging structure.
@@ -65,11 +66,16 @@ func PageBase(va uint64) uint64 { return va &^ uint64(mem.PageSize-1) }
 
 // AddressSpace is one paging hierarchy rooted at a PML4 frame.
 type AddressSpace struct {
-	pm   *mem.PhysMem
-	zone mem.NUMAZone
-	root mem.Frame
-	name string
+	pm      *mem.PhysMem
+	zone    mem.NUMAZone
+	root    mem.Frame
+	name    string
+	metrics *telemetry.Registry
 }
+
+// SetTelemetry attaches a metrics registry so structural operations (the
+// merger's entry copies) are counted at the paging layer. Nil detaches.
+func (as *AddressSpace) SetTelemetry(m *telemetry.Registry) { as.metrics = m }
 
 // FromCR3 adopts an existing paging hierarchy by its CR3 value, without
 // allocating anything. The AeroKernel uses this to walk the ROS process's
@@ -257,6 +263,8 @@ func (as *AddressSpace) CopyLowerHalfFrom(src *AddressSpace) (int, error) {
 			return i, err
 		}
 	}
+	as.metrics.Counter("paging.lower_half_copies").Inc()
+	as.metrics.Counter("paging.pml4_entries_copied").Add(LowerHalfEntries)
 	return LowerHalfEntries, nil
 }
 

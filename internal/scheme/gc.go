@@ -6,6 +6,7 @@ import (
 
 	"multiverse/internal/linuxabi"
 	"multiverse/internal/ros"
+	"multiverse/internal/telemetry"
 )
 
 // The collector stands in for the SenoraGC conservative collector the
@@ -50,6 +51,17 @@ type GC struct {
 	SegmentsEver     uint64
 	SegmentsFreed    uint64
 	MarkedLast       uint64
+}
+
+// telemetryScope extracts the telemetry instruments from an OS that
+// provides them (the core environments do). The OS interface itself is
+// untouched: environments without telemetry yield the zero Scope, whose
+// instruments are all no-ops.
+func telemetryScope(os OS) telemetry.Scope {
+	if ts, ok := os.(interface{ TelemetryScope() telemetry.Scope }); ok {
+		return ts.TelemetryScope()
+	}
+	return telemetry.Scope{}
 }
 
 // Segment geometry: 64 KiB segments of 48-byte cells.
@@ -197,6 +209,7 @@ func (g *GC) WriteBarrier(o *Obj) {
 // Multiverse the ROS partner that replicated the access).
 func (g *GC) segvHandler(ctx *ros.SignalContext) {
 	g.BarrierFaults++
+	telemetryScope(g.in.os).Metrics.Counter("gc.barrier_faults").Inc()
 	s := g.segmentOf(ctx.FaultAddr)
 	if s == nil || !s.protected {
 		// Fault in a region the collector no longer tracks: nothing to
@@ -252,16 +265,30 @@ func (g *GC) collectAuto() {
 // is what the mprotect/SIGSEGV discipline is *for*.
 func (g *GC) collect(minor bool) {
 	g.Collections++
+	kind := uint64(0)
 	if minor {
 		g.MinorCollections++
 		g.sinceMajor++
+		kind = 1
 	} else {
 		g.MajorCollections++
 		g.sinceMajor = 0
 	}
 	in := g.in
 
+	// Telemetry: the pause and its phases are spans on the interpreter's
+	// execution track. Compute charges are flushed at phase boundaries so
+	// the clock reflects each phase's cost; the flushes move no cycles,
+	// only push already-accumulated ones, so timing is unchanged.
+	scope := telemetryScope(in.os)
+	clk := in.os.Clock()
+	in.flushCompute()
+	start := clk.Now()
+	pause := scope.Tracer.Begin(scope.Track, "gc", "gc-pause", start,
+		telemetry.Attr{Key: "minor", Val: kind})
+
 	// Mark.
+	markSp := scope.Tracer.Begin(scope.Track, "gc", "mark", clk.Now())
 	marked := make(map[*Obj]bool)
 	frameSeen := make(map[*Frame]bool)
 	var mark func(o *Obj)
@@ -326,7 +353,11 @@ func (g *GC) collect(minor bool) {
 		}
 	}
 	g.MarkedLast = uint64(len(marked))
+	in.flushCompute()
+	markSp.SetAttr("marked", g.MarkedLast)
+	markSp.EndAt(clk.Now())
 
+	sweepSp := scope.Tracer.Begin(scope.Track, "gc", "sweep", clk.Now())
 	// Sweep: unmap segments with no marked cells; write-protect the
 	// survivors (the generational remembered-set discipline); the
 	// current nursery stays writable for the bump allocator.
@@ -362,6 +393,11 @@ func (g *GC) collect(minor bool) {
 			g.SegmentsFreed++
 		}
 	}
+	in.flushCompute()
+	sweepSp.SetAttr("freed", uint64(len(dead)))
+	sweepSp.EndAt(clk.Now())
+
+	protSp := scope.Tracer.Begin(scope.Track, "gc", "protect", clk.Now())
 	// Allocation resumes in a fresh nursery; every surviving segment —
 	// including the one that was the nursery — becomes old generation
 	// and is write-protected (re-arming the remembered set).
@@ -387,8 +423,19 @@ func (g *GC) collect(minor bool) {
 		panic(err)
 	}
 
+	protSp.EndAt(clk.Now())
+
 	// Accounting epilogue, as runtimes do after a collection.
 	_ = in.Sys(linuxabi.Call{Num: linuxabi.SysGetrusage})
+
+	pause.EndAt(clk.Now())
+	scope.Metrics.Counter("gc.collections").Inc()
+	if minor {
+		scope.Metrics.Counter("gc.collections.minor").Inc()
+	} else {
+		scope.Metrics.Counter("gc.collections.major").Inc()
+	}
+	scope.Metrics.LatencyHistogram("gc.pause.latency").Observe(clk.Now() - start)
 
 	g.allocBytes = 0
 	if !minor {

@@ -33,12 +33,13 @@ func main() {
 	repl := flag.Bool("repl", false, "run the interactive REPL over stdin")
 	benchName := flag.String("bench", "", "run a named paper benchmark instead of a file")
 	stats := flag.Bool("stats", false, "print run statistics afterwards")
+	router := flag.Bool("router", false, "enable the adaptive boundary-crossing router (multiverse world only)")
 	hotspots := flag.Bool("hotspots", false, "print the legacy-interface hotspot report (multiverse world only)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in Perfetto)")
 	metrics := flag.Bool("metrics", false, "dump the run's metrics registry to stderr afterwards")
 	flag.Parse()
 
-	if err := run(*world, *runtimeName, *expr, *repl, *benchName, *stats, *hotspots, *tracePath, *metrics, flag.Args()); err != nil {
+	if err := run(*world, *runtimeName, *expr, *repl, *benchName, *stats, *router, *hotspots, *tracePath, *metrics, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "mvrun: %v\n", err)
 		os.Exit(1)
 	}
@@ -57,7 +58,7 @@ func parseWorld(s string) (core.World, error) {
 	}
 }
 
-func run(worldName, runtimeName, expr string, repl bool, benchName string, stats, hotspots bool, tracePath string, metrics bool, args []string) error {
+func run(worldName, runtimeName, expr string, repl bool, benchName string, stats, router, hotspots bool, tracePath string, metrics bool, args []string) error {
 	w, err := parseWorld(worldName)
 	if err != nil {
 		return err
@@ -78,13 +79,13 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 		if !ok {
 			return fmt.Errorf("unknown benchmark %q", benchName)
 		}
-		res, err := bench.RunBenchmarkCfg(prog, w, bench.RunConfig{Tracer: tracer})
+		res, err := bench.RunBenchmarkCfg(prog, w, bench.RunConfig{Tracer: tracer, Router: router})
 		if err != nil {
 			return err
 		}
 		os.Stdout.Write(res.Output)
 		if stats {
-			printStats(res)
+			printStats(res, router)
 		}
 		if metrics {
 			fmt.Fprint(os.Stderr, res.Metrics.Dump())
@@ -113,7 +114,7 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 	if err := scheme.InstallPrelude(fs); err != nil {
 		return err
 	}
-	sys, err := bench.NewSystemForWorldCfg(w, fs, "mvrun", bench.RunConfig{Tracer: tracer})
+	sys, err := bench.NewSystemForWorldCfg(w, fs, "mvrun", bench.RunConfig{Tracer: tracer, Router: router})
 	if err != nil {
 		return err
 	}
@@ -176,6 +177,14 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 		}
 		fmt.Fprintf(os.Stderr, "[%s] forwarded: %d syscalls, %d page faults; merges: %d\n",
 			w, fwdSys, fwdFaults, merges)
+		if router {
+			m := sys.Metrics()
+			fmt.Fprintf(os.Stderr, "[%s] router: local=%d cache=%d/%d inval=%d promo=%d/%d\n",
+				w, m.Counter("router.local_hits").Value(),
+				m.Counter("router.cache_hits").Value(), m.Counter("router.cache_misses").Value(),
+				m.Counter("router.cache_invalidations").Value(),
+				m.Counter("router.promotions").Value(), m.Counter("router.demotions").Value())
+		}
 	}
 	if metrics {
 		fmt.Fprint(os.Stderr, sys.Metrics().Dump())
@@ -203,7 +212,7 @@ func writeTrace(tracer *telemetry.Tracer, path string) error {
 	return f.Close()
 }
 
-func printStats(res *bench.RunResult) {
+func printStats(res *bench.RunResult, router bool) {
 	fmt.Fprintf(os.Stderr, "\n[%s] %s: %.4f virtual seconds\n", res.World, res.Program, res.Seconds)
 	fmt.Fprintf(os.Stderr, "  syscalls=%d faults=%d maxrss=%dKb ctxsw=%d\n",
 		res.Stats.TotalSyscalls(), res.Stats.MinorFaults+res.Stats.MajorFaults,
@@ -214,4 +223,10 @@ func printStats(res *bench.RunResult) {
 		res.ForwardedSyscalls, res.ForwardedFaults, res.Merges)
 	fmt.Fprintf(os.Stderr, "  gc: collections=%d barrier-faults=%d reductions=%d\n",
 		res.GCCollections, res.BarrierFaults, res.Reductions)
+	if router {
+		fmt.Fprintf(os.Stderr, "  router: local=%d cache=%d/%d inval=%d promo=%d/%d fwd-cycles=%d\n",
+			res.RouterLocalHits, res.RouterCacheHits, res.RouterCacheMisses,
+			res.RouterInvalidations, res.RouterPromotions, res.RouterDemotions,
+			uint64(res.ForwardedSyscallCycles))
+	}
 }

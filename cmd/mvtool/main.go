@@ -7,6 +7,7 @@
 //	mvtool build -app myapp -overrides overrides.conf -o myapp.fat
 //	mvtool inspect myapp.fat
 //	mvtool trace out.json
+//	mvtool bench -json -o BENCH_pr2.json
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"multiverse/internal/bench"
 	"multiverse/internal/core"
 	"multiverse/internal/image"
 )
@@ -30,6 +32,8 @@ func main() {
 		err = inspect(os.Args[2:])
 	case "trace":
 		err = traceCmd(os.Args[2:])
+	case "bench":
+		err = benchCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -43,7 +47,43 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: mvtool build -app NAME [-overrides FILE] -o OUT.fat")
 	fmt.Fprintln(os.Stderr, "       mvtool inspect FILE.fat")
 	fmt.Fprintln(os.Stderr, "       mvtool trace [-top N] FILE.json")
+	fmt.Fprintln(os.Stderr, "       mvtool bench [-json] [-o FILE]")
 	os.Exit(2)
+}
+
+// benchCmd runs the deterministic router-comparison suite (seven paper
+// benchmarks in the multiverse world, router off vs on). With -json it
+// emits the BENCH_pr2.json baseline document; otherwise it prints the
+// comparison table.
+func benchCmd(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the BENCH_pr2.json baseline document")
+	out := fs.String("o", "", "write output to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var blob []byte
+	if *asJSON {
+		base, err := bench.CollectRouterBaseline()
+		if err != nil {
+			return err
+		}
+		blob, err = base.MarshalIndent()
+		if err != nil {
+			return err
+		}
+	} else {
+		t, err := bench.FigureRouter()
+		if err != nil {
+			return err
+		}
+		blob = []byte(t.String() + "\n")
+	}
+	if *out != "" {
+		return os.WriteFile(*out, blob, 0o644)
+	}
+	_, err := os.Stdout.Write(blob)
+	return err
 }
 
 func build(args []string) error {

@@ -39,6 +39,7 @@ type Thread struct {
 	mu          sync.Mutex
 	ch          *hvm.EventChannel
 	syncSvc     *hvm.SyncSyscallChannel
+	router      *hvm.SyscallRouter
 	done        chan struct{}
 	exitCode    uint64
 	faultStatus error
@@ -51,6 +52,32 @@ func (t *Thread) SetSyncSyscalls(s *hvm.SyncSyscallChannel) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.syncSvc = s
+}
+
+// SetRouter binds the thread's system calls to the execution group's
+// adaptive boundary router. The router subsumes SetSyncSyscalls: it
+// decides per call whether to answer locally, from cache, or to forward
+// (and over which channel).
+func (t *Thread) SetRouter(r *hvm.SyscallRouter) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.router = r
+}
+
+// syscallRouter returns the group's router, walking up to the top-level
+// ancestor for nested threads, like channel().
+func (t *Thread) syscallRouter() *hvm.SyscallRouter {
+	cur := t
+	for cur != nil {
+		cur.mu.Lock()
+		r := cur.router
+		cur.mu.Unlock()
+		if r != nil {
+			return r
+		}
+		cur = cur.Parent
+	}
+	return nil
 }
 
 func (k *Kernel) newThread(core machine.CoreID, parent *Thread) *Thread {
@@ -245,6 +272,30 @@ func (t *Thread) Syscall(call linuxabi.Call) linuxabi.Result {
 	}
 	defer func() { _ = t.Stack.Release(machine.RedZoneSize) }()
 
+	var reply hvm.Reply
+	if router := t.syscallRouter(); router != nil {
+		// Routed path: only calls that actually cross the boundary count
+		// as forwards; tier-0/tier-1 hits never leave the HRT.
+		res, crossed, err := router.Dispatch(t.Clock, t.channel(), call)
+		if err != nil {
+			return linuxabi.Result{Ret: ^uint64(0), Err: linuxabi.EINTR}
+		}
+		if crossed {
+			k.mu.Lock()
+			k.forwardedSyscalls++
+			k.mu.Unlock()
+			k.metrics.Counter("ak.forwarded_syscalls").Inc()
+		}
+		reply = hvm.Reply{Res: res}
+		switch call.Num {
+		case linuxabi.SysMprotect, linuxabi.SysMunmap, linuxabi.SysMmap, linuxabi.SysBrk:
+			k.m.Core(t.Core).MMU.TLB().FlushAll()
+			t.Clock.Advance(k.cost.TLBFlushLocal)
+		}
+		t.Clock.Advance(k.cost.AKSysretEmul)
+		return reply.Res
+	}
+
 	k.mu.Lock()
 	k.forwardedSyscalls++
 	k.mu.Unlock()
@@ -254,7 +305,6 @@ func (t *Thread) Syscall(call linuxabi.Call) linuxabi.Result {
 	svc := t.syncSvc
 	t.mu.Unlock()
 
-	var reply hvm.Reply
 	if svc != nil {
 		res, err := svc.Invoke(t.Clock, call)
 		if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"multiverse/internal/core"
 	"multiverse/internal/cycles"
+	"multiverse/internal/hvm"
 	"multiverse/internal/ros"
 	"multiverse/internal/scheme"
 	"multiverse/internal/telemetry"
@@ -30,6 +31,18 @@ type RunResult struct {
 	ForwardedFaults   uint64
 	Merges            int
 
+	// Boundary-router tier counters (all zero unless RunConfig.Router).
+	RouterLocalHits     uint64
+	RouterCacheHits     uint64
+	RouterCacheMisses   uint64
+	RouterInvalidations uint64
+	RouterPromotions    uint64
+	RouterDemotions     uint64
+	// ForwardedSyscallCycles is the virtual time the HRT thread spent
+	// crossing the boundary for system calls (async event-channel plus
+	// promoted synchronous-channel round trips).
+	ForwardedSyscallCycles cycles.Cycles
+
 	// Runtime-internal counters.
 	GCCollections uint64
 	BarrierFaults uint64
@@ -46,6 +59,12 @@ type RunConfig struct {
 	// AKMemory switches the runtime's GC to AeroKernel memory management
 	// (WorldHRT only).
 	AKMemory bool
+	// Router enables the adaptive boundary-crossing fast path
+	// (core.Options.Router); only meaningful in WorldHRT.
+	Router bool
+	// RouterPolicy tunes promotion/demotion when Router is set; zero
+	// fields take hvm.DefaultRouterPolicy.
+	RouterPolicy hvm.RouterPolicy
 	// Tracer records virtual-time spans for the run (nil = tracing off).
 	Tracer *telemetry.Tracer
 	// Metrics receives the run's counters; one is created when nil.
@@ -82,7 +101,10 @@ func NewSystemForWorld(world core.World, fs *vfs.FS, name string) (*core.System,
 
 // NewSystemForWorldCfg is NewSystemForWorld with telemetry attached.
 func NewSystemForWorldCfg(world core.World, fs *vfs.FS, name string, cfg RunConfig) (*core.System, error) {
-	opts := core.Options{AppName: name, FS: fs, Tracer: cfg.Tracer, Metrics: cfg.Metrics}
+	opts := core.Options{
+		AppName: name, FS: fs, Tracer: cfg.Tracer, Metrics: cfg.Metrics,
+		Router: cfg.Router, RouterPolicy: cfg.RouterPolicy,
+	}
 	switch world {
 	case core.WorldNative:
 	case core.WorldVirtual:
@@ -201,6 +223,15 @@ func RunBenchmarkCfg(prog Program, world core.World, cfg RunConfig) (*RunResult,
 		res.ForwardedFaults = sys.AK.ForwardedFaults()
 		res.Merges = sys.AK.MergeCount()
 	}
+	m := res.Metrics
+	res.RouterLocalHits = m.Counter("router.local_hits").Value()
+	res.RouterCacheHits = m.Counter("router.cache_hits").Value()
+	res.RouterCacheMisses = m.Counter("router.cache_misses").Value()
+	res.RouterInvalidations = m.Counter("router.cache_invalidations").Value()
+	res.RouterPromotions = m.Counter("router.promotions").Value()
+	res.RouterDemotions = m.Counter("router.demotions").Value()
+	res.ForwardedSyscallCycles = m.LatencyHistogram("forward.syscall.latency").Sum() +
+		m.LatencyHistogram("sync.syscall.latency").Sum()
 	return res, nil
 }
 

@@ -1,0 +1,281 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"multiverse/internal/core"
+	"multiverse/internal/hvm"
+	"multiverse/internal/linuxabi"
+	"multiverse/internal/telemetry"
+)
+
+// routedSystem builds a WorldHRT system with the router on.
+func routedSystem(t *testing.T, name string, policy hvm.RouterPolicy) *core.System {
+	t.Helper()
+	fs, err := provisionFS(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystemForWorldCfg(core.WorldHRT, fs, name, RunConfig{Router: true, RouterPolicy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestRouterCacheInvalidation is the correctness core of the result cache:
+// a cached stat must not survive a write to the file it describes. The
+// sequence stat -> stat (hit) -> write -> stat must re-forward and report
+// the fresh size.
+func TestRouterCacheInvalidation(t *testing.T) {
+	sys := routedSystem(t, "router-inval", hvm.RouterPolicy{})
+	if err := sys.Kernel.FS().WriteFile("/data.txt", []byte("12345")); err != nil {
+		t.Fatal(err)
+	}
+	m := sys.Metrics()
+
+	statSize := func(env core.Env) uint64 {
+		res := env.Syscall(linuxabi.Call{Num: linuxabi.SysStat, Path: "/data.txt"})
+		if !res.Ok() {
+			t.Fatalf("stat failed: %v", res.Err)
+		}
+		st, ok := linuxabi.DecodeStat(res.Data)
+		if !ok {
+			t.Fatal("stat: undecodable result")
+		}
+		return st.Size
+	}
+
+	if _, err := sys.HRTInvokeFunc(func(env core.Env) uint64 {
+		if n := statSize(env); n != 5 {
+			t.Errorf("initial stat size = %d, want 5", n)
+		}
+		if hits := m.Counter("router.cache_hits").Value(); hits != 0 {
+			t.Errorf("cache hits after first stat = %d, want 0", hits)
+		}
+		if n := statSize(env); n != 5 {
+			t.Errorf("repeat stat size = %d, want 5", n)
+		}
+		if hits := m.Counter("router.cache_hits").Value(); hits != 1 {
+			t.Errorf("cache hits after repeat stat = %d, want 1", hits)
+		}
+
+		// Mutate the file through the boundary: open, append, close.
+		ores := env.Syscall(linuxabi.Call{Num: linuxabi.SysOpen, Path: "/data.txt",
+			Args: [6]uint64{0, linuxabi.OWronly | linuxabi.OAppend}})
+		if !ores.Ok() {
+			t.Fatalf("open failed: %v", ores.Err)
+		}
+		wres := env.Syscall(linuxabi.Call{Num: linuxabi.SysWrite,
+			Args: [6]uint64{ores.Ret, 0, 3}, Data: []byte("678")})
+		if !wres.Ok() {
+			t.Fatalf("write failed: %v", wres.Err)
+		}
+		env.Syscall(linuxabi.Call{Num: linuxabi.SysClose, Args: [6]uint64{ores.Ret}})
+
+		// The write's mutation hook must have dropped the cached stat:
+		// this stat re-forwards and sees the new size.
+		misses := m.Counter("router.cache_misses").Value()
+		if n := statSize(env); n != 8 {
+			t.Errorf("post-write stat size = %d, want 8 (stale cache?)", n)
+		}
+		if after := m.Counter("router.cache_misses").Value(); after != misses+1 {
+			t.Errorf("post-write stat was not re-forwarded (misses %d -> %d)", misses, after)
+		}
+		return 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if inv := m.Counter("router.cache_invalidations").Value(); inv == 0 {
+		t.Error("no cache invalidations recorded")
+	}
+}
+
+// TestRouterLocalTier pins tier-0 semantics: getpid and uname answer from
+// mirrored state with zero crossings and matching payloads.
+func TestRouterLocalTier(t *testing.T) {
+	sys := routedSystem(t, "router-local", hvm.RouterPolicy{})
+	m := sys.Metrics()
+	if _, err := sys.HRTInvokeFunc(func(env core.Env) uint64 {
+		before := m.Counter("ak.forwarded_syscalls").Value()
+		pres := env.Syscall(linuxabi.Call{Num: linuxabi.SysGetpid})
+		if !pres.Ok() || pres.Ret != uint64(sys.Proc.Pid()) {
+			t.Errorf("local getpid = %d (%v), want %d", pres.Ret, pres.Err, sys.Proc.Pid())
+		}
+		ures := env.Syscall(linuxabi.Call{Num: linuxabi.SysUname})
+		if !ures.Ok() || string(ures.Data) != "Linux multiverse-ros 2.6.38" {
+			t.Errorf("local uname = %q (%v)", ures.Data, ures.Err)
+		}
+		if after := m.Counter("ak.forwarded_syscalls").Value(); after != before {
+			t.Errorf("local tier crossed the boundary (%d -> %d forwards)", before, after)
+		}
+		return 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if hits := m.Counter("router.local_hits").Value(); hits != 2 {
+		t.Errorf("local hits = %d, want 2", hits)
+	}
+}
+
+// TestRouterPromotionDemotion drives the dynamic channel policy: a hot
+// burst of forwards promotes the group to the synchronous channel; an
+// idle gap demotes it on the next call.
+func TestRouterPromotionDemotion(t *testing.T) {
+	policy := hvm.RouterPolicy{PromoteCalls: 4, PromoteWindow: 10_000_000, DemoteIdle: 1_000_000}
+	sys := routedSystem(t, "router-promo", policy)
+	m := sys.Metrics()
+	if _, err := sys.HRTInvokeFunc(func(env core.Env) uint64 {
+		for i := 0; i < 6; i++ {
+			env.Syscall(linuxabi.Call{Num: linuxabi.SysIoctl})
+		}
+		if p := m.Counter("router.promotions").Value(); p != 1 {
+			t.Errorf("promotions after burst = %d, want 1", p)
+		}
+		if s := m.Counter("sync.syscalls").Value(); s == 0 {
+			t.Error("no calls crossed the promoted synchronous channel")
+		}
+
+		// Go idle past DemoteIdle, then call again: the router demotes
+		// first and forwards the call over the async channel.
+		async := m.Counter("router.forward.async").Value()
+		env.Compute(policy.DemoteIdle + 1)
+		env.Syscall(linuxabi.Call{Num: linuxabi.SysIoctl})
+		if d := m.Counter("router.demotions").Value(); d != 1 {
+			t.Errorf("demotions after idle gap = %d, want 1", d)
+		}
+		if after := m.Counter("router.forward.async").Value(); after != async+1 {
+			t.Errorf("post-demotion call did not use the async channel (%d -> %d)", async, after)
+		}
+		return 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRouterRegression is the deterministic crossing-count and cycle
+// assertion of the router acceptance criteria: on a write-heavy benchmark
+// the router must eliminate crossings and cut forwarded-syscall cycles,
+// and both configurations must reproduce exactly across runs.
+func TestRouterRegression(t *testing.T) {
+	p, _ := ProgramByName("fasta")
+	a, err := CompareRouter(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CompareRouter(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Errorf("router comparison not deterministic:\n%+v\n%+v", a, b)
+	}
+	if a.OnCrossings >= a.OffCrossings {
+		t.Errorf("router did not reduce crossings: off=%d on=%d", a.OffCrossings, a.OnCrossings)
+	}
+	if a.OnForwardCycles >= a.OffForwardCycles {
+		t.Errorf("router did not reduce forwarded cycles: off=%d on=%d",
+			a.OffForwardCycles, a.OnForwardCycles)
+	}
+	if a.OnCycles >= a.OffCycles {
+		t.Errorf("router did not reduce end-to-end cycles: off=%d on=%d", a.OffCycles, a.OnCycles)
+	}
+	if a.LocalHits == 0 {
+		t.Error("no tier-0 local hits on the benchmark run")
+	}
+	if a.Promotions == 0 {
+		t.Error("write-heavy benchmark did not promote to the sync channel")
+	}
+}
+
+// baselinePath locates BENCH_pr2.json at the repository root.
+func baselinePath() string {
+	return filepath.Join("..", "..", "BENCH_pr2.json")
+}
+
+// TestBenchBaseline is the bench-baseline smoke check: the seven-benchmark
+// WorldHRT suite (router off and on) must reproduce the virtual-cycle and
+// crossing totals committed in BENCH_pr2.json exactly. Regenerate with
+// MV_UPDATE_BASELINE=1 after an intentional cost-model or router change.
+func TestBenchBaseline(t *testing.T) {
+	got, err := CollectRouterBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := got.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The suite-wide acceptance invariants hold regardless of the pinned
+	// numbers.
+	var offX, onX, offFwd, onFwd uint64
+	for _, c := range got.Benchmarks {
+		offX += c.OffCrossings
+		onX += c.OnCrossings
+		offFwd += c.OffForwardCycles
+		onFwd += c.OnForwardCycles
+	}
+	if onX >= offX {
+		t.Errorf("suite: router did not reduce total crossings: off=%d on=%d", offX, onX)
+	}
+	if onFwd >= offFwd {
+		t.Errorf("suite: router did not reduce total forwarded cycles: off=%d on=%d", offFwd, onFwd)
+	}
+
+	if os.Getenv("MV_UPDATE_BASELINE") != "" {
+		if err := os.WriteFile(baselinePath(), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("baseline updated: %s", baselinePath())
+		return
+	}
+	want, err := os.ReadFile(baselinePath())
+	if err != nil {
+		t.Fatalf("reading baseline (regenerate with MV_UPDATE_BASELINE=1): %v", err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(want), bytes.TrimSpace(blob)) {
+		t.Errorf("benchmark baseline drifted from BENCH_pr2.json; regenerate with MV_UPDATE_BASELINE=1 if intentional")
+	}
+}
+
+// TestRouterTraceEvents asserts promotion/demotion instant events land on
+// the trace track and survive the Chrome export.
+func TestRouterTraceEvents(t *testing.T) {
+	tracer := telemetry.New()
+	fs, err := provisionFS(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystemForWorldCfg(core.WorldHRT, fs, "router-trace", RunConfig{
+		Router:       true,
+		RouterPolicy: hvm.RouterPolicy{PromoteCalls: 4, PromoteWindow: 10_000_000, DemoteIdle: 1_000_000},
+		Tracer:       tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.HRTInvokeFunc(func(env core.Env) uint64 {
+		for i := 0; i < 6; i++ {
+			env.Syscall(linuxabi.Call{Num: linuxabi.SysIoctl})
+		}
+		env.Compute(2_000_000)
+		env.Syscall(linuxabi.Call{Num: linuxabi.SysIoctl})
+		return 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"channel-promote"`, `"channel-demote"`, `"ph":"i"`} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("chrome trace missing %s", want)
+		}
+	}
+}

@@ -22,6 +22,7 @@ type spawnSpec struct {
 	channel *hvm.EventChannel
 	stack   *machine.Stack
 	syncSvc *hvm.SyncSyscallChannel
+	router  *hvm.SyscallRouter
 	group   *ExecutionGroup
 }
 
@@ -45,6 +46,10 @@ type ExecutionGroup struct {
 	// runs with synchronous syscall forwarding (Options.SyncSyscalls).
 	syncSvc *hvm.SyncSyscallChannel
 	poller  *ros.Thread
+
+	// router is the group's adaptive boundary-crossing fast path
+	// (Options.Router).
+	router *hvm.SyscallRouter
 
 	created  chan struct{}
 	exitCode atomic.Uint64
@@ -93,6 +98,59 @@ func (s *System) SpawnGroup(creator *cycles.Clock, fn func(Env) uint64) (*Execut
 		})
 	}
 
+	// Adaptive boundary router: mirror the process-invariant state into
+	// the HRT, bridge the ROS kernel's mutation events to the cache
+	// invalidation paths, and hand the router the hooks it needs to
+	// promote a hot group to a synchronous channel mid-run.
+	if s.Opts.Router {
+		r := hvm.NewSyscallRouter(s.HVM, hrtCore, hvm.RouterLocalState{
+			PID:   uint64(s.Proc.Pid()),
+			Cwd:   s.Proc.Cwd(),
+			Uname: ros.UnameString,
+		}, s.Opts.RouterPolicy)
+		g.router = r
+		s.Proc.AddMutationHook(func(ev ros.MutationEvent) {
+			switch ev.Kind {
+			case ros.MutFD:
+				r.InvalidateFD(ev.FD)
+			case ros.MutPath:
+				r.InvalidatePath(ev.Path)
+			case ros.MutBrk:
+				r.InvalidateBrk()
+			case ros.MutCwd:
+				r.InvalidateCwd()
+			}
+		})
+		if g.syncSvc != nil {
+			// Statically configured sync forwarding: the channel is pinned
+			// and the promotion policy stays out of the way.
+			r.SetSyncChannel(g.syncSvc)
+		} else {
+			gid := g.id
+			r.SetPromotionHooks(
+				func(clk *cycles.Clock) (*hvm.SyncSyscallChannel, error) {
+					// Promotion: one setup hypercall plus one ROS thread
+					// creation, both charged to the promoting HRT thread.
+					svc, serr := s.HVM.SetupSyncSyscalls(clk, 0x7f60_0000_0000+gid*4096, rosCore, hrtCore)
+					if serr != nil {
+						return nil, serr
+					}
+					poller := s.Proc.NewThread(rosCore)
+					poller.Start(clk, func(pt *ros.Thread) {
+						for svc.Serve(pt.Clock, func(call linuxabi.Call) linuxabi.Result {
+							return s.Proc.Syscall(pt, call)
+						}) {
+						}
+					})
+					return svc, nil
+				},
+				func(clk *cycles.Clock, ch *hvm.SyncSyscallChannel) {
+					ch.Close() // the poller's Serve returns false and it exits
+				},
+			)
+		}
+	}
+
 	g.partner = s.Proc.NewThread(rosCore)
 	g.partner.Start(creator, func(pt *ros.Thread) {
 		// The partner allocates the ROS-side stack for the HRT thread
@@ -108,6 +166,7 @@ func (s *System) SpawnGroup(creator *cycles.Clock, fn func(Env) uint64) (*Execut
 			channel: g.channel,
 			stack:   stack,
 			syncSvc: g.syncSvc,
+			router:  g.router,
 			group:   g,
 		}
 		s.mu.Lock()
@@ -187,6 +246,9 @@ func (g *ExecutionGroup) serve(pt *ros.Thread) {
 
 // cleanup tears the group down on the partner side.
 func (g *ExecutionGroup) cleanup(pt *ros.Thread) {
+	if g.router != nil {
+		g.router.Shutdown() // closes a promoted channel; its poller exits
+	}
 	if g.syncSvc != nil {
 		g.syncSvc.Close() // the polling thread's Serve returns false
 	}
@@ -199,8 +261,13 @@ func (g *ExecutionGroup) cleanup(pt *ros.Thread) {
 // WaitExit blocks until the group's partner thread exits (which the
 // protocol guarantees happens only after the HRT thread exits) and
 // returns the HRT thread's exit code. It synchronizes the waiter's clock.
+// It also waits for the HRT goroutine itself: the partner unblocks as
+// soon as it completes the exit notification, while the HRT side is
+// still finishing its half of that round trip (closing its forward
+// spans), and observers run right after this returns.
 func (g *ExecutionGroup) WaitExit(clk *cycles.Clock) uint64 {
 	<-g.partner.Done()
+	<-g.hrt.Done()
 	clk.SyncTo(g.partner.Clock.Now())
 	return g.exitCode.Load()
 }
@@ -209,6 +276,7 @@ func (g *ExecutionGroup) WaitExit(clk *cycles.Clock) uint64 {
 // join() path in the Incremental model.
 func (g *ExecutionGroup) Join(joiner *ros.Thread) uint64 {
 	g.partner.Join(joiner)
+	<-g.hrt.Done()
 	return g.exitCode.Load()
 }
 
@@ -220,6 +288,9 @@ func (g *ExecutionGroup) HRTThread() *aerokernel.Thread { return g.hrt }
 
 // Partner exposes the group's ROS partner thread.
 func (g *ExecutionGroup) Partner() *ros.Thread { return g.partner }
+
+// Router exposes the group's boundary router (nil unless Options.Router).
+func (g *ExecutionGroup) Router() *hvm.SyscallRouter { return g.router }
 
 // ---- The HRT execution environment -------------------------------------
 

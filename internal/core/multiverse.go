@@ -37,6 +37,15 @@ type Options struct {
 	// asynchronous event channel, at the price of a dedicated ROS
 	// polling thread per execution group.
 	SyncSyscalls bool
+	// Router enables the adaptive boundary-crossing fast path: HRT-local
+	// service for process-invariant calls, a result cache for idempotent
+	// calls, and dynamic promotion of hot groups to a synchronous
+	// channel. Off (the default) preserves the fixed forwarding paths
+	// byte for byte.
+	Router bool
+	// RouterPolicy tunes promotion/demotion; zero fields take the
+	// defaults (hvm.DefaultRouterPolicy).
+	RouterPolicy hvm.RouterPolicy
 	// FS preloads a filesystem.
 	FS *vfs.FS
 	// AppName names the spawned process.
@@ -321,6 +330,9 @@ func (s *System) linkAKFunctions() {
 		ht := ak.CreateThread(t.Clock, spec.core, spec.super, spec.channel, spec.stack)
 		if spec.syncSvc != nil {
 			ht.SetSyncSyscalls(spec.syncSvc)
+		}
+		if spec.router != nil {
+			ht.SetRouter(spec.router)
 		}
 		spec.group.hrt = ht
 		ht.Start(func(ht *aerokernel.Thread) uint64 {

@@ -22,6 +22,12 @@ type CostModel struct {
 	CachelineCrossSocket Cycles
 	SyncProtocolOverhead Cycles // fixed request encode + poll-detect + decode cost per round trip
 
+	// Boundary-router costs: the adaptive fast path that services system
+	// calls in the HRT instead of forwarding them (zero crossings).
+	HRTLocalSyscall   Cycles // tier-0: pure call answered from mirrored HRT-local state, vDSO-style
+	SyscallCacheProbe Cycles // tier-1: result-cache tag check on a cacheable call (hit or miss)
+	SyscallCacheHit   Cycles // tier-1: copying a cached result back to the caller on a hit
+
 	// Paging and memory system.
 	TLBHit          Cycles // address translation hitting the TLB
 	TLBMissPerLevel Cycles // one page-table level fetch during a walk
@@ -90,6 +96,10 @@ func DefaultCostModel() *CostModel {
 		CachelineSameSocket:  200,
 		CachelineCrossSocket: 335,
 		SyncProtocolOverhead: 390,
+
+		HRTLocalSyscall:   70, // comparable to a vdso call on the sparse HRT TLB
+		SyscallCacheProbe: 40,
+		SyscallCacheHit:   110,
 
 		TLBHit:          4,
 		TLBMissPerLevel: 60,

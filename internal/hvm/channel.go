@@ -248,7 +248,9 @@ type SyncChannel struct {
 	mu     sync.Mutex
 	serve  chan syncReq
 	closed bool
-	calls  uint64
+	// calls is atomic, like EventChannel.forwarded: the caller invokes
+	// while the evaluation harness reads mid-run.
+	calls atomic.Uint64
 }
 
 type syncReq struct {
@@ -301,9 +303,8 @@ func (s *SyncChannel) Invoke(clk *cycles.Clock, fn uint64, args ...uint64) (uint
 		s.mu.Unlock()
 		return 0, fmt.Errorf("hvm: sync channel closed")
 	}
-	s.calls++
-	seq := s.calls
 	s.mu.Unlock()
+	seq := s.calls.Add(1)
 
 	start := clk.Now()
 	flow := s.id<<20 | seq
@@ -312,15 +313,11 @@ func (s *SyncChannel) Invoke(clk *cycles.Clock, fn uint64, args ...uint64) (uint
 	sp.LinkOut(flow)
 
 	// Request leg: half the fixed protocol overhead plus one cacheline
-	// transfer to the polling core.
+	// transfer to the polling core. If no poller is waiting yet, the
+	// request simply sits in the line until one arrives.
 	clk.Advance(cost.SyncProtocolOverhead / 2)
 	req := syncReq{fn: fn, args: args, stamp: clk.Now() + line, flow: flow, reply: make(chan syncRep, 1)}
-	select {
-	case s.serve <- req:
-	default:
-		// No poller: the request waits in the line until one arrives.
-		s.serve <- req
-	}
+	s.serve <- req
 	rep := <-req.reply
 	clk.SyncTo(rep.stamp + line)
 	clk.Advance(cost.SyncProtocolOverhead - cost.SyncProtocolOverhead/2)
@@ -358,9 +355,6 @@ func (s *SyncChannel) Close() {
 	}
 }
 
-// Calls reports how many synchronous invocations completed.
-func (s *SyncChannel) Calls() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.calls
-}
+// Calls reports how many synchronous invocations have been issued. It is
+// race-free against concurrent Invoke calls.
+func (s *SyncChannel) Calls() uint64 { return s.calls.Load() }

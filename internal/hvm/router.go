@@ -1,0 +1,429 @@
+package hvm
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"multiverse/internal/cycles"
+	"multiverse/internal/linuxabi"
+	"multiverse/internal/machine"
+	"multiverse/internal/telemetry"
+)
+
+// SyscallRouter is the adaptive boundary-crossing fast path of one
+// execution group. The paper's Figure 2 prices the asynchronous
+// event-channel round trip at ~25K cycles and the synchronous
+// memory-polling path at ~790/1060 cycles, and section 4.3 frames sync
+// forwarding as a stepping stone toward servicing events locally in the
+// HRT. The router takes that step: instead of paying the worst-case
+// forwarding path for every system call, it routes each call through the
+// cheapest tier that can answer it correctly:
+//
+//	tier 0 (HRT-local): pure, process-invariant calls (getpid,
+//	  clock_gettime, gettimeofday, uname, getcwd) are answered from
+//	  state mirrored into the HRT at router creation — vDSO-style, zero
+//	  boundary crossings.
+//	tier 1 (result cache): idempotent read-only calls (stat, fstat,
+//	  position-query lseek, brk(0)) are served from a result cache. The
+//	  ROS kernel's mutating paths invalidate entries through hooks, so a
+//	  cached stat never survives a write to the file it describes.
+//	tier 2 (transport): everything else forwards — over the group's
+//	  asynchronous event channel by default, or over a synchronous
+//	  memory-polling channel while the group is promoted.
+//
+// Promotion is dynamic: the router tracks the group's forwarding rate in
+// virtual time and promotes a hot group to a SyncSyscallChannel mid-run
+// (burning a ROS polling core only while it pays for itself), demoting it
+// again after an idle gap. All decisions depend only on virtual time and
+// the call stream, so routing is as deterministic as the run itself.
+type SyscallRouter struct {
+	hvm     *HVM
+	hrtCore machine.CoreID
+	policy  RouterPolicy
+	local   RouterLocalState
+
+	// Promotion hooks, installed by the execution-group layer: promote
+	// sets up a SyncSyscallChannel and its polling ROS thread; demote
+	// tears the channel down. Nil hooks disable dynamic promotion.
+	promote func(clk *cycles.Clock) (*SyncSyscallChannel, error)
+	demote  func(clk *cycles.Clock, ch *SyncSyscallChannel)
+
+	mu       sync.Mutex
+	cache    map[routerCacheKey]linuxabi.Result
+	cwdValid bool
+	sync     *SyncSyscallChannel
+	// recent holds the virtual times of the last PromoteCalls forwards
+	// (oldest first); lastForward gates idle demotion.
+	recent      []cycles.Cycles
+	lastForward cycles.Cycles
+	closed      bool
+
+	// crossings counts tier-2 forwards (calls that actually crossed the
+	// boundary); atomic so the harness can read it mid-run.
+	crossings atomic.Uint64
+}
+
+// RouterPolicy tunes the dynamic sync/async channel promotion.
+type RouterPolicy struct {
+	// PromoteCalls forwards within PromoteWindow of virtual time promote
+	// the group to the synchronous channel.
+	PromoteCalls  int
+	PromoteWindow cycles.Cycles
+	// DemoteIdle is the virtual-time gap since the last forward that
+	// demotes the group back to the asynchronous channel (checked on the
+	// next call, which is the first moment the HRT thread is active
+	// again).
+	DemoteIdle cycles.Cycles
+}
+
+// DefaultRouterPolicy promotes after a burst of 32 forwards inside ~1ms of
+// virtual time and demotes after ~10ms of silence. At Figure 2's prices a
+// promotion (one setup hypercall + one ROS thread creation, ~39K cycles)
+// amortizes in two forwarded calls, so the threshold is deliberately
+// conservative rather than tight.
+func DefaultRouterPolicy() RouterPolicy {
+	return RouterPolicy{
+		PromoteCalls:  32,
+		PromoteWindow: 2_200_000,  // 1 ms at 2.2 GHz
+		DemoteIdle:    22_000_000, // 10 ms at 2.2 GHz
+	}
+}
+
+func (p *RouterPolicy) fill() {
+	d := DefaultRouterPolicy()
+	if p.PromoteCalls <= 0 {
+		p.PromoteCalls = d.PromoteCalls
+	}
+	if p.PromoteWindow <= 0 {
+		p.PromoteWindow = d.PromoteWindow
+	}
+	if p.DemoteIdle <= 0 {
+		p.DemoteIdle = d.DemoteIdle
+	}
+}
+
+// RouterLocalState is the ROS process state mirrored into the HRT when the
+// router is created — the data page tier 0 reads instead of crossing. It
+// is the same superposition idea the GDT/TLS mirroring uses: state that is
+// process-invariant (or whose changes are hooked) can be replicated once
+// and consulted locally forever after.
+type RouterLocalState struct {
+	PID   uint64
+	Cwd   string
+	Uname string
+}
+
+// routerCacheKey identifies one cached idempotent result.
+type routerCacheKey struct {
+	kind uint8
+	fd   int
+	path string
+}
+
+const (
+	ckStat uint8 = iota + 1
+	ckFstat
+	ckLseek
+	ckBrk
+)
+
+// NewSyscallRouter builds a router over the HVM's cost model and
+// telemetry. local mirrors the owning process's state at creation time.
+func NewSyscallRouter(h *HVM, hrtCore machine.CoreID, local RouterLocalState, policy RouterPolicy) *SyscallRouter {
+	policy.fill()
+	return &SyscallRouter{
+		hvm:      h,
+		hrtCore:  hrtCore,
+		policy:   policy,
+		local:    local,
+		cache:    make(map[routerCacheKey]linuxabi.Result),
+		cwdValid: true,
+	}
+}
+
+// SetPromotionHooks installs the callbacks that set up and tear down the
+// synchronous channel on promotion/demotion. Without hooks the router
+// never promotes (it still serves tiers 0 and 1).
+func (r *SyscallRouter) SetPromotionHooks(
+	promote func(clk *cycles.Clock) (*SyncSyscallChannel, error),
+	demote func(clk *cycles.Clock, ch *SyncSyscallChannel),
+) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.promote = promote
+	r.demote = demote
+}
+
+// SetSyncChannel pins the router to an existing synchronous channel (the
+// static Options.SyncSyscalls configuration). A pinned channel is never
+// demoted unless demotion hooks are also installed.
+func (r *SyscallRouter) SetSyncChannel(ch *SyncSyscallChannel) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sync = ch
+}
+
+// Promoted reports whether the group currently forwards over the
+// synchronous channel.
+func (r *SyscallRouter) Promoted() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sync != nil
+}
+
+// Crossings reports how many routed calls actually crossed the boundary
+// (tier-2 forwards). Race-free mid-run.
+func (r *SyscallRouter) Crossings() uint64 { return r.crossings.Load() }
+
+// hrtTrack is the router's trace track: the HRT thread's timeline.
+func (r *SyscallRouter) hrtTrack() telemetry.Track {
+	return telemetry.Track{Core: int(r.hrtCore), Name: "hrt"}
+}
+
+// Dispatch routes one system call from the HRT thread. It returns the
+// result, whether the call crossed the boundary, and a transport error (a
+// closed channel) if any. clk is the HRT thread's clock; each tier charges
+// its own virtual cost to it.
+func (r *SyscallRouter) Dispatch(clk *cycles.Clock, ch *EventChannel, call linuxabi.Call) (linuxabi.Result, bool, error) {
+	cost := r.hvm.cost
+	m := r.hvm.metrics
+
+	// Tier 0: HRT-local service from mirrored state.
+	if res, ok := r.serveLocal(clk, call); ok {
+		m.Counter("router.local_hits").Inc()
+		m.Counter("router.local." + call.Num.String()).Inc()
+		m.LatencyHistogram("router.local.latency").Observe(cost.HRTLocalSyscall)
+		return res, false, nil
+	}
+
+	// Tier 1: result cache for idempotent read-only calls.
+	if key, cacheable := r.cacheKeyOf(call); cacheable {
+		clk.Advance(cost.SyscallCacheProbe)
+		r.mu.Lock()
+		res, hit := r.cache[key]
+		r.mu.Unlock()
+		if hit {
+			clk.Advance(cost.SyscallCacheHit)
+			m.Counter("router.cache_hits").Inc()
+			m.LatencyHistogram("router.cache_hit.latency").Observe(cost.SyscallCacheProbe + cost.SyscallCacheHit)
+			return res, false, nil
+		}
+		m.Counter("router.cache_misses").Inc()
+		res, err := r.forward(clk, ch, call)
+		if err == nil && res.Err == linuxabi.OK {
+			r.mu.Lock()
+			if !r.closed {
+				r.cache[key] = res
+			}
+			r.mu.Unlock()
+		}
+		return res, true, err
+	}
+
+	// Tier 2: forward.
+	res, err := r.forward(clk, ch, call)
+	return res, true, err
+}
+
+// serveLocal answers tier-0 calls. getpid/uname/getcwd come from the
+// mirrored state; the two time calls read the HRT thread's own virtual
+// clock, exactly as a vdso page mapped into the merged address space
+// would.
+func (r *SyscallRouter) serveLocal(clk *cycles.Clock, call linuxabi.Call) (linuxabi.Result, bool) {
+	serve := func(res linuxabi.Result) (linuxabi.Result, bool) {
+		clk.Advance(r.hvm.cost.HRTLocalSyscall)
+		return res, true
+	}
+	switch call.Num {
+	case linuxabi.SysGetpid:
+		return serve(linuxabi.Result{Ret: r.local.PID, Err: linuxabi.OK})
+	case linuxabi.SysClockGettime:
+		clk.Advance(r.hvm.cost.HRTLocalSyscall)
+		return linuxabi.Result{Ret: uint64(clk.Now().Nanoseconds()), Err: linuxabi.OK}, true
+	case linuxabi.SysGettimeofday:
+		clk.Advance(r.hvm.cost.HRTLocalSyscall)
+		return linuxabi.Result{Ret: uint64(clk.Now().Microseconds()), Err: linuxabi.OK}, true
+	case linuxabi.SysUname:
+		return serve(linuxabi.Result{Ret: 0, Err: linuxabi.OK, Data: []byte(r.local.Uname)})
+	case linuxabi.SysGetcwd:
+		r.mu.Lock()
+		valid, cwd := r.cwdValid, r.local.Cwd
+		r.mu.Unlock()
+		if !valid {
+			return linuxabi.Result{}, false // mirror stale: fall through to forwarding
+		}
+		return serve(linuxabi.Result{Ret: uint64(len(cwd)), Err: linuxabi.OK, Data: []byte(cwd)})
+	}
+	return linuxabi.Result{}, false
+}
+
+// cacheKeyOf classifies tier-1 calls. Only genuinely idempotent shapes
+// cache: stat by path, fstat by fd, the position query lseek(fd, 0,
+// SEEK_CUR), and the break query brk(0).
+func (r *SyscallRouter) cacheKeyOf(call linuxabi.Call) (routerCacheKey, bool) {
+	switch call.Num {
+	case linuxabi.SysStat:
+		return routerCacheKey{kind: ckStat, path: r.resolvePath(call.Path)}, true
+	case linuxabi.SysFstat:
+		return routerCacheKey{kind: ckFstat, fd: int(call.Args[0])}, true
+	case linuxabi.SysLseek:
+		if call.Args[1] == 0 && call.Args[2] == linuxabi.SeekCur {
+			return routerCacheKey{kind: ckLseek, fd: int(call.Args[0])}, true
+		}
+	case linuxabi.SysBrk:
+		if call.Args[0] == 0 {
+			return routerCacheKey{kind: ckBrk}, true
+		}
+	}
+	return routerCacheKey{}, false
+}
+
+// resolvePath canonicalizes a path against the mirrored cwd so cache keys
+// match the absolute paths the ROS-side invalidation hooks report.
+func (r *SyscallRouter) resolvePath(path string) string {
+	if strings.HasPrefix(path, "/") {
+		return path
+	}
+	if r.local.Cwd == "/" {
+		return "/" + path
+	}
+	return r.local.Cwd + "/" + path
+}
+
+// forward is tier 2: apply the promotion policy, then cross the boundary
+// over the synchronous channel if promoted, the event channel otherwise.
+func (r *SyscallRouter) forward(clk *cycles.Clock, ch *EventChannel, call linuxabi.Call) (linuxabi.Result, error) {
+	sc := r.applyPolicy(clk)
+	r.crossings.Add(1)
+	m := r.hvm.metrics
+	if sc != nil {
+		res, err := sc.Invoke(clk, call)
+		if err != nil {
+			return res, err
+		}
+		m.Counter("router.forward.sync").Inc()
+		return res, nil
+	}
+	if ch == nil {
+		return linuxabi.Result{Ret: ^uint64(0), Err: linuxabi.ENOSYS}, nil
+	}
+	rep, err := ch.Forward(clk, &Envelope{Kind: EvSyscall, Call: call})
+	if err != nil {
+		return linuxabi.Result{}, err
+	}
+	m.Counter("router.forward.async").Inc()
+	return rep.Res, nil
+}
+
+// applyPolicy runs the promotion/demotion policy for one forward at the
+// caller's current virtual time and returns the synchronous channel to
+// use (nil = asynchronous). Only the owning HRT thread calls it, so
+// decisions are serialized by construction; the lock only guards against
+// concurrent invalidations and harness reads.
+func (r *SyscallRouter) applyPolicy(clk *cycles.Clock) *SyncSyscallChannel {
+	now := clk.Now()
+	r.mu.Lock()
+	// Demote after an idle gap: the polling core stopped paying for
+	// itself somewhere in the silence.
+	if r.sync != nil && r.demote != nil && r.lastForward > 0 && now-r.lastForward >= r.policy.DemoteIdle {
+		sc := r.sync
+		r.sync = nil
+		r.recent = r.recent[:0]
+		demote := r.demote
+		r.mu.Unlock()
+		demote(clk, sc)
+		r.hvm.metrics.Counter("router.demotions").Inc()
+		r.hvm.tracer.Instant(r.hrtTrack(), "router", "channel-demote", clk.Now())
+		r.mu.Lock()
+	}
+
+	// Track the forwarding rate and promote on a hot burst.
+	if r.sync == nil && r.promote != nil {
+		r.recent = append(r.recent, now)
+		if n := r.policy.PromoteCalls; len(r.recent) > n {
+			r.recent = r.recent[len(r.recent)-n:]
+		}
+		if len(r.recent) == r.policy.PromoteCalls && now-r.recent[0] <= r.policy.PromoteWindow {
+			promote := r.promote
+			r.recent = r.recent[:0]
+			r.mu.Unlock()
+			sc, err := promote(clk)
+			r.mu.Lock()
+			if err == nil && sc != nil {
+				r.sync = sc
+				r.hvm.metrics.Counter("router.promotions").Inc()
+				r.hvm.tracer.Instant(r.hrtTrack(), "router", "channel-promote", clk.Now())
+			}
+		}
+	}
+	r.lastForward = now
+	sc := r.sync
+	r.mu.Unlock()
+	return sc
+}
+
+// ---- Invalidation hooks -------------------------------------------------
+//
+// The ROS kernel's mutating syscall paths call these (through the
+// execution-group wiring) whenever state a cached result might describe
+// changes. Each method drops exactly the entries the mutation can affect.
+
+// invalidate removes one key, counting it if present.
+func (r *SyscallRouter) invalidate(keys ...routerCacheKey) {
+	r.mu.Lock()
+	dropped := 0
+	for _, k := range keys {
+		if _, ok := r.cache[k]; ok {
+			delete(r.cache, k)
+			dropped++
+		}
+	}
+	r.mu.Unlock()
+	if dropped > 0 {
+		r.hvm.metrics.Counter("router.cache_invalidations").Add(uint64(dropped))
+	}
+}
+
+// InvalidateFD drops results keyed to a file descriptor (fstat, lseek
+// position) — a write, read, seek, or close changed them.
+func (r *SyscallRouter) InvalidateFD(fd int) {
+	r.invalidate(routerCacheKey{kind: ckFstat, fd: fd}, routerCacheKey{kind: ckLseek, fd: fd})
+}
+
+// InvalidatePath drops the stat result of an absolute path — a write or a
+// (re)open may have changed the file's metadata.
+func (r *SyscallRouter) InvalidatePath(path string) {
+	if path == "" {
+		return
+	}
+	r.invalidate(routerCacheKey{kind: ckStat, path: path})
+}
+
+// InvalidateBrk drops the cached break query after a mutating brk.
+func (r *SyscallRouter) InvalidateBrk() {
+	r.invalidate(routerCacheKey{kind: ckBrk})
+}
+
+// InvalidateCwd marks the mirrored working directory stale; getcwd
+// forwards from then on. (The current ROS has no chdir, but the hook keeps
+// the mirror honest if one appears.)
+func (r *SyscallRouter) InvalidateCwd() {
+	r.mu.Lock()
+	r.cwdValid = false
+	r.mu.Unlock()
+	r.hvm.metrics.Counter("router.cache_invalidations").Inc()
+}
+
+// Shutdown closes a promoted channel (the group is tearing down) and
+// freezes the cache.
+func (r *SyscallRouter) Shutdown() {
+	r.mu.Lock()
+	sc := r.sync
+	r.sync = nil
+	r.closed = true
+	r.mu.Unlock()
+	if sc != nil {
+		sc.Close()
+	}
+}

@@ -31,7 +31,9 @@ type SyncSyscallChannel struct {
 	mu     sync.Mutex
 	serve  chan syncSysReq
 	closed bool
-	calls  uint64
+	// calls is atomic, like EventChannel.forwarded: the HRT thread
+	// invokes while the evaluation harness reads mid-run.
+	calls atomic.Uint64
 }
 
 type syncSysReq struct {
@@ -81,9 +83,8 @@ func (s *SyncSyscallChannel) Invoke(clk *cycles.Clock, call linuxabi.Call) (linu
 		s.mu.Unlock()
 		return linuxabi.Result{}, fmt.Errorf("hvm: sync syscall channel closed")
 	}
-	s.calls++
-	seq := s.calls
 	s.mu.Unlock()
+	seq := s.calls.Add(1)
 
 	start := clk.Now()
 	flow := s.id<<20 | seq
@@ -130,12 +131,9 @@ func (s *SyncSyscallChannel) Close() {
 	}
 }
 
-// Calls reports how many calls crossed.
-func (s *SyncSyscallChannel) Calls() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.calls
-}
+// Calls reports how many calls crossed. It is race-free against
+// concurrent Invoke calls.
+func (s *SyncSyscallChannel) Calls() uint64 { return s.calls.Load() }
 
 // VA returns the agreed synchronization address.
 func (s *SyncSyscallChannel) VA() uint64 { return s.va }

@@ -165,6 +165,13 @@ const (
 	OAppend = 0x400
 )
 
+// lseek whence values.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
 // Signal numbers.
 type Signal int
 

@@ -124,6 +124,9 @@ type Process struct {
 	faultTrace    []FaultRecord
 	faultTraceCap int
 
+	// mutHooks observe successful mutating syscalls (see AddMutationHook).
+	mutHooks []func(MutationEvent)
+
 	stats Stats
 }
 
@@ -131,6 +134,41 @@ type Process struct {
 type FaultRecord struct {
 	Addr  uint64
 	Write bool
+}
+
+// MutationKind classifies one kernel state change that observers of
+// cached system-call results (the HRT-side boundary router) care about.
+type MutationKind int
+
+const (
+	// MutFD: state addressed by a file descriptor changed — a write,
+	// read, or seek moved the offset or size, or a close freed the fd
+	// for reuse.
+	MutFD MutationKind = iota + 1
+	// MutPath: the metadata of the file at an absolute path changed
+	// (a write grew it, an open created or truncated it).
+	MutPath
+	// MutBrk: the program break moved.
+	MutBrk
+	// MutCwd: the working directory changed.
+	MutCwd
+)
+
+// MutationEvent is one fired mutation: the kind plus whichever address
+// field applies.
+type MutationEvent struct {
+	Kind MutationKind
+	FD   int
+	Path string
+}
+
+// AddMutationHook registers fn to run after every successful mutating
+// system call, with one event per affected cache axis. Hooks run outside
+// the process lock, on the servicing thread's goroutine.
+func (p *Process) AddMutationHook(fn func(MutationEvent)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.mutHooks = append(p.mutHooks, fn)
 }
 
 // EnableFaultTrace starts recording up to max kernel-handled user page
@@ -184,6 +222,14 @@ func (p *Process) Pid() int { return p.pid }
 
 // Name returns the executable name.
 func (p *Process) Name() string { return p.name }
+
+// Cwd returns the working directory (mirrored into the HRT at router
+// creation).
+func (p *Process) Cwd() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cwd
+}
 
 // Kernel returns the owning kernel.
 func (p *Process) Kernel() *Kernel { return p.kern }

@@ -11,6 +11,10 @@ import (
 	"multiverse/internal/vfs"
 )
 
+// UnameString is the utsname banner uname(2) reports. Exported so the
+// HRT-side router can mirror it and answer uname locally.
+const UnameString = "Linux multiverse-ros 2.6.38"
+
 // Syscall dispatches one system call on thread t. It is the single kernel
 // entry point: the native path calls it directly, and the Multiverse
 // partner thread calls it with envelopes forwarded from the HRT.
@@ -25,7 +29,63 @@ func (p *Process) Syscall(t *Thread, call linuxabi.Call) linuxabi.Result {
 
 	p.kern.exitKernel(t.Clock)
 	p.chargeSys(t.Clock.Now() - start)
+	if res.Err == linuxabi.OK {
+		p.notifyMutations(call)
+	}
 	return res
+}
+
+// notifyMutations fires the registered mutation hooks for one successful
+// call, outside every lock: the hooks are the HRT router's invalidation
+// paths and take their own locks.
+func (p *Process) notifyMutations(call linuxabi.Call) {
+	p.mu.Lock()
+	hooks := p.mutHooks
+	p.mu.Unlock()
+	if len(hooks) == 0 {
+		return
+	}
+	var evs []MutationEvent
+	switch call.Num {
+	case linuxabi.SysWrite:
+		fd := int(call.Args[0])
+		evs = append(evs, MutationEvent{Kind: MutFD, FD: fd})
+		if path := p.fdPath(fd); path != "" {
+			evs = append(evs, MutationEvent{Kind: MutPath, Path: path})
+		}
+	case linuxabi.SysRead:
+		evs = append(evs, MutationEvent{Kind: MutFD, FD: int(call.Args[0])})
+	case linuxabi.SysLseek:
+		// The position query lseek(fd, 0, SEEK_CUR) mutates nothing; any
+		// other seek moves the offset.
+		if call.Args[1] != 0 || call.Args[2] != linuxabi.SeekCur {
+			evs = append(evs, MutationEvent{Kind: MutFD, FD: int(call.Args[0])})
+		}
+	case linuxabi.SysOpen:
+		evs = append(evs, MutationEvent{Kind: MutPath, Path: p.resolvePath(call.Path)})
+	case linuxabi.SysClose:
+		evs = append(evs, MutationEvent{Kind: MutFD, FD: int(call.Args[0])})
+	case linuxabi.SysBrk:
+		if call.Args[0] != 0 {
+			evs = append(evs, MutationEvent{Kind: MutBrk})
+		}
+	}
+	for _, ev := range evs {
+		for _, fn := range hooks {
+			fn(ev)
+		}
+	}
+}
+
+// fdPath returns the absolute path backing fd, or "" for pathless fds
+// (stdio, closed).
+func (p *Process) fdPath(fd int) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, okf := p.fds[fd]; okf {
+		return f.Path()
+	}
+	return ""
 }
 
 func (p *Process) dispatch(t *Thread, call linuxabi.Call) linuxabi.Result {
@@ -73,7 +133,7 @@ func (p *Process) dispatch(t *Thread, call linuxabi.Call) linuxabi.Result {
 	case linuxabi.SysGetdents64:
 		return p.sysGetdents64(t, call)
 	case linuxabi.SysUname:
-		return linuxabi.Result{Ret: 0, Err: linuxabi.OK, Data: []byte("Linux multiverse-ros 2.6.38")}
+		return linuxabi.Result{Ret: 0, Err: linuxabi.OK, Data: []byte(UnameString)}
 	case linuxabi.SysIoctl:
 		return ok(0)
 	case linuxabi.SysClone:

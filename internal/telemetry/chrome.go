@@ -63,6 +63,12 @@ func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
 		for _, a := range sp.Attrs {
 			args += fmt.Sprintf(",%s:%d", strconv.Quote(a.Key), a.Val)
 		}
+		if sp.Instant {
+			// Thread-scoped instant event: a zero-duration marker.
+			emit(fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"i","s":"t","ts":%s,"pid":%d,"tid":%d,"args":{%s}}`,
+				strconv.Quote(sp.Name), strconv.Quote(sp.Cat), ts, sp.Track.Core, tid, args))
+			continue
+		}
 		emit(fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d,"args":{%s}}`,
 			strconv.Quote(sp.Name), strconv.Quote(sp.Cat), ts, dur, sp.Track.Core, tid, args))
 		if sp.FlowOut != 0 {

@@ -60,6 +60,11 @@ type Span struct {
 	// Depth is the nesting level on the track at Begin time (0 = root).
 	Depth int
 
+	// Instant marks a zero-duration event (Start == End): a point in
+	// virtual time rather than a region. The Chrome exporter renders it
+	// as an instant ("i") event instead of a complete span.
+	Instant bool
+
 	// FlowOut/FlowIn carry cross-track link ids (0 = none): a span that
 	// initiates work on another track sets FlowOut; the span servicing it
 	// sets FlowIn with the same id.
@@ -107,6 +112,25 @@ func (tr *Tracer) Begin(tk Track, cat, name string, at cycles.Cycles, attrs ...A
 	tr.open[tk] = append(stack, sp)
 	tr.mu.Unlock()
 	return sp
+}
+
+// Instant records a zero-duration marker event on a track at virtual time
+// `at` — a state transition (a channel promotion, a mode switch) rather
+// than a timed region. The event nests visually under the track's
+// innermost open span but does not join the open-span stack.
+func (tr *Tracer) Instant(tk Track, cat, name string, at cycles.Cycles, attrs ...Attr) {
+	if tr == nil || !tr.enabled {
+		return
+	}
+	sp := &Span{Track: tk, Cat: cat, Name: name, Start: at, End: at,
+		Attrs: attrs, Instant: true, ended: true, tr: tr}
+	tr.mu.Lock()
+	if stack := tr.open[tk]; len(stack) > 0 {
+		sp.parent = stack[len(stack)-1]
+		sp.Depth = len(stack)
+	}
+	tr.spans = append(tr.spans, sp)
+	tr.mu.Unlock()
 }
 
 // EndAt closes the span at virtual time `at` and records it. Ending a
@@ -175,10 +199,13 @@ func (sp *Span) Parent() *Span {
 }
 
 // Spans returns the completed spans in canonical order: by start time,
-// then track, then depth (parents before the children that share their
-// start), then name, then end. The order depends only on virtual-time
-// content, never on goroutine scheduling, which is what makes exports
-// reproducible.
+// then track, then end time descending (an enclosing span before the
+// children that share its start), then name. The order depends only on
+// virtual-time content, never on goroutine scheduling, which is what
+// makes exports reproducible. Depth is deliberately not a sort key: when
+// two simulated threads share a track (nested HRT threads forward over
+// their ancestor's channel), depth reflects how their open spans
+// interleaved in host time.
 func (tr *Tracer) Spans() []*Span {
 	if tr == nil {
 		return nil
@@ -203,14 +230,11 @@ func sortSpans(spans []*Span) {
 		if a.Track.Name != b.Track.Name {
 			return a.Track.Name < b.Track.Name
 		}
-		if a.Depth != b.Depth {
-			return a.Depth < b.Depth
+		if a.End != b.End {
+			return a.End > b.End // longer (enclosing) span first
 		}
 		if a.Name != b.Name {
 			return a.Name < b.Name
-		}
-		if a.End != b.End {
-			return a.End > b.End // longer (enclosing) span first
 		}
 		if a.FlowOut != b.FlowOut {
 			return a.FlowOut < b.FlowOut

@@ -34,12 +34,13 @@ func main() {
 	benchName := flag.String("bench", "", "run a named paper benchmark instead of a file")
 	stats := flag.Bool("stats", false, "print run statistics afterwards")
 	router := flag.Bool("router", false, "enable the adaptive boundary-crossing router (multiverse world only)")
+	merger := flag.Bool("merger", false, "enable the incremental state-superposition merger (multiverse world only)")
 	hotspots := flag.Bool("hotspots", false, "print the legacy-interface hotspot report (multiverse world only)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in Perfetto)")
 	metrics := flag.Bool("metrics", false, "dump the run's metrics registry to stderr afterwards")
 	flag.Parse()
 
-	if err := run(*world, *runtimeName, *expr, *repl, *benchName, *stats, *router, *hotspots, *tracePath, *metrics, flag.Args()); err != nil {
+	if err := run(*world, *runtimeName, *expr, *repl, *benchName, *stats, *router, *merger, *hotspots, *tracePath, *metrics, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "mvrun: %v\n", err)
 		os.Exit(1)
 	}
@@ -58,7 +59,7 @@ func parseWorld(s string) (core.World, error) {
 	}
 }
 
-func run(worldName, runtimeName, expr string, repl bool, benchName string, stats, router, hotspots bool, tracePath string, metrics bool, args []string) error {
+func run(worldName, runtimeName, expr string, repl bool, benchName string, stats, router, merger, hotspots bool, tracePath string, metrics bool, args []string) error {
 	w, err := parseWorld(worldName)
 	if err != nil {
 		return err
@@ -79,13 +80,13 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 		if !ok {
 			return fmt.Errorf("unknown benchmark %q", benchName)
 		}
-		res, err := bench.RunBenchmarkCfg(prog, w, bench.RunConfig{Tracer: tracer, Router: router})
+		res, err := bench.RunBenchmarkCfg(prog, w, bench.RunConfig{Tracer: tracer, Router: router, Merger: merger})
 		if err != nil {
 			return err
 		}
 		os.Stdout.Write(res.Output)
 		if stats {
-			printStats(res, router)
+			printStats(res, router, merger)
 		}
 		if metrics {
 			fmt.Fprint(os.Stderr, res.Metrics.Dump())
@@ -114,7 +115,7 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 	if err := scheme.InstallPrelude(fs); err != nil {
 		return err
 	}
-	sys, err := bench.NewSystemForWorldCfg(w, fs, "mvrun", bench.RunConfig{Tracer: tracer, Router: router})
+	sys, err := bench.NewSystemForWorldCfg(w, fs, "mvrun", bench.RunConfig{Tracer: tracer, Router: router, Merger: merger})
 	if err != nil {
 		return err
 	}
@@ -185,6 +186,15 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 				m.Counter("router.cache_invalidations").Value(),
 				m.Counter("router.promotions").Value(), m.Counter("router.demotions").Value())
 		}
+		if merger {
+			m := sys.Metrics()
+			fmt.Fprintf(os.Stderr, "[%s] merger: entries=%d delta=%d shootdowns=%d/%d local-faults=%d\n",
+				w, m.Counter("paging.pml4_entries_copied").Value(),
+				m.Counter("merger.delta.entries").Value(),
+				m.Counter("merger.shootdown.targeted").Value(),
+				m.Counter("merger.shootdown.broadcast").Value(),
+				m.Counter("fault.local").Value())
+		}
 	}
 	if metrics {
 		fmt.Fprint(os.Stderr, sys.Metrics().Dump())
@@ -212,7 +222,7 @@ func writeTrace(tracer *telemetry.Tracer, path string) error {
 	return f.Close()
 }
 
-func printStats(res *bench.RunResult, router bool) {
+func printStats(res *bench.RunResult, router, merger bool) {
 	fmt.Fprintf(os.Stderr, "\n[%s] %s: %.4f virtual seconds\n", res.World, res.Program, res.Seconds)
 	fmt.Fprintf(os.Stderr, "  syscalls=%d faults=%d maxrss=%dKb ctxsw=%d\n",
 		res.Stats.TotalSyscalls(), res.Stats.MinorFaults+res.Stats.MajorFaults,
@@ -228,5 +238,10 @@ func printStats(res *bench.RunResult, router bool) {
 			res.RouterLocalHits, res.RouterCacheHits, res.RouterCacheMisses,
 			res.RouterInvalidations, res.RouterPromotions, res.RouterDemotions,
 			uint64(res.ForwardedSyscallCycles))
+	}
+	if merger {
+		fmt.Fprintf(os.Stderr, "  merger: entries=%d delta=%d remerges=%d shootdowns=%d/%d local-faults=%d\n",
+			res.PML4EntriesCopied, res.MergerDeltaEntries, res.Remerges,
+			res.MergerTargeted, res.MergerBroadcast, res.LocalFaults)
 	}
 }

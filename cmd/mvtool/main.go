@@ -8,6 +8,7 @@
 //	mvtool inspect myapp.fat
 //	mvtool trace out.json
 //	mvtool bench -json -o BENCH_pr2.json
+//	mvtool bench -suite merger -json -o BENCH_pr3.json
 package main
 
 import (
@@ -47,37 +48,56 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: mvtool build -app NAME [-overrides FILE] -o OUT.fat")
 	fmt.Fprintln(os.Stderr, "       mvtool inspect FILE.fat")
 	fmt.Fprintln(os.Stderr, "       mvtool trace [-top N] FILE.json")
-	fmt.Fprintln(os.Stderr, "       mvtool bench [-json] [-o FILE]")
+	fmt.Fprintln(os.Stderr, "       mvtool bench [-suite router|merger] [-json] [-o FILE]")
 	os.Exit(2)
 }
 
-// benchCmd runs the deterministic router-comparison suite (seven paper
-// benchmarks in the multiverse world, router off vs on). With -json it
-// emits the BENCH_pr2.json baseline document; otherwise it prints the
-// comparison table.
+// benchCmd runs one of the deterministic off/on comparison suites (seven
+// paper benchmarks in the multiverse world): "router" compares the
+// adaptive boundary router, "merger" the incremental state-superposition
+// merger. With -json it emits the corresponding baseline document
+// (BENCH_pr2.json / BENCH_pr3.json); otherwise it prints the comparison
+// table.
 func benchCmd(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	asJSON := fs.Bool("json", false, "emit the BENCH_pr2.json baseline document")
+	suite := fs.String("suite", "router", "comparison suite: router (BENCH_pr2) or merger (BENCH_pr3)")
+	asJSON := fs.Bool("json", false, "emit the baseline JSON document")
 	out := fs.String("o", "", "write output to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	var blob []byte
-	if *asJSON {
+	switch {
+	case *suite == "router" && *asJSON:
 		base, err := bench.CollectRouterBaseline()
 		if err != nil {
 			return err
 		}
-		blob, err = base.MarshalIndent()
+		if blob, err = base.MarshalIndent(); err != nil {
+			return err
+		}
+	case *suite == "merger" && *asJSON:
+		base, err := bench.CollectMergerBaseline()
 		if err != nil {
 			return err
 		}
-	} else {
+		if blob, err = base.MarshalIndent(); err != nil {
+			return err
+		}
+	case *suite == "router":
 		t, err := bench.FigureRouter()
 		if err != nil {
 			return err
 		}
 		blob = []byte(t.String() + "\n")
+	case *suite == "merger":
+		t, err := bench.FigureMerger()
+		if err != nil {
+			return err
+		}
+		blob = []byte(t.String() + "\n")
+	default:
+		return fmt.Errorf("unknown suite %q (want router or merger)", *suite)
 	}
 	if *out != "" {
 		return os.WriteFile(*out, blob, 0o644)

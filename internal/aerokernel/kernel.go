@@ -53,6 +53,19 @@ type Kernel struct {
 	rosCR3   uint64
 	merges   int
 
+	// Incremental-merger state: the ROS-published generation source, the
+	// snapshot the last merge consumed, and the cached ros-merge-view
+	// (rebuilt only when the ROS CR3 changes).
+	genSource    func() []uint64
+	lastGen      []uint64
+	mergeView    *paging.AddressSpace
+	mergeViewCR3 uint64
+
+	// userFault is the fast-lane resolver for protection faults on merged
+	// user pages the runtime arranged on purpose (GC write barriers on
+	// mprotect-backed segments). Nil unless the merger option installed one.
+	userFault MemFaultHandler
+
 	// lastFault implements the duplicate-page-fault heuristic: Nautilus
 	// keeps a per-core record of the most recent forwarded fault address;
 	// a repeat means the ROS changed a top-level mapping and the PML4
@@ -255,6 +268,26 @@ func (k *Kernel) MergeCount() int {
 	return k.merges
 }
 
+// EnableIncrementalMerger installs the ROS generation source: subsequent
+// re-merges against the same CR3 copy only the PML4 slots whose generation
+// moved since the previous merge, and shoot down only those slots when the
+// delta is small. The first merge (and any merge against a new CR3) stays
+// a full copy.
+func (k *Kernel) EnableIncrementalMerger(gens func() []uint64) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.genSource = gens
+}
+
+// SetUserFaultHandler installs the fault fast lane: protection faults on
+// merged lower-half pages are offered to h before any forwarding or
+// re-merge. h returning true means the fault is resolved HRT-locally.
+func (k *Kernel) SetUserFaultHandler(h MemFaultHandler) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.userFault = h
+}
+
 // SetEagerRemerge switches the re-merge policy (ablation): when set, the
 // fault handler re-merges the PML4 before forwarding every fault, instead
 // of only on duplicate faults.
@@ -285,48 +318,113 @@ func (k *Kernel) ForwardedSyscalls() uint64 {
 	return k.forwardedSyscalls
 }
 
+// targetedShootdownMaxSlots is the delta size up to which a re-merge
+// invalidates per-slot (invlpg on resident entries) instead of broadcasting
+// a full flush. Typical deltas touch one or two slots; anything larger is
+// cheaper to flush wholesale.
+const targetedShootdownMaxSlots = 8
+
 // Merge copies the lower half of the ROS process's PML4 (found through
-// cr3) into the HRT's PML4 and broadcasts a TLB shootdown to all HRT
-// cores — the address-space merger superposition.
+// cr3) into the HRT's PML4 and shoots down the HRT cores' TLBs — the
+// address-space merger superposition. With the incremental merger enabled,
+// a re-merge against the same CR3 copies only the slots whose ROS
+// generation stamp moved and, for small deltas, invalidates only those
+// slots instead of flushing.
 func (k *Kernel) Merge(clk *cycles.Clock, onCore machine.CoreID, cr3 uint64) error {
 	track := telemetry.Track{Core: int(onCore), Name: "ak"}
 	sp := k.tracer.Begin(track, "merger", "merger", clk.Now(),
 		telemetry.Attr{Key: "cr3", Val: cr3})
 	defer func() { sp.EndAt(clk.Now()) }()
 	start := clk.Now()
-	rosSpace := paging.FromCR3(k.m.Phys, k.m.ZoneOfCore(onCore), cr3, "ros-merge-view")
+
 	k.mu.Lock()
 	space := k.space
+	rosSpace := k.mergeView
+	if rosSpace == nil || k.mergeViewCR3 != cr3 {
+		rosSpace = paging.FromCR3(k.m.Phys, k.m.ZoneOfCore(onCore), cr3, "ros-merge-view")
+		k.mergeView = rosSpace
+		k.mergeViewCR3 = cr3
+	}
+	genSource := k.genSource
+	lastGen := k.lastGen
+	delta := genSource != nil && k.merged && k.rosCR3 == cr3
 	k.mu.Unlock()
+
+	// Snapshot the generations before touching the tables: a ROS mutation
+	// racing the copy re-bumps its slot relative to this snapshot and gets
+	// re-copied by the next merge.
+	var gens []uint64
+	if genSource != nil {
+		gens = genSource()
+	}
+	var changed []int
+	if delta {
+		for i, g := range gens {
+			if i >= len(lastGen) || g != lastGen[i] {
+				changed = append(changed, i)
+			}
+		}
+	}
+
 	cp := k.tracer.Begin(track, "merger", "pml4-copy", clk.Now())
-	n, err := space.CopyLowerHalfFrom(rosSpace)
+	var n int
+	var err error
+	if delta {
+		n, err = space.CopyTopEntriesFrom(rosSpace, changed)
+		k.metrics.Counter("merger.delta.entries").Add(uint64(n))
+		cp.SetAttr("delta", 1)
+	} else {
+		n, err = space.CopyLowerHalfFrom(rosSpace)
+	}
 	clk.Advance(cycles.Cycles(n) * k.cost.PML4EntryCopy)
 	cp.SetAttr("entries", uint64(n))
 	cp.EndAt(clk.Now())
 	if err != nil {
 		return fmt.Errorf("aerokernel: merger: %w", err)
 	}
-	// The merger copies every lower-half entry from the ROS, which would
-	// wipe the AeroKernel's own memory-management slot; restore it.
+	// A full copy takes every lower-half entry from the ROS, which would
+	// wipe the AeroKernel's own memory-management slot; restore it. A delta
+	// copy can only touch the slot if the ROS claimed it, which MemMap
+	// forbids.
 	k.mu.Lock()
 	slotEntry := k.memSlotEntry
 	k.mu.Unlock()
-	if slotEntry != 0 {
+	if slotEntry != 0 && (!delta || containsSlot(changed, akMemSlot)) {
 		if err := space.SetTopEntry(akMemSlot, slotEntry); err != nil {
 			return fmt.Errorf("aerokernel: restoring AK memory slot: %w", err)
 		}
 	}
 	sd := k.tracer.Begin(track, "merger", "tlb-shootdown", clk.Now())
-	k.m.ShootdownTLB(onCore, k.cores)
+	if delta && len(changed) <= targetedShootdownMaxSlots {
+		k.m.ShootdownTLBSlots(onCore, k.cores, changed)
+		k.metrics.Counter("merger.shootdown.targeted").Inc()
+		k.tracer.Instant(track, "merger", "targeted-shootdown", clk.Now())
+	} else {
+		k.m.ShootdownTLB(onCore, k.cores)
+		k.metrics.Counter("merger.shootdown.broadcast").Inc()
+	}
 	sd.EndAt(clk.Now())
 	k.mu.Lock()
 	k.merged = true
 	k.rosCR3 = cr3
 	k.merges++
+	if gens != nil {
+		k.lastGen = gens
+	}
 	k.mu.Unlock()
 	k.metrics.Counter("ak.merges").Inc()
 	k.metrics.LatencyHistogram("ak.merge.latency").Observe(clk.Now() - start)
 	return nil
+}
+
+// containsSlot reports whether slot is in slots.
+func containsSlot(slots []int, slot int) bool {
+	for _, s := range slots {
+		if s == slot {
+			return true
+		}
+	}
+	return false
 }
 
 // funcByAddr resolves a registered AK function address.
@@ -436,6 +534,26 @@ func (k *Kernel) handleFault(t *Thread, f *machine.InterruptFrame) error {
 	}
 	if !k.Merged() {
 		return fmt.Errorf("aerokernel: lower-half access at %#x before merger", addr)
+	}
+
+	// Fault fast lane: a protection fault on a present merged page may be
+	// one the runtime arranged on purpose (a GC write barrier on an
+	// mprotect-backed segment). Offer it to the registered resolver before
+	// any crossing or re-merge — it un-protects by direct PTE edit on the
+	// shared tables at kernel speed.
+	if f.ErrorCode&0x1 != 0 {
+		k.mu.Lock()
+		uh := k.userFault
+		k.mu.Unlock()
+		if uh != nil {
+			lstart := t.Clock.Now()
+			if uh(addr, f.ErrorCode&0x2 != 0) {
+				k.m.Core(t.Core).MMU.TLB().FlushVA(addr)
+				k.metrics.Counter("fault.local").Inc()
+				k.metrics.LatencyHistogram("fault.local.latency").Observe(t.Clock.Now() - lstart)
+				return nil
+			}
+		}
 	}
 
 	k.mu.Lock()

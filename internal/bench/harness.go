@@ -43,6 +43,16 @@ type RunResult struct {
 	// promoted synchronous-channel round trips).
 	ForwardedSyscallCycles cycles.Cycles
 
+	// Incremental-merger counters. Entries copied and broadcast shootdowns
+	// accrue on every hybrid run (the fixed paths count too); the delta,
+	// targeted, and local-fault counters are zero unless RunConfig.Merger.
+	PML4EntriesCopied  uint64
+	MergerDeltaEntries uint64
+	MergerTargeted     uint64
+	MergerBroadcast    uint64
+	LocalFaults        uint64
+	Remerges           int
+
 	// Runtime-internal counters.
 	GCCollections uint64
 	BarrierFaults uint64
@@ -65,6 +75,9 @@ type RunConfig struct {
 	// RouterPolicy tunes promotion/demotion when Router is set; zero
 	// fields take hvm.DefaultRouterPolicy.
 	RouterPolicy hvm.RouterPolicy
+	// Merger enables the incremental state-superposition merger
+	// (core.Options.Merger); only meaningful in WorldHRT.
+	Merger bool
 	// Tracer records virtual-time spans for the run (nil = tracing off).
 	Tracer *telemetry.Tracer
 	// Metrics receives the run's counters; one is created when nil.
@@ -104,6 +117,7 @@ func NewSystemForWorldCfg(world core.World, fs *vfs.FS, name string, cfg RunConf
 	opts := core.Options{
 		AppName: name, FS: fs, Tracer: cfg.Tracer, Metrics: cfg.Metrics,
 		Router: cfg.Router, RouterPolicy: cfg.RouterPolicy,
+		Merger: cfg.Merger,
 	}
 	switch world {
 	case core.WorldNative:
@@ -222,6 +236,7 @@ func RunBenchmarkCfg(prog Program, world core.World, cfg RunConfig) (*RunResult,
 		res.ForwardedSyscalls = sys.AK.ForwardedSyscalls()
 		res.ForwardedFaults = sys.AK.ForwardedFaults()
 		res.Merges = sys.AK.MergeCount()
+		res.Remerges = sys.AK.RemergeCount()
 	}
 	m := res.Metrics
 	res.RouterLocalHits = m.Counter("router.local_hits").Value()
@@ -232,6 +247,11 @@ func RunBenchmarkCfg(prog Program, world core.World, cfg RunConfig) (*RunResult,
 	res.RouterDemotions = m.Counter("router.demotions").Value()
 	res.ForwardedSyscallCycles = m.LatencyHistogram("forward.syscall.latency").Sum() +
 		m.LatencyHistogram("sync.syscall.latency").Sum()
+	res.PML4EntriesCopied = m.Counter("paging.pml4_entries_copied").Value()
+	res.MergerDeltaEntries = m.Counter("merger.delta.entries").Value()
+	res.MergerTargeted = m.Counter("merger.shootdown.targeted").Value()
+	res.MergerBroadcast = m.Counter("merger.shootdown.broadcast").Value()
+	res.LocalFaults = m.Counter("fault.local").Value()
 	return res, nil
 }
 

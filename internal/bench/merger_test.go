@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMergerRegression is the deterministic acceptance check of the
+// incremental merger: on a GC-heavy benchmark the delta path must charge
+// fewer PML4-entry copies and fewer broadcast shootdowns than the fixed
+// path, resolve write-barrier faults locally, and reproduce exactly
+// across runs.
+func TestMergerRegression(t *testing.T) {
+	p, _ := ProgramByName("fasta")
+	a, err := CompareMerger(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CompareMerger(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Errorf("merger comparison not deterministic:\n%+v\n%+v", a, b)
+	}
+	if a.OnRemerges == 0 {
+		t.Error("benchmark exercised no re-merges; the delta path was never taken")
+	}
+	if a.OnEntriesCopied >= a.OffEntriesCopied {
+		t.Errorf("delta merger did not reduce PML4-entry copies: off=%d on=%d",
+			a.OffEntriesCopied, a.OnEntriesCopied)
+	}
+	if a.OnBroadcasts >= a.OffBroadcasts {
+		t.Errorf("merger did not reduce broadcast shootdowns: off=%d on=%d",
+			a.OffBroadcasts, a.OnBroadcasts)
+	}
+	if a.Targeted == 0 {
+		t.Error("no targeted shootdowns on the benchmark run")
+	}
+	if a.LocalFaults == 0 {
+		t.Error("fault fast lane resolved nothing on a GC-heavy benchmark")
+	}
+	if a.OnCycles >= a.OffCycles {
+		t.Errorf("merger did not reduce end-to-end cycles: off=%d on=%d", a.OffCycles, a.OnCycles)
+	}
+}
+
+// mergerBaselinePath locates BENCH_pr3.json at the repository root.
+func mergerBaselinePath() string {
+	return filepath.Join("..", "..", "BENCH_pr3.json")
+}
+
+// TestMergerBaseline pins the seven-benchmark WorldHRT suite (merger off
+// and on) against BENCH_pr3.json exactly, and holds the suite-wide
+// acceptance invariants regardless of the pinned numbers. Regenerate with
+// MV_UPDATE_BASELINE=1 after an intentional cost-model or merger change.
+func TestMergerBaseline(t *testing.T) {
+	got, err := CollectMergerBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := got.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var offEntries, onEntries, offBcast, onBcast uint64
+	for _, c := range got.Benchmarks {
+		offEntries += c.OffEntriesCopied
+		onEntries += c.OnEntriesCopied
+		offBcast += c.OffBroadcasts
+		onBcast += c.OnBroadcasts
+	}
+	if onEntries >= offEntries {
+		t.Errorf("suite: merger did not reduce charged PML4-entry copies: off=%d on=%d",
+			offEntries, onEntries)
+	}
+	if onBcast >= offBcast {
+		t.Errorf("suite: merger did not reduce broadcast shootdowns: off=%d on=%d",
+			offBcast, onBcast)
+	}
+
+	if os.Getenv("MV_UPDATE_BASELINE") != "" {
+		if err := os.WriteFile(mergerBaselinePath(), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("baseline updated: %s", mergerBaselinePath())
+		return
+	}
+
+	// Merger off is the same fixed-path configuration the router suite
+	// runs with both knobs off, so the off cycles must agree byte for byte
+	// with what BENCH_pr2.json pins.
+	if pr2blob, err := os.ReadFile(baselinePath()); err == nil {
+		var pr2 RouterBaseline
+		if err := json.Unmarshal(pr2blob, &pr2); err != nil {
+			t.Fatalf("parsing %s: %v", baselinePath(), err)
+		}
+		pr2off := make(map[string]uint64, len(pr2.Benchmarks))
+		for _, c := range pr2.Benchmarks {
+			pr2off[c.Program] = c.OffCycles
+		}
+		for _, c := range got.Benchmarks {
+			if want, ok := pr2off[c.Program]; ok && c.OffCycles != want {
+				t.Errorf("%s: merger-off cycles %d differ from BENCH_pr2.json off cycles %d (fixed path not byte-identical)",
+					c.Program, c.OffCycles, want)
+			}
+		}
+	}
+
+	want, err := os.ReadFile(mergerBaselinePath())
+	if err != nil {
+		t.Fatalf("reading baseline (regenerate with MV_UPDATE_BASELINE=1): %v", err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(want), bytes.TrimSpace(blob)) {
+		t.Errorf("benchmark baseline drifted from BENCH_pr3.json; regenerate with MV_UPDATE_BASELINE=1 if intentional")
+	}
+}

@@ -206,6 +206,10 @@ const fastaSrc = `
         (loop (- n chunk))))))
 
 (define n 600)
+(define src-bytes (file-size "/bench/fasta.scm"))
+(when (not (= src-bytes (file-size "/bench/fasta.scm")))
+  (error "fasta: unstable source size"))
+(display "source bytes ") (display src-bytes) (newline)
 (write-repeat ">ONE Homo sapiens alu" alu (* n 2))
 (write-random ">TWO IUB ambiguity codes" iub-chars iub-probs (* n 3))
 (write-random ">THREE Homo sapiens frequency" homo-chars homo-probs (* n 5))

@@ -46,6 +46,13 @@ type Options struct {
 	// RouterPolicy tunes promotion/demotion; zero fields take the
 	// defaults (hvm.DefaultRouterPolicy).
 	RouterPolicy hvm.RouterPolicy
+	// Merger enables the incremental state-superposition merger: re-merges
+	// copy only PML4 slots whose ROS-side generation stamp changed, TLB
+	// shootdowns target the changed slots when few, HRT cores run with
+	// PCID-tagged TLBs, and protection faults on runtime-owned user pages
+	// resolve HRT-locally. Off (the default) preserves the full-copy,
+	// broadcast-flush merge paths byte for byte.
+	Merger bool
 	// FS preloads a filesystem.
 	FS *vfs.FS
 	// AppName names the spawned process.
@@ -246,11 +253,28 @@ func (s *System) InitRuntime() error {
 	s.Overrides = NewOverrideSet(specs, s.Opts.UseSymbolCache)
 	s.Overrides.SetTelemetry(s.tracer, s.metrics)
 
-	// 7. Merge the ROS process's lower half into the HRT address space.
+	// 7. Merge the ROS process's lower half into the HRT address space,
+	// optionally with the incremental merger armed so later re-merges
+	// copy deltas instead of the whole lower half.
+	s.enableMerger()
 	if err := s.HVM.MergeAddressSpace(s.Main.Clock, s.Proc.CR3()); err != nil {
 		return err
 	}
 	return nil
+}
+
+// enableMerger arms the incremental state-superposition merger on the
+// booted AeroKernel: the ROS process publishes per-PML4-slot generation
+// stamps for delta merges, and the HRT cores' TLBs become PCID-tagged so
+// address-space loads need no flush.
+func (s *System) enableMerger() {
+	if !s.Opts.Merger || s.AK == nil {
+		return
+	}
+	s.AK.EnableIncrementalMerger(s.Proc.PML4Generations)
+	for _, c := range s.Opts.HRTCores {
+		s.Machine.Core(c).MMU.EnablePCID(true)
+	}
 }
 
 // AddExitHook registers a function run when the hybridized process exits.
@@ -440,10 +464,12 @@ func (s *System) linkAKFunctions() {
 }
 
 // RelinkAfterReboot re-binds the Multiverse support functions after an
-// HRT reboot (a fresh AeroKernel has an empty function registry). The
-// caller re-merges separately, as the boot protocol does.
+// HRT reboot (a fresh AeroKernel has an empty function registry and, when
+// the incremental merger is on, empty generation state). The caller
+// re-merges separately, as the boot protocol does.
 func (s *System) RelinkAfterReboot() {
 	s.linkAKFunctions()
+	s.enableMerger()
 }
 
 // Groups returns the live execution groups (diagnostics).

@@ -64,3 +64,87 @@ func TestMergerVisibilityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: a delta re-merge (CopyTopEntriesFrom over exactly the slots
+// whose top-level entry changed) leaves the HRT lower half identical to a
+// fresh full copy, for arbitrary mutation batches.
+func TestMergerDeltaEquivalenceProperty(t *testing.T) {
+	prop := func(rawA, rawB []uint32) bool {
+		pm := mem.NewFlat(2048)
+		rosAS, err := NewAddressSpace(pm, 0, "ros")
+		if err != nil {
+			return false
+		}
+		fullAS, err := NewAddressSpace(pm, 0, "hrt-full")
+		if err != nil {
+			return false
+		}
+		deltaAS, err := NewAddressSpace(pm, 0, "hrt-delta")
+		if err != nil {
+			return false
+		}
+		mapBatch := func(raws []uint32) bool {
+			n := 0
+			for _, raw := range raws {
+				if n >= 8 {
+					break
+				}
+				va := (uint64(raw) << 12) % (LowerHalfMax &^ 0xfff)
+				f, err := pm.Alloc(0, "page")
+				if err != nil {
+					return false
+				}
+				if err := rosAS.Map(va, f, PteUser|PteWrite); err != nil {
+					_ = pm.Free(f)
+					continue
+				}
+				n++
+			}
+			return true
+		}
+
+		// Initial merge: both HRT views take the full lower half.
+		if !mapBatch(rawA) {
+			return false
+		}
+		if _, err := fullAS.CopyLowerHalfFrom(rosAS); err != nil {
+			return false
+		}
+		if _, err := deltaAS.CopyLowerHalfFrom(rosAS); err != nil {
+			return false
+		}
+
+		// Mutate the ROS and diff the top level — the generation protocol's
+		// ground truth.
+		var before [LowerHalfEntries]uint64
+		for i := range before {
+			before[i] = rosAS.TopEntry(i)
+		}
+		if !mapBatch(rawB) {
+			return false
+		}
+		var changed []int
+		for i := range before {
+			if rosAS.TopEntry(i) != before[i] {
+				changed = append(changed, i)
+			}
+		}
+
+		// Re-merge: full copy vs delta copy must converge.
+		if _, err := fullAS.CopyLowerHalfFrom(rosAS); err != nil {
+			return false
+		}
+		if _, err := deltaAS.CopyTopEntriesFrom(rosAS, changed); err != nil {
+			return false
+		}
+		for i := 0; i < LowerHalfEntries; i++ {
+			if fullAS.TopEntry(i) != deltaAS.TopEntry(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -268,6 +268,29 @@ func (as *AddressSpace) CopyLowerHalfFrom(src *AddressSpace) (int, error) {
 	return LowerHalfEntries, nil
 }
 
+// CopyTopEntriesFrom copies only the given PML4 slots of src into as — the
+// delta path of the incremental merger. Slots must lie in the lower half.
+// It returns the number of entries copied.
+func (as *AddressSpace) CopyTopEntriesFrom(src *AddressSpace, slots []int) (int, error) {
+	for _, i := range slots {
+		if i < 0 || i >= LowerHalfEntries {
+			return 0, fmt.Errorf("paging: delta copy of non-user PML4 slot %d", i)
+		}
+	}
+	for n, i := range slots {
+		e, err := src.readEntry(src.root, i)
+		if err != nil {
+			return n, err
+		}
+		if err := as.writeEntry(as.root, i, e); err != nil {
+			return n, err
+		}
+	}
+	as.metrics.Counter("paging.delta_copies").Inc()
+	as.metrics.Counter("paging.pml4_entries_copied").Add(uint64(len(slots)))
+	return len(slots), nil
+}
+
 // ClearLowerHalf zeroes the lower-half PML4 entries (un-merge, used on HRT
 // reboot).
 func (as *AddressSpace) ClearLowerHalf() error {

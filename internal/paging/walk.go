@@ -40,13 +40,24 @@ func (f *Fault) Error() string {
 	return fmt.Sprintf("page fault at %#x (%s %s, %s)", f.Addr, mode, rw, kind)
 }
 
+// tlbKey identifies one cached translation: the page base qualified by the
+// address-space tag (PCID) it was filled under.
+type tlbKey struct {
+	tag  uint64
+	base uint64
+}
+
 // TLB is a per-core translation lookaside buffer. Capacity is bounded;
-// eviction is FIFO, which keeps the simulation deterministic.
+// eviction is FIFO, which keeps the simulation deterministic. Entries are
+// tagged with an address-space identifier (a PCID stand-in): lookups and
+// fills use the current tag, so translations from different address spaces
+// coexist and a CR3 reload need not flush.
 type TLB struct {
 	mu      sync.Mutex
 	cap     int
-	entries map[uint64]uint64 // page base -> leaf PTE
-	order   []uint64
+	tag     uint64 // current address-space tag (0 until SetTag)
+	entries map[tlbKey]uint64 // tagged page base -> leaf PTE
+	order   []tlbKey
 	hits    uint64
 	misses  uint64
 	flushes uint64
@@ -54,13 +65,21 @@ type TLB struct {
 
 // NewTLB returns a TLB holding up to capacity translations.
 func NewTLB(capacity int) *TLB {
-	return &TLB{cap: capacity, entries: make(map[uint64]uint64)}
+	return &TLB{cap: capacity, entries: make(map[tlbKey]uint64)}
+}
+
+// SetTag switches the TLB to a new address-space tag without invalidating
+// anything — the PCID behaviour a tagged CR3 reload gets.
+func (t *TLB) SetTag(tag uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tag = tag
 }
 
 func (t *TLB) lookup(base uint64) (uint64, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	e, ok := t.entries[base]
+	e, ok := t.entries[tlbKey{t.tag, base}]
 	if ok {
 		t.hits++
 	} else {
@@ -72,8 +91,9 @@ func (t *TLB) lookup(base uint64) (uint64, bool) {
 func (t *TLB) insert(base, pte uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if _, ok := t.entries[base]; ok {
-		t.entries[base] = pte
+	k := tlbKey{t.tag, base}
+	if _, ok := t.entries[k]; ok {
+		t.entries[k] = pte
 		return
 	}
 	if len(t.order) >= t.cap {
@@ -81,35 +101,63 @@ func (t *TLB) insert(base, pte uint64) {
 		t.order = t.order[1:]
 		delete(t.entries, oldest)
 	}
-	t.entries[base] = pte
-	t.order = append(t.order, base)
+	t.entries[k] = pte
+	t.order = append(t.order, k)
 }
 
-// FlushAll empties the TLB (full invalidation, e.g. CR3 reload or
-// shootdown).
+// FlushAll empties the TLB across all tags (full invalidation, e.g. an
+// untagged CR3 reload or a broadcast shootdown).
 func (t *TLB) FlushAll() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.entries = make(map[uint64]uint64)
+	t.entries = make(map[tlbKey]uint64)
 	t.order = t.order[:0]
 	t.flushes++
 }
 
-// FlushVA invalidates the translation for one page (invlpg).
+// FlushVA invalidates the current tag's translation for one page (invlpg).
 func (t *TLB) FlushVA(va uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	base := PageBase(va)
-	if _, ok := t.entries[base]; !ok {
+	k := tlbKey{t.tag, PageBase(va)}
+	if _, ok := t.entries[k]; !ok {
 		return
 	}
-	delete(t.entries, base)
+	delete(t.entries, k)
 	for i, b := range t.order {
-		if b == base {
+		if b == k {
 			t.order = append(t.order[:i], t.order[i+1:]...)
 			break
 		}
 	}
+}
+
+// FlushSlots invalidates, across all tags, every resident translation whose
+// virtual address falls in one of the given PML4 slots — the targeted
+// shootdown a delta merge issues instead of a full flush. It returns the
+// number of entries invalidated (each costs one invlpg).
+func (t *TLB) FlushSlots(slots []int) int {
+	if len(slots) == 0 {
+		return 0
+	}
+	want := make(map[int]bool, len(slots))
+	for _, s := range slots {
+		want[s] = true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	kept := t.order[:0]
+	for _, k := range t.order {
+		if want[PML4Index(k.base)] {
+			delete(t.entries, k)
+			n++
+			continue
+		}
+		kept = append(kept, k)
+	}
+	t.order = kept
+	return n
 }
 
 // Stats returns hit/miss/flush counters.
@@ -134,6 +182,7 @@ type MMU struct {
 	space *AddressSpace
 	tlb   *TLB
 	wp    bool // CR0.WP: supervisor writes honor the R/W bit
+	pcid  bool // tagged TLB: CR3 reloads switch tags instead of flushing
 }
 
 // NewMMU creates an MMU with the given TLB capacity.
@@ -141,11 +190,26 @@ func NewMMU(tlbCapacity int) *MMU {
 	return &MMU{tlb: NewTLB(tlbCapacity)}
 }
 
-// LoadCR3 activates an address space, flushing the TLB as hardware does.
+// EnablePCID turns on TLB tagging: subsequent LoadCR3 calls retag the TLB
+// to the new space's root instead of flushing it.
+func (m *MMU) EnablePCID(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pcid = on
+}
+
+// LoadCR3 activates an address space. Without PCID the TLB flushes, as
+// hardware does on an untagged reload; with PCID the TLB switches to the
+// space's tag and existing translations survive.
 func (m *MMU) LoadCR3(as *AddressSpace) {
 	m.mu.Lock()
 	m.space = as
+	pcid := m.pcid
 	m.mu.Unlock()
+	if pcid {
+		m.tlb.SetTag(as.CR3())
+		return
+	}
 	m.tlb.FlushAll()
 }
 

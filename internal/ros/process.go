@@ -127,6 +127,12 @@ type Process struct {
 	// mutHooks observe successful mutating syscalls (see AddMutationHook).
 	mutHooks []func(MutationEvent)
 
+	// pml4Gen is the per-slot generation stamp of the lower-half PML4: any
+	// operation that can change a top-level entry (or what it governs)
+	// bumps the covering slots, so an incremental merger can copy only the
+	// slots that moved since its last merge.
+	pml4Gen [paging.LowerHalfEntries]uint64
+
 	stats Stats
 }
 
@@ -244,6 +250,29 @@ func (p *Process) Space() *paging.AddressSpace {
 // CR3 returns the process's page-table root physical address.
 func (p *Process) CR3() uint64 { return p.Space().CR3() }
 
+// PML4Generations snapshots the lower-half PML4 generation stamps — the
+// publication side of the incremental-merger protocol.
+func (p *Process) PML4Generations() []uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]uint64, paging.LowerHalfEntries)
+	copy(out, p.pml4Gen[:])
+	return out
+}
+
+// bumpGen bumps the generation of every lower-half PML4 slot covering
+// [addr, addr+length). Callers hold p.mu.
+func (p *Process) bumpGen(addr, length uint64) {
+	if length == 0 || !paging.IsLowerHalf(addr) {
+		return
+	}
+	lo := paging.PML4Index(addr)
+	hi := paging.PML4Index(addr + length - 1)
+	for i := lo; i <= hi && i < paging.LowerHalfEntries; i++ {
+		p.pml4Gen[i]++
+	}
+}
+
 // Stats returns a snapshot of the accounting counters.
 func (p *Process) Stats() Stats {
 	p.mu.Lock()
@@ -335,9 +364,17 @@ func (p *Process) mapPage(v *vma, base uint64, clk *cycles.Clock) linuxabi.Errno
 	if v.prot&linuxabi.ProtWrite != 0 {
 		flags |= paging.PteWrite
 	}
+	// Demand-mapping the first page under an empty PML4 slot allocates the
+	// PDPT, which rewrites the top-level entry — a change only visible to a
+	// merged HRT after a re-merge, so it must bump the slot's generation.
+	slot := paging.PML4Index(base)
+	before := p.space.TopEntry(slot)
 	if err := p.space.Map(base, f, flags); err != nil {
 		_ = p.kern.machine.Phys.Free(f)
 		return linuxabi.ENOMEM
+	}
+	if slot < paging.LowerHalfEntries && p.space.TopEntry(slot) != before {
+		p.pml4Gen[slot]++
 	}
 	v.pages[base] = f
 	p.residency++

@@ -414,6 +414,7 @@ func (p *Process) sysMmap(t *Thread, call linuxabi.Call) linuxabi.Result {
 	if err := p.insertVMA(v); err != linuxabi.OK {
 		return fail(err)
 	}
+	p.bumpGen(addr, length)
 	t.Clock.Advance(900) // vma allocation + rbtree insertion analogue
 	return ok(addr)
 }
@@ -448,6 +449,7 @@ func (p *Process) sysMunmap(t *Thread, call linuxabi.Call) linuxabi.Result {
 		p.kern.machine.Core(t.Core).MMU.TLB().FlushAll()
 		t.Clock.Advance(p.kern.cost.TLBFlushLocal)
 	}
+	p.bumpGen(addr, length)
 	t.Clock.Advance(600)
 	return ok(0)
 }
@@ -481,6 +483,7 @@ func (p *Process) sysMprotect(t *Thread, call linuxabi.Call) linuxabi.Result {
 	if !found {
 		return fail(linuxabi.ENOMEM)
 	}
+	p.bumpGen(addr, length)
 	t.Clock.Advance(500)
 	return ok(0)
 }
@@ -529,6 +532,7 @@ func (p *Process) sysBrk(t *Thread, call linuxabi.Call) linuxabi.Result {
 			if err := p.insertVMA(v); err != linuxabi.OK {
 				return fail(linuxabi.ENOMEM)
 			}
+			p.bumpGen(start, end-start)
 		}
 	}
 	p.brk = newBrk

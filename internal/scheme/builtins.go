@@ -859,6 +859,21 @@ func installBuiltins(in *Interp) {
 		}
 		return in.NewString(data), nil
 	})
+	def("file-size", func(in *Interp, a []*Obj) (*Obj, error) {
+		if len(a) != 1 || a[0].Kind != KString {
+			return nil, evalError("file-size: want a path")
+		}
+		in.flushCompute()
+		res := in.Sys(linuxabi.Call{Num: linuxabi.SysStat, Path: string(a[0].Str)})
+		if !res.Ok() {
+			return nil, evalError("file-size: %v", res.Err)
+		}
+		st, ok := linuxabi.DecodeStat(res.Data)
+		if !ok {
+			return nil, evalError("file-size: malformed stat data")
+		}
+		return in.NewInt(int64(st.Size)), nil
+	})
 	def("collect-garbage", func(in *Interp, a []*Obj) (*Obj, error) {
 		in.gc.Collect()
 		return Unspecified, nil

@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate: 2, 8, 9, 10, 11, 12, 13, primitives, hpcg, incremental, router, merger, ablations, all")
+	figure := flag.String("figure", "all", "which figure to regenerate: 2, 8, 9, 10, 11, 12, 13, primitives, hpcg, incremental, router, merger, scheduler, ablations, all")
 	runs := flag.Int("runs", 10, "measurement repetitions for latency figures (the paper averages 10 runs)")
 	flag.Parse()
 
@@ -40,6 +40,7 @@ func main() {
 		{"incremental", func() (*bench.Table, error) { return bench.FigureIncremental("binary-tree-2") }},
 		{"router", bench.FigureRouter},
 		{"merger", bench.FigureMerger},
+		{"scheduler", bench.FigureScheduler},
 		{"ablations", nil}, // expanded below
 	}
 

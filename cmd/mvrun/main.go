@@ -35,12 +35,16 @@ func main() {
 	stats := flag.Bool("stats", false, "print run statistics afterwards")
 	router := flag.Bool("router", false, "enable the adaptive boundary-crossing router (multiverse world only)")
 	merger := flag.Bool("merger", false, "enable the incremental state-superposition merger (multiverse world only)")
+	scheduler := flag.Bool("scheduler", false, "enable the AeroKernel per-core run-queue scheduler (multiverse world only)")
+	hrtCores := flag.Int("hrtcores", 0, "size of the HRT core partition (cores 1..N; 0 = default single core)")
+	workers := flag.Int("workers", 8, "legion worker count for the hpcg benchmark")
 	hotspots := flag.Bool("hotspots", false, "print the legacy-interface hotspot report (multiverse world only)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in Perfetto)")
 	metrics := flag.Bool("metrics", false, "dump the run's metrics registry to stderr afterwards")
 	flag.Parse()
 
-	if err := run(*world, *runtimeName, *expr, *repl, *benchName, *stats, *router, *merger, *hotspots, *tracePath, *metrics, flag.Args()); err != nil {
+	knobs := runKnobs{router: *router, merger: *merger, scheduler: *scheduler, hrtCores: *hrtCores, workers: *workers}
+	if err := run(*world, *runtimeName, *expr, *repl, *benchName, *stats, knobs, *hotspots, *tracePath, *metrics, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "mvrun: %v\n", err)
 		os.Exit(1)
 	}
@@ -59,7 +63,17 @@ func parseWorld(s string) (core.World, error) {
 	}
 }
 
-func run(worldName, runtimeName, expr string, repl bool, benchName string, stats, router, merger, hotspots bool, tracePath string, metrics bool, args []string) error {
+// runKnobs bundles the optional subsystem switches.
+type runKnobs struct {
+	router    bool
+	merger    bool
+	scheduler bool
+	hrtCores  int
+	workers   int
+}
+
+func run(worldName, runtimeName, expr string, repl bool, benchName string, stats bool, knobs runKnobs, hotspots bool, tracePath string, metrics bool, args []string) error {
+	router, merger := knobs.router, knobs.merger
 	w, err := parseWorld(worldName)
 	if err != nil {
 		return err
@@ -75,12 +89,28 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 		tracer = telemetry.New()
 	}
 
+	cfg := bench.RunConfig{
+		Tracer: tracer, Router: router, Merger: merger,
+		Scheduler: knobs.scheduler, HRTCoreCount: knobs.hrtCores,
+	}
+
+	if benchName == "hpcg" {
+		// The legion HPCG workload is not a Scheme program; it runs the
+		// task-parallel runtime directly so the partition and worker count
+		// can be varied from the command line.
+		t, err := bench.HPCGWorkloadTable(knobs.scheduler, knobs.hrtCores, knobs.workers)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	}
 	if benchName != "" {
 		prog, ok := bench.ProgramByName(benchName)
 		if !ok {
 			return fmt.Errorf("unknown benchmark %q", benchName)
 		}
-		res, err := bench.RunBenchmarkCfg(prog, w, bench.RunConfig{Tracer: tracer, Router: router, Merger: merger})
+		res, err := bench.RunBenchmarkCfg(prog, w, cfg)
 		if err != nil {
 			return err
 		}
@@ -115,7 +145,7 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 	if err := scheme.InstallPrelude(fs); err != nil {
 		return err
 	}
-	sys, err := bench.NewSystemForWorldCfg(w, fs, "mvrun", bench.RunConfig{Tracer: tracer, Router: router, Merger: merger})
+	sys, err := bench.NewSystemForWorldCfg(w, fs, "mvrun", cfg)
 	if err != nil {
 		return err
 	}
@@ -185,6 +215,13 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 				m.Counter("router.cache_hits").Value(), m.Counter("router.cache_misses").Value(),
 				m.Counter("router.cache_invalidations").Value(),
 				m.Counter("router.promotions").Value(), m.Counter("router.demotions").Value())
+		}
+		if knobs.scheduler {
+			m := sys.Metrics()
+			fmt.Fprintf(os.Stderr, "[%s] sched: placements=%d steals=%d halts=%d queue-delay=%d\n",
+				w, m.Counter("sched.place").Value(), m.Counter("sched.steal").Value(),
+				m.Counter("sched.idle.halt").Value(),
+				uint64(m.LatencyHistogram("sched.queue.delay").Sum()))
 		}
 		if merger {
 			m := sys.Metrics()

@@ -86,6 +86,13 @@ type Kernel struct {
 	memSlotEntry uint64
 	memFault     MemFaultHandler
 
+	// sched is the per-core run-queue scheduler (core.Options.Scheduler);
+	// nil when the option is off. faultMu serializes fault delivery and
+	// occupancy installation per core so a fault can never vector into the
+	// wrong thread when two threads share a core.
+	sched   *Scheduler
+	faultMu map[machine.CoreID]*sync.Mutex
+
 	events chan *hvm.HRTRequest
 	halted bool
 
@@ -117,6 +124,7 @@ func Boot(m *machine.Machine, info hvm.BootInfo) (*Kernel, error) {
 		funcs:     make(map[uint64]AKFunc),
 		nextFunc:  funcBase,
 		lastFault: make(map[machine.CoreID]uint64),
+		faultMu:   make(map[machine.CoreID]*sync.Mutex),
 		events:    make(chan *hvm.HRTRequest, 4),
 		tracer:    info.Tracer,
 		metrics:   info.Metrics,
@@ -277,6 +285,38 @@ func (k *Kernel) EnableIncrementalMerger(gens func() []uint64) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	k.genSource = gens
+}
+
+// EnableScheduler turns on the per-core run-queue scheduler over the HRT
+// partition (core.Options.Scheduler). Idempotent: a second call returns
+// the same scheduler.
+func (k *Kernel) EnableScheduler() *Scheduler {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.sched == nil {
+		k.sched = newScheduler(k)
+	}
+	return k.sched
+}
+
+// Scheduler returns the run-queue scheduler, or nil when the option is off.
+func (k *Kernel) Scheduler() *Scheduler {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.sched
+}
+
+// faultLock returns the per-core mutex serializing occupancy installation
+// and fault delivery on a core.
+func (k *Kernel) faultLock(c machine.CoreID) *sync.Mutex {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	m := k.faultMu[c]
+	if m == nil {
+		m = &sync.Mutex{}
+		k.faultMu[c] = m
+	}
+	return m
 }
 
 // SetUserFaultHandler installs the fault fast lane: protection faults on

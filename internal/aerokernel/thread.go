@@ -40,9 +40,24 @@ type Thread struct {
 	ch          *hvm.EventChannel
 	syncSvc     *hvm.SyncSyscallChannel
 	router      *hvm.SyscallRouter
+	schedEntry  *QueueEntry // run-queue slot, when scheduler-placed
 	done        chan struct{}
 	exitCode    uint64
 	faultStatus error
+}
+
+// AttachQueueEntry binds the scheduler run-queue slot this thread was
+// placed into. Must happen before Start.
+func (t *Thread) AttachQueueEntry(e *QueueEntry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.schedEntry = e
+}
+
+func (t *Thread) queueEntry() *QueueEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.schedEntry
 }
 
 // SetSyncSyscalls binds the thread's system calls to a post-merger
@@ -134,11 +149,26 @@ func (k *Kernel) CreateThread(creator *cycles.Clock, core machine.CoreID, super 
 // execution can nonetheless proceed in the ROS user address space. It
 // inherits the parent's event-channel endpoint.
 func (t *Thread) CreateNested() *Thread {
-	nt := t.kern.newThread(t.Core, t)
+	core := t.Core
+	if s := t.kern.Scheduler(); s != nil {
+		core = s.PlaceNested(t.Clock)
+	}
+	nt := t.kern.newThread(core, t)
 	nt.FSBase = t.FSBase
 	t.Clock.Advance(t.kern.cost.AKThreadCreate)
 	nt.Clock.SyncTo(t.Clock.Now())
 	return nt
+}
+
+// Release retires a thread that was created but never Run — legion's
+// persistent scheduler-mode workers borrow nested threads purely as
+// placement and accounting contexts — dropping any scheduler load its
+// placement charged.
+func (t *Thread) Release() {
+	if s := t.kern.Scheduler(); s != nil && t.Nested {
+		s.ReleaseNested(t.Core)
+	}
+	t.kern.retire(t)
 }
 
 // channel returns the event-channel endpoint for this thread, walking up
@@ -159,20 +189,32 @@ func (t *Thread) channel() *hvm.EventChannel {
 
 // Run executes fn as this thread on the caller's goroutine, installing the
 // thread on its core for fault vectoring and marking completion on
-// return.
+// return. A scheduler-placed thread first waits for its run-queue turn:
+// same-core threads serialize in virtual time. Occupancy installation is
+// guarded by the core's fault lock so a concurrent fault on the same core
+// cannot vector into the wrong thread.
 func (t *Thread) Run(fn func(*Thread) uint64) {
 	k := t.kern
+	if s := k.Scheduler(); s != nil {
+		s.waitTurn(t)
+	}
+	lock := k.faultLock(t.Core)
+	lock.Lock()
 	k.mu.Lock()
 	k.current[t.Core] = t
 	k.mu.Unlock()
 	k.m.Core(t.Core).SetClock(t.Clock)
 	k.m.Core(t.Core).SetCurrentStack(t.Stack)
+	lock.Unlock()
 
 	code := fn(t)
 
 	t.mu.Lock()
 	t.exitCode = code
 	t.mu.Unlock()
+	if s := k.Scheduler(); s != nil {
+		s.threadRetired(t)
+	}
 	k.retire(t)
 	close(t.done)
 }
@@ -230,15 +272,25 @@ func (t *Thread) Touch(addr uint64, write bool) error {
 			errCode |= 0x2
 		}
 		frame := &machine.InterruptFrame{CR2: fault.Addr, ErrorCode: errCode}
+		// Deliver the fault with this thread installed as the core's
+		// occupant, holding the core's fault lock across the whole
+		// raise: two threads faulting on one core used to interleave
+		// their k.current writes and read each other's fault status.
+		lock := k.faultLock(t.Core)
+		lock.Lock()
 		k.mu.Lock()
 		k.current[t.Core] = t
 		k.mu.Unlock()
+		core.SetClock(t.Clock)
 		t.faultStatus = nil
-		if err := core.Raise(machine.VecPageFault, frame, t.Clock.Now()); err != nil {
-			return err
+		raiseErr := core.Raise(machine.VecPageFault, frame, t.Clock.Now())
+		status := t.faultStatus
+		lock.Unlock()
+		if raiseErr != nil {
+			return raiseErr
 		}
-		if t.faultStatus != nil {
-			return t.faultStatus
+		if status != nil {
+			return status
 		}
 	}
 	return fmt.Errorf("aerokernel: access at %#x did not resolve after %d faults", addr, maxFaultRetries)

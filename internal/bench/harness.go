@@ -7,6 +7,7 @@ import (
 	"multiverse/internal/core"
 	"multiverse/internal/cycles"
 	"multiverse/internal/hvm"
+	"multiverse/internal/machine"
 	"multiverse/internal/ros"
 	"multiverse/internal/scheme"
 	"multiverse/internal/telemetry"
@@ -78,6 +79,13 @@ type RunConfig struct {
 	// Merger enables the incremental state-superposition merger
 	// (core.Options.Merger); only meaningful in WorldHRT.
 	Merger bool
+	// Scheduler enables the AeroKernel per-core run-queue scheduler
+	// (core.Options.Scheduler); only meaningful in WorldHRT.
+	Scheduler bool
+	// HRTCoreCount sizes the HRT partition (cores 1..N, with the machine
+	// grown to fit when the default 2x4 topology is too small); 0 keeps
+	// the default single HRT core. Only meaningful in WorldHRT.
+	HRTCoreCount int
 	// Tracer records virtual-time spans for the run (nil = tracing off).
 	Tracer *telemetry.Tracer
 	// Metrics receives the run's counters; one is created when nil.
@@ -117,7 +125,7 @@ func NewSystemForWorldCfg(world core.World, fs *vfs.FS, name string, cfg RunConf
 	opts := core.Options{
 		AppName: name, FS: fs, Tracer: cfg.Tracer, Metrics: cfg.Metrics,
 		Router: cfg.Router, RouterPolicy: cfg.RouterPolicy,
-		Merger: cfg.Merger,
+		Merger: cfg.Merger, Scheduler: cfg.Scheduler,
 	}
 	switch world {
 	case core.WorldNative:
@@ -125,6 +133,18 @@ func NewSystemForWorldCfg(world core.World, fs *vfs.FS, name string, cfg RunConf
 		opts.Virtual = true
 	case core.WorldHRT:
 		opts.Hybrid = true
+		if cfg.HRTCoreCount > 0 {
+			spec := machine.DefaultSpec()
+			// Core 0 stays the ROS partition; grow the sockets evenly
+			// until cores 1..N fit.
+			for spec.Sockets*spec.CoresPerSocket < cfg.HRTCoreCount+1 {
+				spec.CoresPerSocket++
+			}
+			opts.MachineSpec = &spec
+			for i := 1; i <= cfg.HRTCoreCount; i++ {
+				opts.HRTCores = append(opts.HRTCores, machine.CoreID(i))
+			}
+		}
 	default:
 		return nil, fmt.Errorf("bench: unknown world %v", world)
 	}

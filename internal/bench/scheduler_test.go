@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestSchedulerScalingRegression is the deterministic acceptance check of
+// the work-stealing scheduler: with 4 HRT cores the HPCG solve must beat
+// the 1-core run by at least 2.5x, scaling must be monotone over the
+// 1/2/4/8 ladder, and the imbalanced ramp workload must actually steal.
+func TestSchedulerScalingRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scheduler scaling suite is long")
+	}
+	b, err := CollectSchedulerBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCores := make(map[int]SchedulerPoint, len(b.Points))
+	for _, p := range b.Points {
+		byCores[p.HRTCores] = p
+	}
+	one, four := byCores[1], byCores[4]
+	if one.HPCGCycles == 0 || four.HPCGCycles == 0 {
+		t.Fatalf("ladder points missing: %+v", b.Points)
+	}
+	if speedup := float64(one.HPCGCycles) / float64(four.HPCGCycles); speedup < 2.5 {
+		t.Errorf("HPCG 4-core speedup %.3fx < 2.5x (1 core: %d, 4 cores: %d)",
+			speedup, one.HPCGCycles, four.HPCGCycles)
+	}
+	for i := 1; i < len(b.Points); i++ {
+		prev, cur := b.Points[i-1], b.Points[i]
+		if cur.HPCGCycles >= prev.HPCGCycles {
+			t.Errorf("HPCG scaling not monotone: %d cores %d cycles >= %d cores %d cycles",
+				cur.HRTCores, cur.HPCGCycles, prev.HRTCores, prev.HPCGCycles)
+		}
+		if cur.PlacesCycles >= prev.PlacesCycles {
+			t.Errorf("places scaling not monotone: %d cores %d cycles >= %d cores %d cycles",
+				cur.HRTCores, cur.PlacesCycles, prev.HRTCores, prev.PlacesCycles)
+		}
+	}
+	for _, p := range b.Points {
+		if p.Placements == 0 {
+			t.Errorf("%d cores: no sched.place placements recorded", p.HRTCores)
+		}
+		if p.PlacesSpawned != uint64(b.Places) {
+			t.Errorf("%d cores: %d places spawned, want %d", p.HRTCores, p.PlacesSpawned, b.Places)
+		}
+	}
+	if b.ImbalancedSteals == 0 {
+		t.Error("imbalanced ramp workload recorded no steals")
+	}
+}
+
+// TestSchedulerDeterminism is the scheduler's determinism property: the
+// same seeded legion and places workloads, run twice, must report identical
+// end-to-end virtual cycles and identical sched.* counter values (satellite
+// of ISSUE 4; run under -race by the tier-1 sweep).
+func TestSchedulerDeterminism(t *testing.T) {
+	a, err := runSchedulerHPCG(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runSchedulerHPCG(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.End != b.End {
+		t.Errorf("HPCG end-to-end cycles differ across runs: %d vs %d", a.End, b.End)
+	}
+	if a.Result.Cycles != b.Result.Cycles {
+		t.Errorf("HPCG solve cycles differ across runs: %d vs %d", a.Result.Cycles, b.Result.Cycles)
+	}
+	if a.Result.Residual != b.Result.Residual {
+		t.Errorf("HPCG residual differs across runs: %v vs %v", a.Result.Residual, b.Result.Residual)
+	}
+	if a.Steals != b.Steals || a.QueueDelay != b.QueueDelay {
+		t.Errorf("scheduler activity differs across runs: steals %d/%d queue delay %d/%d",
+			a.Steals, b.Steals, a.QueueDelay, b.QueueDelay)
+	}
+	if !reflect.DeepEqual(a.Sched, b.Sched) {
+		t.Errorf("sched.* counters differ across runs:\n%v\n%v", a.Sched, b.Sched)
+	}
+
+	pc1, sp1, err := runSchedulerPlaces(4, schedPlaceCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc2, sp2, err := runSchedulerPlaces(4, schedPlaceCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc1 != pc2 || sp1 != sp2 {
+		t.Errorf("places run not deterministic: cycles %d/%d spawned %d/%d", pc1, pc2, sp1, sp2)
+	}
+}
+
+// schedulerBaselinePath locates BENCH_pr4.json at the repository root.
+func schedulerBaselinePath() string {
+	return filepath.Join("..", "..", "BENCH_pr4.json")
+}
+
+// TestSchedulerBaseline pins the scheduler scaling suite against
+// BENCH_pr4.json exactly. Regenerate with MV_UPDATE_BASELINE=1 after an
+// intentional cost-model or scheduler change.
+func TestSchedulerBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scheduler scaling suite is long")
+	}
+	got, err := CollectSchedulerBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := got.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("MV_UPDATE_BASELINE") != "" {
+		if err := os.WriteFile(schedulerBaselinePath(), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("baseline updated: %s", schedulerBaselinePath())
+		return
+	}
+	want, err := os.ReadFile(schedulerBaselinePath())
+	if err != nil {
+		t.Fatalf("reading baseline (regenerate with MV_UPDATE_BASELINE=1): %v", err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(want), bytes.TrimSpace(blob)) {
+		t.Errorf("scheduler baseline drifted from BENCH_pr4.json; regenerate with MV_UPDATE_BASELINE=1 if intentional")
+	}
+}

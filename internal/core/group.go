@@ -23,6 +23,7 @@ type spawnSpec struct {
 	stack   *machine.Stack
 	syncSvc *hvm.SyncSyscallChannel
 	router  *hvm.SyscallRouter
+	queue   *aerokernel.QueueEntry // run-queue slot when scheduler-placed
 	group   *ExecutionGroup
 }
 
@@ -41,6 +42,13 @@ type ExecutionGroup struct {
 	// exitRequested is "a bit in the appropriate partner thread's data
 	// structure" flipped by the ROS-side HRT-exit signal handler.
 	exitRequested atomic.Bool
+
+	// dead marks the group torn down. The group stays registered so a
+	// joiner that arrives after cleanup still finds it and synchronizes
+	// its clock against the partner's final time — whether the join lands
+	// before or after cleanup is host-scheduling order, and it must not
+	// change the joiner's virtual clock.
+	dead atomic.Bool
 
 	// syncSvc and its dedicated polling thread exist when the system
 	// runs with synchronous syscall forwarding (Options.SyncSyscalls).
@@ -62,11 +70,26 @@ type ExecutionGroup struct {
 // request completes when the AeroKernel thread exists. creator pays the
 // partner-creation cost (it is an ordinary Linux thread).
 func (s *System) SpawnGroup(creator *cycles.Clock, fn func(Env) uint64) (*ExecutionGroup, error) {
+	return s.spawnGroupFrom(creator, nil, fn)
+}
+
+// spawnGroupFrom is SpawnGroup with the creating HRT thread made explicit
+// (nil for spawns initiated from the ROS side): under Options.Scheduler the
+// new top-level thread is placed least-loaded over the whole HRT partition
+// and queued behind the chosen core's current occupant, with the creator's
+// own run-queue entry recorded so descendants never wait on an ancestor
+// that is blocked joining them.
+func (s *System) spawnGroupFrom(creator *cycles.Clock, creatorT *aerokernel.Thread, fn func(Env) uint64) (*ExecutionGroup, error) {
 	if s.AK == nil {
 		return nil, fmt.Errorf("multiverse: runtime not initialized (no AeroKernel)")
 	}
 	rosCore := s.Kernel.BootCore()
 	hrtCore := s.Opts.HRTCores[0]
+	var queue *aerokernel.QueueEntry
+	sched := s.AK.Scheduler()
+	if sched != nil {
+		hrtCore, queue = sched.PlaceTopLevel(creator, creatorT)
+	}
 
 	g := &ExecutionGroup{
 		sys:     s,
@@ -86,6 +109,9 @@ func (s *System) SpawnGroup(creator *cycles.Clock, fn func(Env) uint64) (*Execut
 	if s.Opts.SyncSyscalls {
 		svc, serr := s.HVM.SetupSyncSyscalls(creator, 0x7f50_0000_0000+g.id*4096, rosCore, hrtCore)
 		if serr != nil {
+			if sched != nil {
+				sched.CancelEntry(queue)
+			}
 			return nil, serr
 		}
 		g.syncSvc = svc
@@ -167,6 +193,7 @@ func (s *System) SpawnGroup(creator *cycles.Clock, fn func(Env) uint64) (*Execut
 			stack:   stack,
 			syncSvc: g.syncSvc,
 			router:  g.router,
+			queue:   queue,
 			group:   g,
 		}
 		s.mu.Lock()
@@ -187,6 +214,11 @@ func (s *System) SpawnGroup(creator *cycles.Clock, fn func(Env) uint64) (*Execut
 
 	<-g.created
 	if g.hrt == nil {
+		// The HRT thread never started; release its run-queue slot so
+		// threads queued behind it do not wait forever.
+		if sched != nil {
+			sched.CancelEntry(queue)
+		}
 		return nil, fmt.Errorf("multiverse: HRT thread creation failed")
 	}
 	return g, nil
@@ -253,9 +285,7 @@ func (g *ExecutionGroup) cleanup(pt *ros.Thread) {
 		g.syncSvc.Close() // the polling thread's Serve returns false
 	}
 	g.channel.Close()
-	g.sys.mu.Lock()
-	delete(g.sys.groups, g.id)
-	g.sys.mu.Unlock()
+	g.dead.Store(true)
 }
 
 // WaitExit blocks until the group's partner thread exits (which the
@@ -347,11 +377,16 @@ func (e *hrtEnv) Touch(addr uint64, write bool) error {
 }
 
 func (e *hrtEnv) CheckTimer() bool {
-	return e.sys.Proc.CheckTimer(e.t.Clock)
+	// The timer is keyed by the ROS thread that serviced the forwarded
+	// setitimer — this group's partner.
+	return e.sys.Proc.CheckTimerFor(e.group.partner.TID, e.t.Clock)
 }
 
 func (e *hrtEnv) RegisterSignalCode(addr uint64, fn func(*ros.SignalContext)) {
-	e.sys.Proc.RegisterHandler(addr, fn)
+	// Scope the registration to this group's partner — the same ROS thread
+	// that services the group's rt_sigaction — so concurrent engines using
+	// the same fixed handler addresses cannot clobber each other.
+	e.sys.Proc.RegisterHandlerFor(e.group.partner.TID, addr, fn)
 }
 
 // PthreadCreate goes through the generated wrapper for pthread_create,
@@ -431,6 +466,40 @@ func (e *hrtEnv) OverrideInvoke(legacy string, args ...uint64) (uint64, error) {
 // HRTThreadForBench exposes the backing AeroKernel thread; the benchmark
 // harness measures primitives against it directly.
 func (e *hrtEnv) HRTThreadForBench() *aerokernel.Thread { return e.t }
+
+// Scheduler exposes the AeroKernel's run-queue scheduler; nil when
+// Options.Scheduler is off.
+func (e *hrtEnv) Scheduler() *aerokernel.Scheduler {
+	if e.sys.AK == nil {
+		return nil
+	}
+	return e.sys.AK.Scheduler()
+}
+
+// SpawnWorkerEnv creates a persistent scheduler-placed worker context: a
+// nested AeroKernel thread (placed least-loaded over the HRT partition)
+// wrapped in an Env that charges its clock. The worker never runs a
+// goroutine of its own — legion's work-stealing executor drives it
+// deterministically — so the release function just retires the thread and
+// returns its placement load.
+func (e *hrtEnv) SpawnWorkerEnv() (Env, machine.CoreID, func(), error) {
+	if e.Scheduler() == nil {
+		return nil, 0, nil, fmt.Errorf("multiverse: scheduler not enabled")
+	}
+	nt := e.t.CreateNested()
+	wenv := &hrtEnv{sys: e.sys, t: nt, group: e.group}
+	return wenv, nt.Core, nt.Release, nil
+}
+
+// SchedulerHost is the surface legion's work-stealing executor discovers by
+// type assertion on an HRT Env. Scheduler returns nil when the option is
+// off, in which case legion keeps its execution-group worker pool.
+type SchedulerHost interface {
+	Scheduler() *aerokernel.Scheduler
+	SpawnWorkerEnv() (Env, machine.CoreID, func(), error)
+}
+
+var _ SchedulerHost = (*hrtEnv)(nil)
 
 // HRTExtras is the additional surface hybrid (accelerator-model) code can
 // reach: direct AeroKernel calls and override invocation. Obtain it by

@@ -53,6 +53,13 @@ type Options struct {
 	// resolve HRT-locally. Off (the default) preserves the full-copy,
 	// broadcast-flush merge paths byte for byte.
 	Merger bool
+	// Scheduler enables the AeroKernel's per-core run-queue scheduler:
+	// least-loaded placement for top-level and nested threads over the
+	// whole HRT partition, Chase–Lev-style work stealing for legion index
+	// tasks, a spin-then-halt idle policy, and deterministic virtual-time
+	// serialization of same-core threads. Off (the default) preserves the
+	// boot-core pinning paths byte for byte.
+	Scheduler bool
 	// FS preloads a filesystem.
 	FS *vfs.FS
 	// AppName names the spawned process.
@@ -257,10 +264,26 @@ func (s *System) InitRuntime() error {
 	// optionally with the incremental merger armed so later re-merges
 	// copy deltas instead of the whole lower half.
 	s.enableMerger()
+	s.enableScheduler()
 	if err := s.HVM.MergeAddressSpace(s.Main.Clock, s.Proc.CR3()); err != nil {
 		return err
 	}
 	return nil
+}
+
+// enableScheduler arms the per-core run-queue scheduler on the booted
+// AeroKernel (Options.Scheduler).
+func (s *System) enableScheduler() {
+	if !s.Opts.Scheduler || s.AK == nil {
+		return
+	}
+	s.AK.EnableScheduler()
+	// With threads genuinely overlapping across cores, address assignment
+	// must not depend on which thread's mmap/brk won the race — switch the
+	// ROS process to TID-keyed deterministic arenas.
+	if s.Proc != nil {
+		s.Proc.EnableDeterministicArenas()
+	}
 }
 
 // enableMerger arms the incremental state-superposition merger on the
@@ -297,17 +320,26 @@ func (s *System) runExitHooks() {
 
 // hrtExitSignal is the registered ROS signal handler: an HRT thread
 // exited; flip the bit in the corresponding partner's data structure.
+// Signals coalesce, so one delivery may stand for several exits: drain
+// everything pending. The raise runs synchronously on the exiting HRT
+// goroutine, after its own push and before its exit event is forwarded,
+// so draining here guarantees each group's own bit is set by the time
+// its partner services the exit notification — the partner's exit time
+// does not depend on how concurrent exits interleave.
 func (s *System) hrtExitSignal(sig int) {
-	select {
-	case gid := <-s.exitPending:
-		s.mu.Lock()
-		g := s.groups[gid]
-		s.mu.Unlock()
-		if g != nil {
-			g.exitRequested.Store(true)
+	for {
+		select {
+		case gid := <-s.exitPending:
+			s.mu.Lock()
+			g := s.groups[gid]
+			s.mu.Unlock()
+			if g != nil {
+				g.exitRequested.Store(true)
+			}
+		default:
+			// Nothing (more) pending.
+			return
 		}
-	default:
-		// Spurious signal: nothing pending.
 	}
 }
 
@@ -358,6 +390,9 @@ func (s *System) linkAKFunctions() {
 		if spec.router != nil {
 			ht.SetRouter(spec.router)
 		}
+		if spec.queue != nil {
+			ht.AttachQueueEntry(spec.queue)
+		}
 		spec.group.hrt = ht
 		ht.Start(func(ht *aerokernel.Thread) uint64 {
 			return spec.group.runHRT(ht, spec.fn)
@@ -376,7 +411,7 @@ func (s *System) linkAKFunctions() {
 		if fn == nil {
 			return ^uint64(0)
 		}
-		g, err := s.SpawnGroup(t.Clock, fn)
+		g, err := s.spawnGroupFrom(t.Clock, t, fn)
 		if err != nil {
 			return ^uint64(0)
 		}
@@ -470,13 +505,22 @@ func (s *System) linkAKFunctions() {
 func (s *System) RelinkAfterReboot() {
 	s.linkAKFunctions()
 	s.enableMerger()
+	s.enableScheduler()
 }
 
-// Groups returns the live execution groups (diagnostics).
+// Groups returns the live execution groups (diagnostics). Torn-down
+// groups stay registered (joiners must still find them); they do not
+// count as live.
 func (s *System) Groups() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.groups)
+	n := 0
+	for _, g := range s.groups {
+		if !g.dead.Load() {
+			n++
+		}
+	}
+	return n
 }
 
 // ExitProcess runs the hooked process exit: the exit_group system call

@@ -60,6 +60,13 @@ type CostModel struct {
 	AKSysretEmul   Cycles // emulated SYSRET: restore + direct jmp to saved rip
 	AKIstSwitch    Cycles // hardware IST stack switch on interrupt entry
 
+	// AeroKernel scheduler costs (per-core run queues, Chase–Lev-style
+	// work stealing, spin-then-halt idle policy).
+	SchedEnqueue Cycles // pushing one task/thread onto a per-core queue or deque
+	SchedSteal   Cycles // one steal from the top of a victim's deque (CAS + fence)
+	IPIKick      Cycles // kicking a remote core out of its idle loop (IPI-class)
+	IdleHaltWake Cycles // waking a core that had fallen past spinning into hlt
+
 	// Virtualization overheads the ROS pays when it runs as a guest (the
 	// paper's "Virtual" configuration): amortized extra exit cost per
 	// system call and extra nested-paging cost per page fault.
@@ -129,6 +136,11 @@ func DefaultCostModel() *CostModel {
 		AKSyscallStub:  160,
 		AKSysretEmul:   90,
 		AKIstSwitch:    70,
+
+		SchedEnqueue: 45,
+		SchedSteal:   350,
+		IPIKick:      1500, // TLBShootdownIPI-class delivery
+		IdleHaltWake: 2400,
 
 		VirtSyscallExtra: 250,
 		VirtFaultExtra:   1200,

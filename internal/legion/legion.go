@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 
+	"multiverse/internal/aerokernel"
 	"multiverse/internal/core"
 	"multiverse/internal/cycles"
 	"multiverse/internal/linuxabi"
@@ -104,10 +105,18 @@ type Runtime struct {
 	mu      sync.Mutex
 	closed  bool
 
+	// Scheduler mode (core.Options.Scheduler): index tasks run on
+	// persistent scheduler-placed worker contexts through the Chase–Lev
+	// work-stealing executor (steal.go) instead of the mailbox pool.
+	sched    *aerokernel.Scheduler
+	sworkers []*stealWorker
+
 	// Launches counts index launches (for reporting).
 	Launches int
 	// SyncOps counts semaphore operations (the hot-spot metric).
 	SyncOps int
+	// Steals counts work-stealing events (scheduler mode only).
+	Steals int
 }
 
 // New starts a runtime with the given number of worker threads, created
@@ -125,6 +134,17 @@ func New(env core.Env, nworkers int) (*Runtime, error) {
 		rt.coster = akEventCoster{ak: ak}
 	} else {
 		rt.coster = futexCoster{}
+	}
+
+	// Under the AeroKernel scheduler the pool is nested scheduler-placed
+	// threads driven by the work-stealing executor; no execution groups,
+	// no mailbox goroutines.
+	if host, ok := env.(core.SchedulerHost); ok && host.Scheduler() != nil {
+		rt.sched = host.Scheduler()
+		if err := rt.spawnStealWorkers(host, nworkers); err != nil {
+			return nil, fmt.Errorf("legion: spawning scheduler workers: %w", err)
+		}
+		return rt, nil
 	}
 
 	ready := make(chan *worker, nworkers)
@@ -157,11 +177,15 @@ func New(env core.Env, nworkers int) (*Runtime, error) {
 func (rt *Runtime) SyncBinding() string { return rt.coster.name() }
 
 // Workers returns the pool size.
-func (rt *Runtime) Workers() int { return len(rt.workers) }
+func (rt *Runtime) Workers() int {
+	if rt.sched != nil {
+		return len(rt.sworkers)
+	}
+	return len(rt.workers)
+}
 
-// IndexLaunch runs fn(i) for every i in [0, n), split contiguously across
-// the workers, and blocks until all complete — one bulk-synchronous step.
-func (rt *Runtime) IndexLaunch(n int, fn func(env core.Env, index int)) {
+// beginLaunch is the shared launch prologue: closed check + accounting.
+func (rt *Runtime) beginLaunch() {
 	rt.mu.Lock()
 	if rt.closed {
 		rt.mu.Unlock()
@@ -169,6 +193,18 @@ func (rt *Runtime) IndexLaunch(n int, fn func(env core.Env, index int)) {
 	}
 	rt.Launches++
 	rt.mu.Unlock()
+}
+
+// IndexLaunch runs fn(i) for every i in [0, n), split contiguously across
+// the workers, and blocks until all complete — one bulk-synchronous step.
+// Under the scheduler the static split becomes chunked partitioning with
+// work stealing.
+func (rt *Runtime) IndexLaunch(n int, fn func(env core.Env, index int)) {
+	rt.beginLaunch()
+	if rt.sched != nil {
+		rt.stealLaunch(n, fn, nil, nil)
+		return
+	}
 
 	p := len(rt.workers)
 	for i, w := range rt.workers {
@@ -190,22 +226,40 @@ func (rt *Runtime) countSync() {
 	rt.mu.Unlock()
 }
 
-// Reduce runs fn over [0, n) with a per-worker float64 accumulator and
-// returns the sum — the dot-product shape every CG iteration needs twice.
+// Reduce runs fn over [0, n) and returns the sum — the dot-product shape
+// every CG iteration needs twice. Every task owns an explicit accumulator
+// slot indexed by the *task*, never by the worker that happened to execute
+// it: under stealing, worker identity no longer equals "who computed
+// what". Slots are combined in slot order, so for a given decomposition
+// the result is bit-identical regardless of which cores ran which tasks
+// or in what order.
 func (rt *Runtime) Reduce(n int, fn func(env core.Env, index int) float64) float64 {
-	partials := make([]float64, len(rt.workers))
+	if rt.sched != nil {
+		chunks := chunkRanges(n)
+		slots := make([]float64, len(chunks))
+		rt.beginLaunch()
+		rt.stealLaunch(n, nil, fn, slots)
+		total := 0.0
+		for _, v := range slots {
+			total += v
+		}
+		return total
+	}
+	// Static split: one task (and one slot) per worker index; the task id
+	// doubles as the launch index.
 	p := len(rt.workers)
-	rt.IndexLaunch(p, func(env core.Env, widx int) {
-		lo := widx * n / p
-		hi := (widx + 1) * n / p
+	slots := make([]float64, p)
+	rt.IndexLaunch(p, func(env core.Env, tidx int) {
+		lo := tidx * n / p
+		hi := (tidx + 1) * n / p
 		acc := 0.0
 		for i := lo; i < hi; i++ {
 			acc += fn(env, i)
 		}
-		partials[widx] = acc
+		slots[tidx] = acc
 	})
 	total := 0.0
-	for _, v := range partials {
+	for _, v := range slots {
 		total += v
 	}
 	return total
@@ -220,6 +274,9 @@ func (rt *Runtime) Shutdown() {
 	}
 	rt.closed = true
 	rt.mu.Unlock()
+	for _, w := range rt.sworkers {
+		w.release()
+	}
 	for _, w := range rt.workers {
 		close(w.mail)
 	}

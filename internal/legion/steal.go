@@ -1,0 +1,199 @@
+package legion
+
+import (
+	"multiverse/internal/aerokernel"
+	"multiverse/internal/core"
+	"multiverse/internal/cycles"
+	"multiverse/internal/machine"
+)
+
+// Chunked partitioning replaces the static per-worker block split under the
+// scheduler: [0, n) becomes up to maxChunks contiguous chunks of at least
+// minChunk indices. The layout is a function of n ONLY — never of the
+// worker count or of who runs what — so per-chunk partial sums land in the
+// same accumulator slots whatever the steal pattern, and reductions are
+// bit-identical between a 1-worker serial run and a stealing run.
+const (
+	minChunk  = 64
+	maxChunks = 64
+)
+
+// chunk is one contiguous index range with its reduction accumulator slot.
+type chunk struct {
+	lo, hi int
+	slot   int
+}
+
+// chunkRanges splits [0, n) into the canonical chunk decomposition.
+func chunkRanges(n int) []chunk {
+	if n <= 0 {
+		return nil
+	}
+	nchunks := (n + minChunk - 1) / minChunk
+	if nchunks > maxChunks {
+		nchunks = maxChunks
+	}
+	out := make([]chunk, nchunks)
+	for i := 0; i < nchunks; i++ {
+		out[i] = chunk{lo: i * n / nchunks, hi: (i + 1) * n / nchunks, slot: i}
+	}
+	return out
+}
+
+// deque models a Chase–Lev work-stealing deque over a contiguous chunk
+// run: the owner pops from the bottom, thieves take from the top. The
+// executor drives every deque from one goroutine, so the model needs no
+// atomics — the concurrency is in virtual time, where it belongs.
+type deque struct {
+	chunks []chunk
+	top    int // next chunk a thief would take
+	bot    int // one past the next chunk the owner would take
+}
+
+func (d *deque) reset(cs []chunk) { d.chunks = cs; d.top = 0; d.bot = len(cs) }
+func (d *deque) size() int        { return d.bot - d.top }
+func (d *deque) popBottom() chunk { d.bot--; return d.chunks[d.bot] }
+func (d *deque) stealTop() chunk  { c := d.chunks[d.top]; d.top++; return c }
+
+// stealWorker is one persistent scheduler-placed worker: a nested
+// AeroKernel thread used as a placement and clock context, driven by the
+// executor rather than by a goroutine of its own.
+type stealWorker struct {
+	id      int
+	env     core.Env
+	core    machine.CoreID
+	tid     int // AeroKernel thread id, for core-occupancy bookkeeping
+	release func()
+	deque   deque
+}
+
+// hrtThreader recovers the AeroKernel thread behind a worker Env.
+type hrtThreader interface {
+	HRTThreadForBench() *aerokernel.Thread
+}
+
+// spawnStealWorkers builds the scheduler-mode worker pool.
+func (rt *Runtime) spawnStealWorkers(host core.SchedulerHost, nworkers int) error {
+	for i := 0; i < nworkers; i++ {
+		wenv, coreID, release, err := host.SpawnWorkerEnv()
+		if err != nil {
+			for _, w := range rt.sworkers {
+				w.release()
+			}
+			rt.sworkers = nil
+			return err
+		}
+		w := &stealWorker{id: i, env: wenv, core: coreID, release: release}
+		if ht, ok := wenv.(hrtThreader); ok {
+			w.tid = ht.HRTThreadForBench().ID
+		}
+		rt.sworkers = append(rt.sworkers, w)
+	}
+	return nil
+}
+
+// stealLaunch executes one index launch under the work-stealing scheduler
+// as a deterministic discrete-event simulation: chunks are dealt
+// contiguously into per-worker deques, then the worker able to act at the
+// earliest virtual time (ties to the lowest id) repeatedly pops its own
+// bottom chunk — or, with an empty deque, steals the top chunk of the
+// fullest victim, paying the Chase–Lev steal plus an IPI-class kick when
+// the victim lives on another core. Each burst serializes on its core's
+// free time through the scheduler, so same-core workers never overlap in
+// virtual time, and the whole schedule depends only on clock arithmetic —
+// host goroutine interleaving cannot touch it.
+//
+// Exactly one of fn/red is non-nil; red accumulates each chunk into its
+// own slot (slots[chunk.slot]), keeping reductions independent of which
+// worker or core ran the chunk.
+func (rt *Runtime) stealLaunch(n int, fn func(core.Env, int), red func(core.Env, int) float64, slots []float64) {
+	chunks := chunkRanges(n)
+	if len(chunks) == 0 {
+		return
+	}
+	ws := rt.sworkers
+	p := len(ws)
+	for i, w := range ws {
+		lo := i * len(chunks) / p
+		hi := (i + 1) * len(chunks) / p
+		w.deque.reset(chunks[lo:hi])
+	}
+	// The master pays one deque push per chunk, then publishes the launch.
+	rt.sched.ChargeEnqueue(rt.env.Clock(), len(chunks))
+	stamp := rt.env.Clock().Now()
+	for _, w := range ws {
+		w.env.Clock().SyncTo(stamp)
+	}
+
+	for remaining := len(chunks); remaining > 0; remaining-- {
+		best := -1
+		var bestAt cycles.Cycles
+		for i, w := range ws {
+			at := w.env.Clock().Now()
+			if free := rt.sched.CoreFreeAt(w.core); free > at {
+				at = free
+			}
+			if best < 0 || at < bestAt {
+				best, bestAt = i, at
+			}
+		}
+		w := ws[best]
+		var c chunk
+		if w.deque.size() > 0 {
+			c = w.deque.popBottom()
+		} else {
+			v := rt.victimFor(best)
+			c = v.deque.stealTop()
+			rt.sched.ChargeSteal(w.env.Clock(), v.core != w.core)
+			rt.mu.Lock()
+			rt.Steals++
+			rt.mu.Unlock()
+		}
+		rt.sched.BurstStart(w.core, w.env.Clock(), w.tid)
+		rt.sched.ObserveQueueDelay(w.env.Clock().Now() - stamp)
+		if red != nil {
+			acc := 0.0
+			for idx := c.lo; idx < c.hi; idx++ {
+				acc += red(w.env, idx)
+			}
+			slots[c.slot] = acc
+		} else {
+			for idx := c.lo; idx < c.hi; idx++ {
+				fn(w.env, idx)
+			}
+		}
+		rt.sched.BurstEnd(w.core, w.env.Clock())
+	}
+
+	// Completion barrier: the master observes one wake+wait pair per
+	// worker and synchronizes past the slowest, exactly the semantics of
+	// the mailbox pool's semaphore round.
+	maxEnd := stamp
+	for range ws {
+		rt.coster.chargeWake(rt.env)
+		rt.countSync()
+		rt.coster.chargeWait(rt.env)
+		rt.countSync()
+	}
+	for _, w := range ws {
+		if now := w.env.Clock().Now(); now > maxEnd {
+			maxEnd = now
+		}
+	}
+	rt.env.Clock().SyncTo(maxEnd)
+}
+
+// victimFor picks the steal victim for thief: the worker with the most
+// queued chunks, ties to the lowest id.
+func (rt *Runtime) victimFor(thief int) *stealWorker {
+	var victim *stealWorker
+	for _, w := range rt.sworkers {
+		if w.id == thief || w.deque.size() == 0 {
+			continue
+		}
+		if victim == nil || w.deque.size() > victim.deque.size() {
+			victim = w
+		}
+	}
+	return victim
+}

@@ -1,0 +1,99 @@
+package legion_test
+
+import (
+	"math"
+	"testing"
+
+	"multiverse/internal/bench"
+	"multiverse/internal/core"
+	"multiverse/internal/cycles"
+	"multiverse/internal/legion"
+	"multiverse/internal/vfs"
+)
+
+// withStealRuntime runs fn against a scheduler-mode legion runtime (per-core
+// run queues + Chase–Lev work stealing over 4 HRT cores).
+func withStealRuntime(t *testing.T, name string, workers int, fn func(env core.Env, rt *legion.Runtime)) {
+	t.Helper()
+	sys, err := bench.NewSystemForWorldCfg(core.WorldHRT, vfs.New(), name, bench.RunConfig{
+		Scheduler: true, HRTCoreCount: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunMain(func(env core.Env) uint64 {
+		rt, rerr := legion.New(env, workers)
+		if rerr != nil {
+			t.Error(rerr)
+			return 1
+		}
+		defer rt.Shutdown()
+		fn(env, rt)
+		return 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStealIndexLaunchCoversRange(t *testing.T) {
+	withStealRuntime(t, "steal-cover", 6, func(env core.Env, rt *legion.Runtime) {
+		n := 10_000
+		seen := make([]int, n)
+		rt.IndexLaunch(n, func(w core.Env, i int) { seen[i]++ })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("index %d visited %d times", i, c)
+			}
+		}
+	})
+}
+
+// TestStealReduceMatchesSerial is the per-task accumulator-slot guarantee:
+// the reduction is combined in slot order over a decomposition that depends
+// only on n, so a stealing run with many workers is bit-identical to a
+// serial 1-worker run — floating-point non-associativity cannot leak the
+// steal pattern into the result.
+func TestStealReduceMatchesSerial(t *testing.T) {
+	// Harmonic-like terms: reassociating this sum changes its low bits.
+	term := func(w core.Env, i int) float64 { return 1.0 / float64(i+1) }
+	n := 50_000
+
+	reduceWith := func(name string, workers int) float64 {
+		var v float64
+		withStealRuntime(t, name, workers, func(env core.Env, rt *legion.Runtime) {
+			v = rt.Reduce(n, term)
+		})
+		return v
+	}
+
+	serial := reduceWith("steal-red-1", 1)
+	parallel := reduceWith("steal-red-8", 8)
+	if math.Float64bits(serial) != math.Float64bits(parallel) {
+		t.Errorf("reduce differs: 1 worker %.17g (%#x), 8 workers %.17g (%#x)",
+			serial, math.Float64bits(serial), parallel, math.Float64bits(parallel))
+	}
+
+	// And the value is actually the sum.
+	want := 0.0
+	for i := n - 1; i >= 0; i-- {
+		want += 1.0 / float64(i+1)
+	}
+	if math.Abs(serial-want) > 1e-9 {
+		t.Errorf("reduce = %v, want about %v", serial, want)
+	}
+}
+
+func TestStealImbalancedWorkSteals(t *testing.T) {
+	withStealRuntime(t, "steal-imbalance", 4, func(env core.Env, rt *legion.Runtime) {
+		// Cost ramps with the index: the workers owning the tail deques
+		// fall behind and the early finishers steal from them.
+		for round := 0; round < 3; round++ {
+			rt.IndexLaunch(4096, func(w core.Env, i int) {
+				w.Compute(cycles.Cycles(20 + i/4))
+			})
+		}
+		if rt.Steals == 0 {
+			t.Error("imbalanced launch recorded no steals")
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package legion
+
+import "testing"
+
+func TestChunkRangesCanonical(t *testing.T) {
+	if got := chunkRanges(0); got != nil {
+		t.Errorf("chunkRanges(0) = %v, want nil", got)
+	}
+	if got := chunkRanges(-3); got != nil {
+		t.Errorf("chunkRanges(-3) = %v, want nil", got)
+	}
+	for _, n := range []int{1, 63, 64, 65, 100, 4096, 8192, 1_000_000} {
+		cs := chunkRanges(n)
+		if len(cs) == 0 || len(cs) > maxChunks {
+			t.Fatalf("n=%d: %d chunks, want 1..%d", n, len(cs), maxChunks)
+		}
+		// Chunks are contiguous, cover [0, n) exactly, and carry their own
+		// slot index in order.
+		next := 0
+		for i, c := range cs {
+			if c.lo != next || c.hi <= c.lo {
+				t.Fatalf("n=%d chunk %d: [%d,%d) after %d", n, i, c.lo, c.hi, next)
+			}
+			if c.slot != i {
+				t.Fatalf("n=%d chunk %d: slot %d", n, i, c.slot)
+			}
+			next = c.hi
+		}
+		if next != n {
+			t.Fatalf("n=%d: chunks end at %d", n, next)
+		}
+		// No chunk smaller than minChunk unless n itself is.
+		if n >= minChunk {
+			for i, c := range cs {
+				if c.hi-c.lo < minChunk/2 {
+					t.Fatalf("n=%d chunk %d: size %d, degenerate", n, i, c.hi-c.lo)
+				}
+			}
+		}
+	}
+	// The decomposition depends on n only — calling twice is identical.
+	a, b := chunkRanges(7777), chunkRanges(7777)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("chunkRanges not a pure function of n")
+		}
+	}
+}
+
+func TestDequeOwnerAndThiefEnds(t *testing.T) {
+	var d deque
+	d.reset(chunkRanges(64 * 6)) // 6 chunks
+	if d.size() != 6 {
+		t.Fatalf("size = %d", d.size())
+	}
+	bottom := d.popBottom()
+	if bottom.slot != 5 {
+		t.Errorf("owner pops slot %d, want 5 (bottom)", bottom.slot)
+	}
+	top := d.stealTop()
+	if top.slot != 0 {
+		t.Errorf("thief takes slot %d, want 0 (top)", top.slot)
+	}
+	if d.size() != 4 {
+		t.Errorf("size after pop+steal = %d, want 4", d.size())
+	}
+}

@@ -36,6 +36,9 @@ const (
 	VecHRTSignal Vector = 0xE1
 	// VecTLBShootdown carries remote TLB-invalidation requests.
 	VecTLBShootdown Vector = 0xE2
+	// VecSchedKick is the scheduler's wakeup IPI: it knocks a halted core
+	// out of hlt so a newly enqueued thread or stolen task can run.
+	VecSchedKick Vector = 0xE3
 )
 
 // InterruptFrame is the state pushed on interrupt entry.
@@ -95,6 +98,12 @@ type Core struct {
 	idt    map[Vector]idtEntry
 	ist    [8]*Stack // IST stacks (index 0 unused, as on hardware)
 	stack  *Stack    // current stack if no IST switch applies
+
+	// Scheduler-maintained occupancy: the thread id currently charged to
+	// this core (0 = idle), and whether the core has fallen past its spin
+	// window into hlt.
+	occupant int
+	halted   bool
 
 	machine *Machine
 }
@@ -313,6 +322,48 @@ func (c *Core) Raise(v Vector, frame *InterruptFrame, at cycles.Cycles) error {
 		target.PopFrame()
 	}
 	return nil
+}
+
+// SetOccupant records the thread id the scheduler considers to be running
+// on this core (0 = idle). Purely bookkeeping: it carries no cost.
+func (c *Core) SetOccupant(tid int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.occupant = tid
+}
+
+// Occupant returns the thread id the scheduler last charged to this core,
+// or 0 if the core is idle.
+func (c *Core) Occupant() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.occupant
+}
+
+// SetHalted records whether the core has executed hlt after exhausting its
+// spin window.
+func (c *Core) SetHalted(h bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.halted = h
+}
+
+// Halted reports whether the core is modeled as sitting in hlt.
+func (c *Core) Halted() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.halted
+}
+
+// KickCore models the scheduler's VecSchedKick wakeup IPI to core `to`.
+// Like ShootdownTLB it charges only the clock passed in — here the *woken*
+// context, which in virtual time is the one that observes the delivery
+// latency before it can start — so host goroutine interleaving can never
+// leak into another context's clock. The target core merely has its halted
+// flag cleared; no handler runs.
+func (m *Machine) KickCore(clk *cycles.Clock, to CoreID) {
+	clk.Advance(m.Cost.IPIKick)
+	m.Core(to).SetHalted(false)
 }
 
 // SendIPI delivers an inter-processor interrupt from one core to another,

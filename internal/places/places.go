@@ -12,10 +12,14 @@ import (
 
 	"multiverse/internal/core"
 	"multiverse/internal/scheme"
+	"multiverse/internal/telemetry"
 )
 
 // Attach enables (place-spawn ...) / (place-wait ...) in the engine,
-// backed by env's thread creation.
+// backed by env's thread creation. Each spawned place is counted on the
+// run's metrics registry, tagged with the core the scheduler (or the
+// default boot-core pinning) placed it on, so scaling figures can show
+// where places actually ran.
 func Attach(eng *scheme.Engine, env core.Env) {
 	eng.SetPlaceSpawner(func(src string) (func() (string, error), error) {
 		var (
@@ -24,6 +28,13 @@ func Attach(eng *scheme.Engine, env core.Env) {
 			perr   error
 		)
 		join, err := env.PthreadCreate(func(child core.Env) {
+			if ts, ok := child.(interface{ TelemetryScope() telemetry.Scope }); ok {
+				scope := ts.TelemetryScope()
+				if scope.Metrics != nil {
+					scope.Metrics.Counter("places.spawned").Inc()
+					scope.Metrics.Counter(fmt.Sprintf("places.core.%d", scope.Track.Core)).Inc()
+				}
+			}
 			childEng, cerr := scheme.NewEngine(child)
 			if cerr != nil {
 				mu.Lock()

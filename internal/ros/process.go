@@ -124,6 +124,13 @@ type Process struct {
 	faultTrace    []FaultRecord
 	faultTraceCap int
 
+	// Deterministic per-thread arenas (scheduler mode): anonymous mmap and
+	// brk placement derive from the calling thread's TID alone, so the
+	// addresses concurrent threads get — and the page-table work those
+	// addresses imply — no longer depend on goroutine scheduling order.
+	detArenas bool
+	arenas    map[int]*threadArena
+
 	// mutHooks observe successful mutating syscalls (see AddMutationHook).
 	mutHooks []func(MutationEvent)
 
@@ -197,7 +204,61 @@ func (p *Process) FaultTrace() []FaultRecord {
 const (
 	brkBase  uint64 = 0x0000_0000_0120_0000 // heap starts above a nominal image
 	mmapBase uint64 = 0x0000_7f00_0000_0000 // mmap region, grows upward
+
+	// Deterministic-arena layout: each thread owns a 1 GiB slice of the
+	// mmap region keyed by its TID — anonymous mappings bump through the
+	// first 768 MiB, the thread's private program break through the rest.
+	arenaStride uint64 = 1 << 30
+	arenaBrkOff uint64 = 3 << 28
 )
+
+// threadArena is one thread's private state under deterministic arenas: a
+// bump pointer for anonymous mmap, a private program break, and a private
+// interval timer + signal dispositions (so concurrent engines arming their
+// cooperative tick cannot clobber each other in arrival order).
+type threadArena struct {
+	mmapNext uint64
+	brkBase  uint64
+	brk      uint64
+
+	timerDeadline cycles.Cycles
+	timerInterval cycles.Cycles
+	timerSig      linuxabi.Signal
+	sigactions    map[linuxabi.Signal]sigaction
+	handlers      map[uint64]SignalHandlerFunc
+}
+
+// EnableDeterministicArenas switches anonymous-mmap and brk placement to
+// per-thread arenas derived from the calling thread's TID alone. The
+// AeroKernel scheduler turns this on: with threads placed across cores and
+// genuinely overlapping, address assignment must be a function of program
+// structure, not of which thread's syscall won the race, or end-to-end
+// virtual time stops being reproducible.
+func (p *Process) EnableDeterministicArenas() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.detArenas = true
+	if p.arenas == nil {
+		p.arenas = make(map[int]*threadArena)
+	}
+}
+
+// arenaFor returns (creating on first use) tid's arena. Caller holds p.mu.
+func (p *Process) arenaFor(tid int) *threadArena {
+	a := p.arenas[tid]
+	if a == nil {
+		base := mmapBase + uint64(tid)*arenaStride
+		a = &threadArena{
+			mmapNext:   base,
+			brkBase:    base + arenaBrkOff,
+			brk:        base + arenaBrkOff,
+			sigactions: make(map[linuxabi.Signal]sigaction),
+			handlers:   make(map[uint64]SignalHandlerFunc),
+		}
+		p.arenas[tid] = a
+	}
+	return a
+}
 
 func newProcess(k *Kernel, pid int, name string) (*Process, error) {
 	space, err := paging.NewAddressSpace(k.machine.Phys, k.Zone(), fmt.Sprintf("%s.%d", name, pid))
@@ -317,8 +378,22 @@ func (p *Process) countInvoluntaryCS() {
 // address in the process image, so rt_sigaction can refer to it the way
 // real code refers to a function pointer.
 func (p *Process) RegisterHandler(addr uint64, fn SignalHandlerFunc) {
+	p.RegisterHandlerFor(0, addr, fn)
+}
+
+// RegisterHandlerFor is RegisterHandler scoped to the ROS thread doing the
+// registering. Engines place their handlers at fixed image addresses, so
+// under deterministic arenas — where several engines run at once — the
+// address→closure table must be per-thread or concurrent engines would
+// clobber each other's registrations in arrival order. tid 0 (or arenas
+// off) uses the shared process table.
+func (p *Process) RegisterHandlerFor(tid int, addr uint64, fn SignalHandlerFunc) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.detArenas && tid != 0 {
+		p.arenaFor(tid).handlers[addr] = fn
+		return
+	}
 	p.handlers[addr] = fn
 }
 
@@ -441,9 +516,15 @@ func (p *Process) handleFault(t *Thread, fault *paging.Fault) linuxabi.Errno {
 	v := p.findVMA(fault.Addr)
 	if v == nil || !v.allows(fault.Write) {
 		// Genuine access violation: deliver SIGSEGV if a handler is
-		// registered; otherwise the access fails.
-		sa, ok := p.sigactions[linuxabi.SIGSEGV]
-		fn := p.handlers[sa.handlerAddr]
+		// registered; otherwise the access fails. Under deterministic
+		// arenas dispositions live with the thread that registered them.
+		sigs, handlers := p.sigactions, p.handlers
+		if p.detArenas {
+			a := p.arenaFor(t.TID)
+			sigs, handlers = a.sigactions, a.handlers
+		}
+		sa, ok := sigs[linuxabi.SIGSEGV]
+		fn := handlers[sa.handlerAddr]
 		p.mu.Unlock()
 		if !ok || fn == nil {
 			p.chargeSys(t.Clock.Now() - start)
@@ -517,19 +598,38 @@ func (p *Process) SendSignal(clk *cycles.Clock, sig linuxabi.Signal) linuxabi.Er
 // the deadline, delivering the timer signal (the cooperative-threading
 // tick Racket's runtime relies on). Returns true if it fired.
 func (p *Process) CheckTimer(clk *cycles.Clock) bool {
+	return p.CheckTimerFor(0, clk)
+}
+
+// CheckTimerFor is CheckTimer scoped to the ROS thread that armed the
+// timer: under deterministic arenas each thread owns a private itimer and
+// private dispositions, so the check must name whose timer it is polling.
+// tid 0 (or arenas off) selects the shared process timer.
+func (p *Process) CheckTimerFor(tid int, clk *cycles.Clock) bool {
 	p.mu.Lock()
-	if p.timerDeadline == 0 || clk.Now() < p.timerDeadline {
+	deadline, interval, tsig := &p.timerDeadline, &p.timerInterval, &p.timerSig
+	sigs, handlers := p.sigactions, p.handlers
+	if p.detArenas && tid != 0 {
+		a := p.arenaFor(tid)
+		deadline, interval, tsig = &a.timerDeadline, &a.timerInterval, &a.timerSig
+		sigs, handlers = a.sigactions, a.handlers
+	}
+	if *deadline == 0 || clk.Now() < *deadline {
 		p.mu.Unlock()
 		return false
 	}
-	sig := p.timerSig
-	if p.timerInterval > 0 {
-		p.timerDeadline = clk.Now() + p.timerInterval
+	sig := *tsig
+	if *interval > 0 {
+		*deadline = clk.Now() + *interval
 	} else {
-		p.timerDeadline = 0
+		*deadline = 0
 	}
+	sa, ok := sigs[sig]
+	fn := handlers[sa.handlerAddr]
 	p.mu.Unlock()
 	p.countInvoluntaryCS()
-	_ = p.SendSignal(clk, sig)
+	if ok && fn != nil {
+		p.deliverSignal(clk, fn, &SignalContext{Sig: sig})
+	}
 	return true
 }

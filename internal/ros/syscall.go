@@ -406,9 +406,17 @@ func (p *Process) sysMmap(t *Thread, call linuxabi.Call) linuxabi.Result {
 	if addr == 0 || flags&linuxabi.MapFixed == 0 {
 		// Bump allocation with a one-page guard gap between areas, as
 		// Linux's unmapped-area search tends to produce for anonymous
-		// mappings.
-		addr = p.mmapBase
-		p.mmapBase += length + mem.PageSize
+		// mappings. Under deterministic arenas each thread bumps through
+		// its own TID-keyed slice of the mmap region instead of racing on
+		// the shared pointer.
+		if p.detArenas {
+			a := p.arenaFor(t.TID)
+			addr = a.mmapNext
+			a.mmapNext += length + mem.PageSize
+		} else {
+			addr = p.mmapBase
+			p.mmapBase += length + mem.PageSize
+		}
 	}
 	v := &vma{start: addr, length: length, prot: prot, pages: make(map[uint64]mem.Frame)}
 	if err := p.insertVMA(v); err != linuxabi.OK {
@@ -513,14 +521,23 @@ func (p *Process) sysBrk(t *Thread, call linuxabi.Call) linuxabi.Result {
 	newBrk := call.Args[0]
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if newBrk == 0 {
-		return ok(p.brk)
+	// Under deterministic arenas each thread grows a private break inside
+	// its TID-keyed slice, so concurrent brk chatter from sibling threads
+	// cannot make this thread's mappings depend on arrival order.
+	var a *threadArena
+	base, cur := brkBase, p.brk
+	if p.detArenas {
+		a = p.arenaFor(t.TID)
+		base, cur = a.brkBase, a.brk
 	}
-	if newBrk < brkBase {
+	if newBrk == 0 {
+		return ok(cur)
+	}
+	if newBrk < base {
 		return fail(linuxabi.EINVAL)
 	}
-	if newBrk > p.brk {
-		start := (p.brk + mem.PageSize - 1) &^ uint64(mem.PageSize-1)
+	if newBrk > cur {
+		start := (cur + mem.PageSize - 1) &^ uint64(mem.PageSize-1)
 		end := (newBrk + mem.PageSize - 1) &^ uint64(mem.PageSize-1)
 		if end > start {
 			v := &vma{
@@ -535,7 +552,11 @@ func (p *Process) sysBrk(t *Thread, call linuxabi.Call) linuxabi.Result {
 			p.bumpGen(start, end-start)
 		}
 	}
-	p.brk = newBrk
+	if a != nil {
+		a.brk = newBrk
+	} else {
+		p.brk = newBrk
+	}
 	return ok(newBrk)
 }
 
@@ -550,10 +571,14 @@ func (p *Process) sysRtSigaction(t *Thread, call linuxabi.Call) linuxabi.Result 
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	sigs := p.sigactions
+	if p.detArenas {
+		sigs = p.arenaFor(t.TID).sigactions
+	}
 	if handlerAddr == 0 {
-		delete(p.sigactions, sig)
+		delete(sigs, sig)
 	} else {
-		p.sigactions[sig] = sigaction{handlerAddr: handlerAddr, flags: flags}
+		sigs[sig] = sigaction{handlerAddr: handlerAddr, flags: flags}
 	}
 	return ok(0)
 }
@@ -598,13 +623,18 @@ func (p *Process) sysSetitimer(t *Thread, call linuxabi.Call) linuxabi.Result {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	deadline, interval, tsig := &p.timerDeadline, &p.timerInterval, &p.timerSig
+	if p.detArenas {
+		a := p.arenaFor(t.TID)
+		deadline, interval, tsig = &a.timerDeadline, &a.timerInterval, &a.timerSig
+	}
 	if valueUsec == 0 {
-		p.timerDeadline = 0
-		p.timerInterval = 0
+		*deadline = 0
+		*interval = 0
 	} else {
-		p.timerDeadline = t.Clock.Now() + toCycles(valueUsec)
-		p.timerInterval = toCycles(intervalUsec)
-		p.timerSig = sig
+		*deadline = t.Clock.Now() + toCycles(valueUsec)
+		*interval = toCycles(intervalUsec)
+		*tsig = sig
 	}
 	return ok(0)
 }

@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate: 2, 8, 9, 10, 11, 12, 13, primitives, hpcg, incremental, router, merger, scheduler, ablations, all")
+	figure := flag.String("figure", "all", "which figure to regenerate: 2, 8, 9, 10, 11, 12, 13, primitives, hpcg, incremental, router, merger, scheduler, faults, ablations, all")
 	runs := flag.Int("runs", 10, "measurement repetitions for latency figures (the paper averages 10 runs)")
 	flag.Parse()
 
@@ -41,6 +41,7 @@ func main() {
 		{"router", bench.FigureRouter},
 		{"merger", bench.FigureMerger},
 		{"scheduler", bench.FigureScheduler},
+		{"faults", bench.FigureFaults},
 		{"ablations", nil}, // expanded below
 	}
 

@@ -20,6 +20,7 @@ import (
 
 	"multiverse/internal/bench"
 	"multiverse/internal/core"
+	"multiverse/internal/faults"
 	"multiverse/internal/scheme"
 	"multiverse/internal/telemetry"
 	"multiverse/internal/vcode"
@@ -41,9 +42,17 @@ func main() {
 	hotspots := flag.Bool("hotspots", false, "print the legacy-interface hotspot report (multiverse world only)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in Perfetto)")
 	metrics := flag.Bool("metrics", false, "dump the run's metrics registry to stderr afterwards")
+	faultsArg := flag.String("faults", "", "arm random fault injection as <seed>:<rate>, e.g. 42:0.01 (multiverse world only)")
+	faultSpec := flag.String("fault-spec", "", "arm a scripted fault scenario from this JSON file (multiverse world only)")
 	flag.Parse()
 
 	knobs := runKnobs{router: *router, merger: *merger, scheduler: *scheduler, hrtCores: *hrtCores, workers: *workers}
+	plan, err := parseFaultFlags(*faultsArg, *faultSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mvrun: %v\n", err)
+		os.Exit(1)
+	}
+	knobs.faults = plan
 	if err := run(*world, *runtimeName, *expr, *repl, *benchName, *stats, knobs, *hotspots, *tracePath, *metrics, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "mvrun: %v\n", err)
 		os.Exit(1)
@@ -70,6 +79,36 @@ type runKnobs struct {
 	scheduler bool
 	hrtCores  int
 	workers   int
+	faults    *faults.Plan
+}
+
+// parseFaultFlags combines -faults <seed>:<rate> and -fault-spec <file>
+// into one plan: the scripted scenario composes with (and can run
+// without) the random rates.
+func parseFaultFlags(seedRate, specPath string) (*faults.Plan, error) {
+	if seedRate == "" && specPath == "" {
+		return nil, nil
+	}
+	var plan faults.Plan
+	if seedRate != "" {
+		p, err := faults.ParseSeedRate(seedRate)
+		if err != nil {
+			return nil, err
+		}
+		plan = p
+	}
+	if specPath != "" {
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := faults.ParseSpec(data)
+		if err != nil {
+			return nil, err
+		}
+		plan.Spec = spec
+	}
+	return &plan, nil
 }
 
 func run(worldName, runtimeName, expr string, repl bool, benchName string, stats bool, knobs runKnobs, hotspots bool, tracePath string, metrics bool, args []string) error {
@@ -92,6 +131,10 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 	cfg := bench.RunConfig{
 		Tracer: tracer, Router: router, Merger: merger,
 		Scheduler: knobs.scheduler, HRTCoreCount: knobs.hrtCores,
+		Faults: knobs.faults,
+	}
+	if knobs.faults != nil && w != core.WorldHRT {
+		return fmt.Errorf("fault injection targets the hybrid boundary; it requires -world multiverse")
 	}
 
 	if benchName == "hpcg" {
@@ -116,7 +159,7 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 		}
 		os.Stdout.Write(res.Output)
 		if stats {
-			printStats(res, router, merger)
+			printStats(res, router, merger, knobs.faults != nil)
 		}
 		if metrics {
 			fmt.Fprint(os.Stderr, res.Metrics.Dump())
@@ -232,6 +275,19 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 				m.Counter("merger.shootdown.broadcast").Value(),
 				m.Counter("fault.local").Value())
 		}
+		if knobs.faults != nil {
+			m := sys.Metrics()
+			var injected uint64
+			for _, k := range []string{"drop-notify", "dup-notify", "delay-inject",
+				"corrupt-frame", "partner-stall", "partner-kill", "hrt-panic"} {
+				injected += m.Counter("faults.injected." + k).Value()
+			}
+			fmt.Fprintf(os.Stderr, "[%s] faults: injected=%d retransmits=%d dedups=%d recoveries=%d degraded=%d recovery-cycles=%d\n",
+				w, injected, m.Counter("faults.retransmit").Value(),
+				m.Counter("faults.dedup").Value(), m.Counter("faults.recovery").Value(),
+				m.Counter("faults.degraded").Value(),
+				uint64(m.LatencyHistogram("faults.recovery.latency").Sum()))
+		}
 	}
 	if metrics {
 		fmt.Fprint(os.Stderr, sys.Metrics().Dump())
@@ -259,7 +315,7 @@ func writeTrace(tracer *telemetry.Tracer, path string) error {
 	return f.Close()
 }
 
-func printStats(res *bench.RunResult, router, merger bool) {
+func printStats(res *bench.RunResult, router, merger, faulted bool) {
 	fmt.Fprintf(os.Stderr, "\n[%s] %s: %.4f virtual seconds\n", res.World, res.Program, res.Seconds)
 	fmt.Fprintf(os.Stderr, "  syscalls=%d faults=%d maxrss=%dKb ctxsw=%d\n",
 		res.Stats.TotalSyscalls(), res.Stats.MinorFaults+res.Stats.MajorFaults,
@@ -280,5 +336,18 @@ func printStats(res *bench.RunResult, router, merger bool) {
 		fmt.Fprintf(os.Stderr, "  merger: entries=%d delta=%d remerges=%d shootdowns=%d/%d local-faults=%d\n",
 			res.PML4EntriesCopied, res.MergerDeltaEntries, res.Remerges,
 			res.MergerTargeted, res.MergerBroadcast, res.LocalFaults)
+	}
+	if faulted {
+		m := res.Metrics
+		var injected uint64
+		for _, k := range []string{"drop-notify", "dup-notify", "delay-inject",
+			"corrupt-frame", "partner-stall", "partner-kill", "hrt-panic"} {
+			injected += m.Counter("faults.injected." + k).Value()
+		}
+		fmt.Fprintf(os.Stderr, "  faults: injected=%d retransmits=%d dedups=%d recoveries=%d degraded=%d recovery-cycles=%d\n",
+			injected, m.Counter("faults.retransmit").Value(),
+			m.Counter("faults.dedup").Value(), m.Counter("faults.recovery").Value(),
+			m.Counter("faults.degraded").Value(),
+			uint64(m.LatencyHistogram("faults.recovery.latency").Sum()))
 	}
 }

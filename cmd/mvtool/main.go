@@ -10,6 +10,7 @@
 //	mvtool bench -json -o BENCH_pr2.json
 //	mvtool bench -suite merger -json -o BENCH_pr3.json
 //	mvtool bench -suite scheduler -json -o BENCH_pr4.json
+//	mvtool bench -suite faults -json -o BENCH_pr5.json
 package main
 
 import (
@@ -49,19 +50,21 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: mvtool build -app NAME [-overrides FILE] -o OUT.fat")
 	fmt.Fprintln(os.Stderr, "       mvtool inspect FILE.fat")
 	fmt.Fprintln(os.Stderr, "       mvtool trace [-top N] FILE.json")
-	fmt.Fprintln(os.Stderr, "       mvtool bench [-suite router|merger|scheduler] [-json] [-o FILE]")
+	fmt.Fprintln(os.Stderr, "       mvtool bench [-suite router|merger|scheduler|faults] [-json] [-o FILE]")
 	os.Exit(2)
 }
 
 // benchCmd runs one of the deterministic benchmark suites in the
 // multiverse world: "router" compares the adaptive boundary router,
-// "merger" the incremental state-superposition merger, and "scheduler"
-// sweeps the work-stealing scheduler's HPCG + places scaling ladder. With
+// "merger" the incremental state-superposition merger, "scheduler"
+// sweeps the work-stealing scheduler's HPCG + places scaling ladder, and
+// "faults" measures the fault-injection/recovery configurations. With
 // -json it emits the corresponding baseline document (BENCH_pr2.json /
-// BENCH_pr3.json / BENCH_pr4.json); otherwise it prints the table.
+// BENCH_pr3.json / BENCH_pr4.json / BENCH_pr5.json); otherwise it prints
+// the table.
 func benchCmd(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	suite := fs.String("suite", "router", "suite: router (BENCH_pr2), merger (BENCH_pr3), or scheduler (BENCH_pr4)")
+	suite := fs.String("suite", "router", "suite: router (BENCH_pr2), merger (BENCH_pr3), scheduler (BENCH_pr4), or faults (BENCH_pr5)")
 	asJSON := fs.Bool("json", false, "emit the baseline JSON document")
 	out := fs.String("o", "", "write output to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
@@ -93,6 +96,20 @@ func benchCmd(args []string) error {
 		if blob, err = base.MarshalIndent(); err != nil {
 			return err
 		}
+	case *suite == "faults" && *asJSON:
+		base, err := bench.CollectFaultsBaseline()
+		if err != nil {
+			return err
+		}
+		if blob, err = base.MarshalIndent(); err != nil {
+			return err
+		}
+	case *suite == "faults":
+		t, err := bench.FigureFaults()
+		if err != nil {
+			return err
+		}
+		blob = []byte(t.String() + "\n")
 	case *suite == "scheduler":
 		t, err := bench.FigureScheduler()
 		if err != nil {
@@ -112,7 +129,7 @@ func benchCmd(args []string) error {
 		}
 		blob = []byte(t.String() + "\n")
 	default:
-		return fmt.Errorf("unknown suite %q (want router, merger, or scheduler)", *suite)
+		return fmt.Errorf("unknown suite %q (want router, merger, scheduler, or faults)", *suite)
 	}
 	if *out != "" {
 		return os.WriteFile(*out, blob, 0o644)

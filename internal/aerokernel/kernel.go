@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"multiverse/internal/cycles"
+	"multiverse/internal/faults"
 	"multiverse/internal/hvm"
 	"multiverse/internal/image"
 	"multiverse/internal/machine"
@@ -104,6 +105,10 @@ type Kernel struct {
 	// Counters for the evaluation.
 	forwardedFaults   uint64
 	forwardedSyscalls uint64
+
+	// faults is the armed fault-injection plane (nil = off), delivered
+	// through the boot protocol for HRT-panic injection.
+	faults *faults.Injector
 }
 
 // Boot brings up the AeroKernel on the HRT partition described by info:
@@ -128,6 +133,7 @@ func Boot(m *machine.Machine, info hvm.BootInfo) (*Kernel, error) {
 		events:    make(chan *hvm.HRTRequest, 4),
 		tracer:    info.Tracer,
 		metrics:   info.Metrics,
+		faults:    info.Faults,
 	}
 	if k.metrics == nil {
 		k.metrics = telemetry.NewRegistry()
@@ -623,6 +629,16 @@ func (k *Kernel) handleFault(t *Thread, f *machine.InterruptFrame) error {
 		k.mu.Unlock()
 		k.metrics.Counter("ak.remerges").Inc()
 		return nil
+	}
+
+	// Degraded ROS-only mode: the group's channel is beyond its recovery
+	// budget, so the access is replicated by a direct ROS entry instead.
+	if fb := t.fallbackSvc(); fb != nil && fb.Fault != nil {
+		if fb.Fault(t, addr, f.ErrorCode&0x2 != 0) {
+			k.m.Core(t.Core).MMU.TLB().FlushVA(addr)
+			return nil
+		}
+		return fmt.Errorf("aerokernel: degraded ROS service could not resolve fault at %#x", addr)
 	}
 
 	// Forward the fault to the ROS over the execution group's event

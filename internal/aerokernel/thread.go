@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"multiverse/internal/cycles"
+	"multiverse/internal/faults"
 	"multiverse/internal/hvm"
 	"multiverse/internal/linuxabi"
 	"multiverse/internal/machine"
@@ -40,10 +41,24 @@ type Thread struct {
 	ch          *hvm.EventChannel
 	syncSvc     *hvm.SyncSyscallChannel
 	router      *hvm.SyscallRouter
+	fallback    *Fallback
 	schedEntry  *QueueEntry // run-queue slot, when scheduler-placed
 	done        chan struct{}
 	exitCode    uint64
 	faultStatus error
+
+	// sysCount numbers this thread's system calls for deterministic
+	// fault-injection keys; only the owning goroutine touches it.
+	sysCount uint64
+}
+
+// Fallback is the degraded ROS-only service an execution group installs
+// when its recovery budget is spent: system calls and forwarded faults
+// are answered by a direct call into the ROS kernel instead of a channel
+// that keeps failing. Fault returns whether the access was resolved.
+type Fallback struct {
+	Syscall func(t *Thread, call linuxabi.Call) linuxabi.Result
+	Fault   func(t *Thread, addr uint64, write bool) bool
 }
 
 // AttachQueueEntry binds the scheduler run-queue slot this thread was
@@ -77,6 +92,30 @@ func (t *Thread) SetRouter(r *hvm.SyscallRouter) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.router = r
+}
+
+// SetFallback installs the degraded ROS-only service on a top-level
+// thread; nested threads inherit it through the parent chain.
+func (t *Thread) SetFallback(f *Fallback) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.fallback = f
+}
+
+// fallbackSvc returns the degraded service, walking up to the top-level
+// ancestor for nested threads, like channel().
+func (t *Thread) fallbackSvc() *Fallback {
+	cur := t
+	for cur != nil {
+		cur.mu.Lock()
+		f := cur.fallback
+		cur.mu.Unlock()
+		if f != nil {
+			return f
+		}
+		cur = cur.Parent
+	}
+	return nil
 }
 
 // syscallRouter returns the group's router, walking up to the top-level
@@ -207,7 +246,22 @@ func (t *Thread) Run(fn func(*Thread) uint64) {
 	k.m.Core(t.Core).SetCurrentStack(t.Stack)
 	lock.Unlock()
 
-	code := fn(t)
+	// A panic in HRT code (real, not injected) must still retire the
+	// thread and close done — otherwise every joiner blocks forever and
+	// the whole simulation wedges silently. The group's WaitExit/Join
+	// deadline turns the missing exit notification into ErrGroupWedged.
+	code := ^uint64(0)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.mu.Lock()
+				t.faultStatus = fmt.Errorf("aerokernel: thread %d panicked: %v", t.ID, r)
+				t.mu.Unlock()
+				k.metrics.Counter("ak.thread.panics").Inc()
+			}
+		}()
+		code = fn(t)
+	}()
 
 	t.mu.Lock()
 	t.exitCode = code
@@ -324,6 +378,26 @@ func (t *Thread) Syscall(call linuxabi.Call) linuxabi.Result {
 	}
 	defer func() { _ = t.Stack.Release(machine.RedZoneSize) }()
 
+	if fi := k.faults; fi != nil {
+		t.sysCount++
+		if fi.Roll(faults.HRTPanic, uint64(t.ID), t.sysCount, 0, t.Clock.Now()) {
+			t.containInjectedPanic()
+		}
+	}
+
+	// Degraded ROS-only mode: the group's recovery budget is spent, so
+	// the call is served by a direct ROS entry instead of a channel.
+	if fb := t.fallbackSvc(); fb != nil && fb.Syscall != nil {
+		res := fb.Syscall(t, call)
+		switch call.Num {
+		case linuxabi.SysMprotect, linuxabi.SysMunmap, linuxabi.SysMmap, linuxabi.SysBrk:
+			k.m.Core(t.Core).MMU.TLB().FlushAll()
+			t.Clock.Advance(k.cost.TLBFlushLocal)
+		}
+		t.Clock.Advance(k.cost.AKSysretEmul)
+		return res
+	}
+
 	var reply hvm.Reply
 	if router := t.syscallRouter(); router != nil {
 		// Routed path: only calls that actually cross the boundary count
@@ -386,6 +460,20 @@ func (t *Thread) Syscall(call linuxabi.Call) linuxabi.Result {
 	}
 	t.Clock.Advance(k.cost.AKSysretEmul)
 	return reply.Res
+}
+
+// containInjectedPanic exercises panic containment on the syscall path:
+// the injected panic unwinds onto the IST stack, the kernel's handler
+// recovers, and the syscall restarts from the stub. Output-preserving by
+// construction — only latency is added.
+func (t *Thread) containInjectedPanic() {
+	k := t.kern
+	defer func() {
+		_ = recover()
+		t.Clock.Advance(k.cost.AKIstSwitch + k.cost.PageFaultHW)
+		k.metrics.Counter("ak.panic.contained").Inc()
+	}()
+	panic("injected: hrt-panic mid-syscall")
 }
 
 // NotifyExit raises the thread-exit event to the ROS side so the partner

@@ -6,6 +6,7 @@ import (
 
 	"multiverse/internal/core"
 	"multiverse/internal/cycles"
+	"multiverse/internal/faults"
 	"multiverse/internal/hvm"
 	"multiverse/internal/machine"
 	"multiverse/internal/ros"
@@ -86,6 +87,9 @@ type RunConfig struct {
 	// grown to fit when the default 2x4 topology is too small); 0 keeps
 	// the default single HRT core. Only meaningful in WorldHRT.
 	HRTCoreCount int
+	// Faults arms the deterministic fault-injection plane
+	// (core.Options.Faults); only meaningful in WorldHRT.
+	Faults *faults.Plan
 	// Tracer records virtual-time spans for the run (nil = tracing off).
 	Tracer *telemetry.Tracer
 	// Metrics receives the run's counters; one is created when nil.
@@ -126,6 +130,7 @@ func NewSystemForWorldCfg(world core.World, fs *vfs.FS, name string, cfg RunConf
 		AppName: name, FS: fs, Tracer: cfg.Tracer, Metrics: cfg.Metrics,
 		Router: cfg.Router, RouterPolicy: cfg.RouterPolicy,
 		Merger: cfg.Merger, Scheduler: cfg.Scheduler,
+		Faults: cfg.Faults,
 	}
 	switch world {
 	case core.WorldNative:

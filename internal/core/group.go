@@ -1,17 +1,27 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"multiverse/internal/aerokernel"
 	"multiverse/internal/cycles"
+	"multiverse/internal/faults"
 	"multiverse/internal/hvm"
 	"multiverse/internal/linuxabi"
 	"multiverse/internal/machine"
 	"multiverse/internal/ros"
 	"multiverse/internal/telemetry"
 )
+
+// ErrGroupWedged reports that an execution group produced no exit
+// notification within the wedge deadline: its HRT goroutine died (or
+// hung) without signaling, a path that previously blocked WaitExit/Join
+// forever.
+var ErrGroupWedged = errors.New("multiverse: execution group wedged (no exit notification within deadline)")
 
 // spawnSpec is the pending thread-creation request a partner thread hands
 // to the AeroKernel through the HVM.
@@ -35,9 +45,13 @@ type spawnSpec struct {
 type ExecutionGroup struct {
 	id      uint64
 	sys     *System
-	partner *ros.Thread
 	hrt     *aerokernel.Thread
 	channel *hvm.EventChannel
+	rosCore machine.CoreID
+
+	// pmu guards partner, which the watchdog replaces on a respawn.
+	pmu     sync.Mutex
+	partner *ros.Thread
 
 	// exitRequested is "a bit in the appropriate partner thread's data
 	// structure" flipped by the ROS-side HRT-exit signal handler.
@@ -61,7 +75,40 @@ type ExecutionGroup struct {
 
 	created  chan struct{}
 	exitCode atomic.Uint64
+
+	// finished closes when the serve loop has cleaned the group up;
+	// finalTime is the partner clock at that moment — what joiners
+	// synchronize to. (The partner clock does not advance between cleanup
+	// and thread exit, so this equals the pre-watchdog join-time read.)
+	finished  chan struct{}
+	finalTime atomic.Uint64
+
+	// Recovery state (fault plane only): gen counts partner generations
+	// (salted into the kill roll so a respawned partner re-rolls the
+	// redelivered seqno fresh); degraded marks ROS-only fallback mode;
+	// fbMu serializes the degraded direct-service entries.
+	gen      atomic.Uint64
+	degraded atomic.Bool
+	fbMu     sync.Mutex
 }
+
+// partnerRef returns the current partner thread (the watchdog may have
+// replaced it).
+func (g *ExecutionGroup) partnerRef() *ros.Thread {
+	g.pmu.Lock()
+	defer g.pmu.Unlock()
+	return g.partner
+}
+
+func (g *ExecutionGroup) setPartner(p *ros.Thread) {
+	g.pmu.Lock()
+	g.partner = p
+	g.pmu.Unlock()
+}
+
+// PartnerTID is the TID of the current partner thread — the key the ROS
+// kernel scopes per-thread state (timers, signal handlers) to.
+func (g *ExecutionGroup) PartnerTID() int { return g.partnerRef().TID }
 
 // SpawnGroup creates an execution group running fn as a top-level HRT
 // thread, following Figure 7: create the partner thread in the ROS (2);
@@ -92,9 +139,11 @@ func (s *System) spawnGroupFrom(creator *cycles.Clock, creatorT *aerokernel.Thre
 	}
 
 	g := &ExecutionGroup{
-		sys:     s,
-		channel: s.HVM.NewEventChannel(hrtCore, rosCore),
-		created: make(chan struct{}),
+		sys:      s,
+		channel:  s.HVM.NewEventChannel(hrtCore, rosCore),
+		rosCore:  rosCore,
+		created:  make(chan struct{}),
+		finished: make(chan struct{}),
 	}
 	s.mu.Lock()
 	g.id = s.nextGroupID
@@ -177,8 +226,9 @@ func (s *System) spawnGroupFrom(creator *cycles.Clock, creatorT *aerokernel.Thre
 		}
 	}
 
-	g.partner = s.Proc.NewThread(rosCore)
-	g.partner.Start(creator, func(pt *ros.Thread) {
+	partner := s.Proc.NewThread(rosCore)
+	g.setPartner(partner)
+	partner.Start(creator, func(pt *ros.Thread) {
 		// The partner allocates the ROS-side stack for the HRT thread
 		// and mirrors its own GDT/TLS state into the superposition.
 		stack := machine.NewStack(256 * 1024)
@@ -221,7 +271,115 @@ func (s *System) spawnGroupFrom(creator *cycles.Clock, creatorT *aerokernel.Thre
 		}
 		return nil, fmt.Errorf("multiverse: HRT thread creation failed")
 	}
+	if s.faults != nil {
+		// Watchdog: only armed runs can lose a partner thread, and only
+		// after a successful spawn is there anything to watch.
+		go g.watch()
+	}
 	return g, nil
+}
+
+// watch is the group's watchdog goroutine: it observes partner-thread
+// death and drives recovery — respawn within the budget, graceful
+// ROS-only degradation beyond it.
+func (g *ExecutionGroup) watch() {
+	fi := g.sys.faults
+	recoveries := 0
+	for {
+		p := g.partnerRef()
+		<-p.Done()
+		if g.dead.Load() {
+			return // normal teardown
+		}
+		recoveries++
+		if recoveries > fi.RecoveryBudget() {
+			g.degrade(p)
+			return
+		}
+		g.respawn(p, recoveries)
+	}
+}
+
+// respawn brings up a fresh partner thread after a death: create the
+// thread at the dead partner's virtual time, replay the mirrored-state
+// merge (the dead partner may have died mid-protocol; the PR-3 delta path
+// makes the replay cheap), requeue every in-flight envelope, and resume
+// serving from the retransmit queue.
+func (g *ExecutionGroup) respawn(dead *ros.Thread, n int) {
+	s := g.sys
+	start := dead.Clock.Now()
+	pt := s.Proc.NewThread(g.rosCore)
+	pt.Clock.SyncTo(start)
+	pt.Clock.Advance(s.Machine.Cost.ROSThreadCreate)
+	if err := s.HVM.MergeAddressSpace(pt.Clock, s.Proc.CR3()); err != nil {
+		// The merge replay is best-effort: the shared lower-level tables
+		// are still intact, so serving can resume regardless.
+		_ = err
+	}
+	replayed := g.channel.Requeue()
+	g.gen.Add(1) // kill rolls re-key: redelivered seqnos roll fresh
+	g.setPartner(pt)
+	s.metrics.Counter("faults.recovery").Inc()
+	s.metrics.LatencyHistogram("faults.recovery.latency").Observe(pt.Clock.Now() - start)
+	s.tracer.Instant(telemetry.Track{Core: int(g.rosCore), Name: "ros:watchdog"},
+		"faults", "partner-respawn", pt.Clock.Now(),
+		telemetry.Attr{Key: "generation", Val: g.gen.Load()},
+		telemetry.Attr{Key: "replayed", Val: uint64(replayed)})
+	_ = n
+	pt.Start(nil, g.serve)
+}
+
+// degrade is the recovery-budget-exhausted path: instead of wedging (or
+// burning respawns forever), the group falls back to ROS-only execution —
+// the paper's Incremental model run in reverse. System calls and
+// forwarded faults are served by direct ROS entries under a dedicated
+// service context; the event channel goes force-reliable and a final
+// serve loop handles the residual control traffic (thread exit, plus any
+// requeued in-flight envelopes).
+func (g *ExecutionGroup) degrade(dead *ros.Thread) {
+	s := g.sys
+	cost := s.Machine.Cost
+	g.degraded.Store(true)
+	g.channel.ForceReliable()
+
+	svc := s.Proc.NewThread(g.rosCore)
+	svc.Clock.SyncTo(dead.Clock.Now())
+	g.hrt.SetFallback(&aerokernel.Fallback{
+		Syscall: func(t *aerokernel.Thread, call linuxabi.Call) linuxabi.Result {
+			g.fbMu.Lock()
+			defer g.fbMu.Unlock()
+			svc.Clock.SyncTo(t.Clock.Now())
+			svc.Clock.Advance(cost.SyscallEntry)
+			res := s.Proc.Syscall(svc, call)
+			svc.Clock.Advance(cost.SyscallExit)
+			t.Clock.SyncTo(svc.Clock.Now())
+			s.metrics.Counter("faults.degraded.served").Inc()
+			return res
+		},
+		Fault: func(t *aerokernel.Thread, addr uint64, write bool) bool {
+			g.fbMu.Lock()
+			defer g.fbMu.Unlock()
+			svc.Clock.SyncTo(t.Clock.Now())
+			errno := s.Proc.Touch(svc, addr, write)
+			t.Clock.SyncTo(svc.Clock.Now())
+			s.metrics.Counter("faults.degraded.served").Inc()
+			return errno == linuxabi.OK
+		},
+	})
+
+	// Final partner generation for the residual channel traffic. The
+	// degraded flag disarms the kill roll, so this one cannot die again.
+	pt := s.Proc.NewThread(g.rosCore)
+	pt.Clock.SyncTo(dead.Clock.Now())
+	pt.Clock.Advance(cost.ROSThreadCreate)
+	g.channel.Requeue()
+	g.gen.Add(1)
+	g.setPartner(pt)
+	s.metrics.Counter("faults.degraded").Inc()
+	s.tracer.Instant(telemetry.Track{Core: int(g.rosCore), Name: "ros:watchdog"},
+		"faults", "degraded-ros-only", pt.Clock.Now(),
+		telemetry.Attr{Key: "group", Val: g.id})
+	pt.Start(nil, g.serve)
 }
 
 // runHRT is the HRT thread's body: run the application function in the
@@ -249,10 +407,19 @@ func (g *ExecutionGroup) runHRT(t *aerokernel.Thread, fn func(Env) uint64) uint6
 // kernel, forwarded page faults are replicated so the ROS fault path runs
 // — until the HRT thread exits.
 func (g *ExecutionGroup) serve(pt *ros.Thread) {
+	fi := g.sys.faults
 	for {
 		env := g.channel.Recv(pt.Clock)
 		if env == nil {
 			break
+		}
+		if fi != nil && !g.degraded.Load() &&
+			fi.Roll(faults.PartnerKill, g.channel.ID(), env.Seq, int(g.gen.Load()), pt.Clock.Now()) {
+			// Injected partner death mid-service: return without cleanup.
+			// The thread finishes, the watchdog notices, and the envelope —
+			// still in the channel's in-flight set — is requeued for the
+			// next generation.
+			return
 		}
 		switch env.Kind {
 		case hvm.EvSyscall:
@@ -285,29 +452,67 @@ func (g *ExecutionGroup) cleanup(pt *ros.Thread) {
 		g.syncSvc.Close() // the polling thread's Serve returns false
 	}
 	g.channel.Close()
-	g.dead.Store(true)
+	g.finalTime.Store(uint64(pt.Clock.Now()))
+	g.dead.Store(true) // dead before finished: the watchdog checks it on wake
+	close(g.finished)
 }
 
-// WaitExit blocks until the group's partner thread exits (which the
-// protocol guarantees happens only after the HRT thread exits) and
-// returns the HRT thread's exit code. It synchronizes the waiter's clock.
-// It also waits for the HRT goroutine itself: the partner unblocks as
-// soon as it completes the exit notification, while the HRT side is
-// still finishing its half of that round trip (closing its forward
-// spans), and observers run right after this returns.
-func (g *ExecutionGroup) WaitExit(clk *cycles.Clock) uint64 {
-	<-g.partner.Done()
-	<-g.hrt.Done()
-	clk.SyncTo(g.partner.Clock.Now())
-	return g.exitCode.Load()
+// awaitDone blocks until the group has finished cleanly (cleanup ran AND
+// the HRT goroutine exited) or the wedge deadline expires. The deadline
+// is host real time on purpose: a wedged group's virtual clocks stop
+// advancing, so only wall time can flush the condition out.
+func (g *ExecutionGroup) awaitDone() error {
+	d := g.sys.Opts.WedgeTimeout
+	if d <= 0 {
+		<-g.finished
+		<-g.hrt.Done()
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-g.finished:
+	case <-timer.C:
+		return ErrGroupWedged
+	}
+	select {
+	case <-g.hrt.Done():
+	case <-timer.C:
+		return ErrGroupWedged
+	}
+	return nil
+}
+
+// WaitExit blocks until the group has finished — cleanup ran on the
+// partner side (the protocol guarantees that happens only after the HRT
+// thread wrote its exit notification) and the HRT goroutine itself exited
+// (it may still be closing its half of the final round trip when the
+// partner unblocks) — then synchronizes the waiter's clock to the
+// partner's final time and returns the exit code. If the group wedges —
+// no exit notification within Options.WedgeTimeout of host time — it
+// returns ErrGroupWedged instead of blocking forever.
+func (g *ExecutionGroup) WaitExit(clk *cycles.Clock) (uint64, error) {
+	if err := g.awaitDone(); err != nil {
+		return 0, err
+	}
+	clk.SyncTo(cycles.Cycles(g.finalTime.Load()))
+	return g.exitCode.Load(), nil
 }
 
 // Join joins the partner thread from a ROS thread — the main thread's
-// join() path in the Incremental model.
-func (g *ExecutionGroup) Join(joiner *ros.Thread) uint64 {
-	g.partner.Join(joiner)
-	<-g.hrt.Done()
-	return g.exitCode.Load()
+// join() path in the Incremental model. It charges the same costs as a
+// direct ros.Thread.Join (a voluntary context switch plus the join
+// syscall) but waits group-wise, so a watchdog-respawned partner does not
+// strand the joiner on a dead thread handle, and a wedged group surfaces
+// ErrGroupWedged instead of hanging.
+func (g *ExecutionGroup) Join(joiner *ros.Thread) (uint64, error) {
+	joiner.Proc.CountVoluntaryCS()
+	joiner.Clock.Advance(g.sys.Machine.Cost.ROSThreadJoin)
+	if err := g.awaitDone(); err != nil {
+		return 0, err
+	}
+	joiner.Clock.SyncTo(cycles.Cycles(g.finalTime.Load()))
+	return g.exitCode.Load(), nil
 }
 
 // Channel exposes the group's event channel (stats).
@@ -316,8 +521,9 @@ func (g *ExecutionGroup) Channel() *hvm.EventChannel { return g.channel }
 // HRTThread exposes the group's HRT thread.
 func (g *ExecutionGroup) HRTThread() *aerokernel.Thread { return g.hrt }
 
-// Partner exposes the group's ROS partner thread.
-func (g *ExecutionGroup) Partner() *ros.Thread { return g.partner }
+// Partner exposes the group's current ROS partner thread (the watchdog
+// may have replaced the original).
+func (g *ExecutionGroup) Partner() *ros.Thread { return g.partnerRef() }
 
 // Router exposes the group's boundary router (nil unless Options.Router).
 func (g *ExecutionGroup) Router() *hvm.SyscallRouter { return g.router }
@@ -379,14 +585,14 @@ func (e *hrtEnv) Touch(addr uint64, write bool) error {
 func (e *hrtEnv) CheckTimer() bool {
 	// The timer is keyed by the ROS thread that serviced the forwarded
 	// setitimer — this group's partner.
-	return e.sys.Proc.CheckTimerFor(e.group.partner.TID, e.t.Clock)
+	return e.sys.Proc.CheckTimerFor(e.group.PartnerTID(), e.t.Clock)
 }
 
 func (e *hrtEnv) RegisterSignalCode(addr uint64, fn func(*ros.SignalContext)) {
 	// Scope the registration to this group's partner — the same ROS thread
 	// that services the group's rt_sigaction — so concurrent engines using
 	// the same fixed handler addresses cannot clobber each other.
-	e.sys.Proc.RegisterHandlerFor(e.group.partner.TID, addr, fn)
+	e.sys.Proc.RegisterHandlerFor(e.group.PartnerTID(), addr, fn)
 }
 
 // PthreadCreate goes through the generated wrapper for pthread_create,
@@ -529,7 +735,10 @@ func (s *System) RunMain(app func(Env) uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	code := g.Join(s.Main)
+	code, err := g.Join(s.Main)
+	if err != nil {
+		return 0, err
+	}
 	s.ExitProcess(code)
 	return code, nil
 }
@@ -541,5 +750,5 @@ func (s *System) HRTInvokeFunc(routine func(Env) uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return g.Join(s.Main), nil
+	return g.Join(s.Main)
 }

@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"multiverse/internal/aerokernel"
+	"multiverse/internal/faults"
 	"multiverse/internal/hvm"
 	"multiverse/internal/image"
 	"multiverse/internal/linuxabi"
@@ -64,6 +66,18 @@ type Options struct {
 	FS *vfs.FS
 	// AppName names the spawned process.
 	AppName string
+	// Faults arms the deterministic fault-injection plane: notification
+	// drops/duplications, delayed injection windows, corrupted request
+	// frames, partner-thread deaths, and HRT panics, all rolled from a
+	// seeded virtual-time PRNG so a given seed replays exactly. nil (the
+	// default) leaves every fixed path byte-identical to the unfaulted
+	// build.
+	Faults *faults.Plan
+	// WedgeTimeout bounds WaitExit/Join in host real time: a group that
+	// produces no exit notification within the deadline surfaces
+	// ErrGroupWedged instead of hanging the joiner forever. Zero takes
+	// the default (10 minutes); negative disables the deadline.
+	WedgeTimeout time.Duration
 	// Tracer records virtual-time spans for the run; nil (the default)
 	// disables tracing at near-zero cost.
 	Tracer *telemetry.Tracer
@@ -80,6 +94,9 @@ func (o *Options) fill() {
 	}
 	if len(o.HRTCores) == 0 {
 		o.HRTCores = []machine.CoreID{1}
+	}
+	if o.WedgeTimeout == 0 {
+		o.WedgeTimeout = 10 * time.Minute
 	}
 }
 
@@ -111,6 +128,7 @@ type System struct {
 
 	tracer  *telemetry.Tracer
 	metrics *telemetry.Registry
+	faults  *faults.Injector // nil unless Options.Faults
 
 	createThreadAddr uint64
 }
@@ -145,6 +163,13 @@ func NewSystem(fat *image.Image, opts Options) (*System, error) {
 	if s.metrics == nil {
 		s.metrics = telemetry.NewRegistry()
 	}
+	if opts.Faults != nil {
+		fi, err := faults.New(*opts.Faults, s.metrics)
+		if err != nil {
+			return nil, err
+		}
+		s.faults = fi
+	}
 
 	world := ros.Native
 	rosCores := m.Cores()
@@ -156,6 +181,7 @@ func NewSystem(fat *image.Image, opts Options) (*System, error) {
 			HRTCores: opts.HRTCores,
 			Tracer:   s.tracer,
 			Metrics:  s.metrics,
+			Faults:   s.faults,
 		})
 		if err != nil {
 			return nil, err
@@ -203,6 +229,10 @@ func (s *System) Tracer() *telemetry.Tracer { return s.tracer }
 
 // Metrics returns the run's metrics registry (never nil).
 func (s *System) Metrics() *telemetry.Registry { return s.metrics }
+
+// FaultInjector returns the run's fault injector (nil when the fault
+// plane is unarmed).
+func (s *System) FaultInjector() *faults.Injector { return s.faults }
 
 // InitRuntime performs the initialization the toolchain's hooks run
 // before main() (section 3.5): register ROS signal handlers, hook process
@@ -431,7 +461,11 @@ func (s *System) linkAKFunctions() {
 		if g == nil {
 			return ^uint64(0)
 		}
-		return g.WaitExit(t.Clock)
+		code, err := g.WaitExit(t.Clock)
+		if err != nil {
+			return ^uint64(0)
+		}
+		return code
 	})
 
 	ak.RegisterFunc("nk_thread_exit", func(t *aerokernel.Thread, args []uint64) uint64 {

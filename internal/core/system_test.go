@@ -84,7 +84,10 @@ func TestPartnerOutlivesHRTThread(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	code := g.Join(sys.Main)
+	code, err := g.Join(sys.Main)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if code != 5 {
 		t.Errorf("join code = %d", code)
 	}

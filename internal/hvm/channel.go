@@ -2,10 +2,12 @@ package hvm
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"multiverse/internal/cycles"
+	"multiverse/internal/faults"
 	"multiverse/internal/linuxabi"
 	"multiverse/internal/machine"
 	"multiverse/internal/telemetry"
@@ -60,6 +62,17 @@ type Envelope struct {
 	// partner thread.
 	Arrival cycles.Cycles
 
+	// Seq is this channel's sequence number for the request; the ROS side
+	// coalesces duplicate deliveries by it. Zero until Forward stamps it.
+	Seq uint64
+	// Checksum is the per-frame integrity word (faults.Checksum over the
+	// identifying fields); zero means "no checksum on the wire" (fault
+	// plane disabled).
+	Checksum uint64
+	// Retransmits counts how many times the poll deadline expired and the
+	// request was resent before this Forward returned.
+	Retransmits int
+
 	reply chan Reply
 
 	// flow is the deterministic cross-track link id stitching the HRT
@@ -94,27 +107,50 @@ type EventChannel struct {
 	pending chan *Envelope
 	closed  bool
 
-	// Per-kind forward counts, indexed by EventKind. Atomics, because the
-	// HRT thread forwards while the evaluation harness reads.
-	forwarded [numEventKinds]atomic.Uint64
-
 	// seq numbers this channel's forwards; combined with the channel id
 	// it yields flow ids that depend only on program order, never on
 	// goroutine scheduling.
 	seq atomic.Uint64
+
+	// reliable suppresses fault injection on this channel: set when the
+	// group degrades to ROS-only execution, so the residual control
+	// traffic (thread exit) cannot be lost again.
+	reliable atomic.Bool
+
+	// Receiver-side recovery state, present only when the fault plane is
+	// armed. completed records serviced seqnos for duplicate coalescing;
+	// inflight tracks envelopes received but not yet completed (what a
+	// dead partner leaves behind); redeliver is the watchdog's replay
+	// queue, drained before pending.
+	rmu       sync.Mutex
+	completed map[uint64]bool
+	inflight  map[uint64]*Envelope
+	redeliver []*Envelope
 }
 
 // NewEventChannel creates the channel for an execution group whose HRT
 // thread runs on hrtCore and whose partner runs on rosCore.
 func (h *HVM) NewEventChannel(hrtCore, rosCore machine.CoreID) *EventChannel {
-	return &EventChannel{
+	c := &EventChannel{
 		hvm:     h,
 		id:      atomic.AddUint64(&h.channelSeq, 1),
 		hrtCore: hrtCore,
 		rosCore: rosCore,
 		pending: make(chan *Envelope, 1),
 	}
+	if h.faults != nil {
+		// Duplicate deliveries and partner-death windows can park several
+		// envelopes at once; a deeper queue keeps the sender from blocking
+		// on a frame the dead partner will never drain.
+		c.pending = make(chan *Envelope, 64)
+		c.completed = make(map[uint64]bool)
+		c.inflight = make(map[uint64]*Envelope)
+	}
+	return c
 }
+
+// ID returns the channel's deterministic id (fault-injection site key).
+func (c *EventChannel) ID() uint64 { return c.id }
 
 // hrtTrack is the trace track of the HRT thread driving this channel.
 func (c *EventChannel) hrtTrack() telemetry.Track {
@@ -145,26 +181,30 @@ func (c *EventChannel) Forward(clk *cycles.Clock, env *Envelope) (Reply, error) 
 		return Reply{}, fmt.Errorf("hvm: event channel closed")
 	}
 	c.mu.Unlock()
-	if env.Kind > 0 && env.Kind < numEventKinds {
-		c.forwarded[env.Kind].Add(1)
-	}
-	env.flow = c.id<<20 | c.seq.Add(1)
+	seq := c.seq.Add(1)
+	env.Seq = seq
+	env.flow = c.id<<20 | seq
 
 	tr := c.hvm.tracer
 	start := clk.Now()
 	sp := tr.Begin(c.hrtTrack(), "evtchan", "forward:"+env.Kind.String(), start)
 	sp.LinkOut(env.flow)
-
-	leg := tr.Begin(c.hrtTrack(), "evtchan", "request-leg", clk.Now())
-	clk.Advance(cost.EventChannelPost)
-	clk.Advance(cost.HypercallRoundTrip())
-	clk.Advance(cost.VMMRecord)
-	c.hvm.countExit("evtchan")
-	env.Arrival = clk.Now() + cost.InjectWindowROS + cost.SignalInjectROS
-	leg.EndAt(env.Arrival)
 	env.reply = make(chan Reply, 1)
-	c.pending <- env
-	r := <-env.reply
+
+	var r Reply
+	if fi := c.hvm.faults; fi != nil {
+		r = c.sendFaulted(clk, env, fi)
+	} else {
+		leg := tr.Begin(c.hrtTrack(), "evtchan", "request-leg", clk.Now())
+		clk.Advance(cost.EventChannelPost)
+		clk.Advance(cost.HypercallRoundTrip())
+		clk.Advance(cost.VMMRecord)
+		c.hvm.countExit("evtchan")
+		env.Arrival = clk.Now() + cost.InjectWindowROS + cost.SignalInjectROS
+		leg.EndAt(env.Arrival)
+		c.pending <- env
+		r = <-env.reply
+	}
 	// Reply leg: injection back into the HRT plus guest re-entry.
 	inj := tr.Begin(c.hrtTrack(), "evtchan", "reply-inject", r.Departure)
 	clk.SyncTo(r.Departure + cost.InterruptInject + cost.VMEntry)
@@ -177,10 +217,92 @@ func (c *EventChannel) Forward(clk *cycles.Clock, env *Envelope) (Reply, error) 
 	return r, nil
 }
 
+// frameChecksum is the integrity word written with a request frame.
+func frameChecksum(c *EventChannel, env *Envelope) uint64 {
+	return faults.Checksum(
+		c.id, env.Seq, uint64(env.Kind),
+		uint64(env.Call.Num),
+		env.Call.Args[0], env.Call.Args[1], env.Call.Args[2],
+		env.Call.Args[3], env.Call.Args[4], env.Call.Args[5],
+		faults.HashString(env.Call.Path),
+		env.FaultAddr, boolWord(env.FaultWrite), env.ExitCode)
+}
+
+func boolWord(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// sendFaulted is the request leg under an armed fault plane: the same
+// per-attempt virtual costs as the clean leg, plus a retransmission loop
+// driven by sender-side rolls. The sender learns of a lost or corrupted
+// delivery the way real hardware does — its virtual poll deadline expires
+// with no completion — and resends with exponential backoff. The final
+// attempt is forced clean so a request always terminates.
+func (c *EventChannel) sendFaulted(clk *cycles.Clock, env *Envelope, fi *faults.Injector) Reply {
+	cost := c.hvm.cost
+	tr := c.hvm.tracer
+	timeout := fi.RetryTimeout()
+	max := fi.MaxAttempts()
+	quiet := c.reliable.Load() // degraded mode: no further transport faults
+	for attempt := 0; ; attempt++ {
+		last := quiet || attempt >= max-1
+		leg := tr.Begin(c.hrtTrack(), "evtchan", "request-leg", clk.Now())
+		clk.Advance(cost.EventChannelPost)
+		clk.Advance(cost.HypercallRoundTrip())
+		clk.Advance(cost.VMMRecord)
+		c.hvm.countExit("evtchan")
+		arrival := clk.Now() + cost.InjectWindowROS + cost.SignalInjectROS
+		if !quiet && fi.Roll(faults.DelayInject, c.id, env.Seq, attempt, clk.Now()) {
+			arrival += fi.Delay()
+		}
+		env.Arrival = arrival
+		env.Checksum = frameChecksum(c, env)
+		leg.EndAt(arrival)
+
+		dropped := !last && fi.Roll(faults.DropNotify, c.id, env.Seq, attempt, clk.Now())
+		corrupted := !last && fi.Roll(faults.CorruptFrame, c.id, env.Seq, attempt, clk.Now())
+		switch {
+		case dropped:
+			// The VMM lost the notification: nothing reaches the partner.
+		case corrupted:
+			// The frame arrives damaged; the partner's checksum catches it
+			// and discards, so this attempt also goes unanswered.
+			bad := *env
+			bad.Checksum ^= 0xbad
+			c.pending <- &bad
+		default:
+			if !quiet && fi.Roll(faults.DupNotify, c.id, env.Seq, attempt, clk.Now()) {
+				// Second delivery of the same frame; the receiver coalesces
+				// by seqno. It rides the redeliver queue rather than the
+				// wire so a completed request (which may close the channel)
+				// never races a still-in-flight duplicate send.
+				c.rmu.Lock()
+				c.redeliver = append(c.redeliver, env)
+				c.rmu.Unlock()
+			}
+			c.pending <- env
+			return <-env.reply
+		}
+		// Unanswered attempt: wait out the poll deadline, then retransmit.
+		clk.Advance(timeout)
+		timeout *= 2
+		env.Retransmits++
+		c.hvm.metrics.Counter("faults.retransmit").Inc()
+		tr.Instant(c.hrtTrack(), "evtchan", "retransmit", clk.Now(),
+			telemetry.Attr{Key: "seq", Val: env.Seq})
+	}
+}
+
 // Recv blocks the ROS partner thread until a request arrives, then
 // synchronizes the partner's clock to the arrival time plus its own wakeup
 // cost. It returns nil when the channel is closed.
 func (c *EventChannel) Recv(clk *cycles.Clock) *Envelope {
+	if fi := c.hvm.faults; fi != nil {
+		return c.recvFaulted(clk, fi)
+	}
 	env, ok := <-c.pending
 	if !ok {
 		return nil
@@ -190,6 +312,63 @@ func (c *EventChannel) Recv(clk *cycles.Clock) *Envelope {
 	env.span.LinkIn(env.flow)
 	clk.Advance(c.hvm.cost.ContextSwitch) // partner wakes from its wait
 	clk.Advance(c.hvm.cost.EventChannelPost)
+	return env
+}
+
+// recvFaulted receives under an armed fault plane: redelivered envelopes
+// (watchdog replay) drain before fresh ones, corrupted frames are caught
+// by their checksum and discarded, and duplicate deliveries of an
+// already-completed seqno are coalesced. Accepted envelopes are tracked
+// as in-flight until Complete, so a partner death between the two is
+// recoverable.
+func (c *EventChannel) recvFaulted(clk *cycles.Clock, fi *faults.Injector) *Envelope {
+	m := c.hvm.metrics
+	for {
+		env := c.take()
+		if env == nil {
+			return nil
+		}
+		clk.SyncTo(env.Arrival)
+		if env.Checksum != 0 && env.Checksum != frameChecksum(c, env) {
+			// Reading the damaged frame costs the partner one post; the
+			// sender's deadline handles the rest.
+			clk.Advance(c.hvm.cost.EventChannelPost)
+			m.Counter("faults.corrupt.detected").Inc()
+			continue
+		}
+		c.rmu.Lock()
+		if c.completed[env.Seq] {
+			c.rmu.Unlock()
+			m.Counter("faults.dedup").Inc()
+			continue
+		}
+		c.inflight[env.Seq] = env
+		c.rmu.Unlock()
+		env.span = c.hvm.tracer.Begin(c.svcTrack(), "evtchan", "service:"+env.Kind.String(), env.Arrival)
+		env.span.LinkIn(env.flow)
+		clk.Advance(c.hvm.cost.ContextSwitch)
+		clk.Advance(c.hvm.cost.EventChannelPost)
+		if !c.reliable.Load() && fi.Roll(faults.PartnerStall, c.id, env.Seq, 0, clk.Now()) {
+			clk.Advance(fi.Stall())
+		}
+		return env
+	}
+}
+
+// take pops the next delivery: replayed envelopes first, then the wire.
+func (c *EventChannel) take() *Envelope {
+	c.rmu.Lock()
+	if len(c.redeliver) > 0 {
+		env := c.redeliver[0]
+		c.redeliver = c.redeliver[1:]
+		c.rmu.Unlock()
+		return env
+	}
+	c.rmu.Unlock()
+	env, ok := <-c.pending
+	if !ok {
+		return nil
+	}
 	return env
 }
 
@@ -203,8 +382,42 @@ func (c *EventChannel) Complete(clk *cycles.Clock, env *Envelope, r Reply) {
 	r.Departure = clk.Now()
 	env.span.EndAt(clk.Now())
 	env.span = nil
+	if c.hvm.faults != nil {
+		// Mark the seqno served *before* releasing the sender, so a
+		// duplicate delivery can never race past the dedup check.
+		c.rmu.Lock()
+		c.completed[env.Seq] = true
+		delete(c.inflight, env.Seq)
+		c.rmu.Unlock()
+	}
 	env.reply <- r
 }
+
+// Requeue moves every envelope a dead partner left in flight (received
+// but never completed) onto the redelivery queue, ordered by seqno so
+// replay preserves program order. The watchdog calls this after a respawn
+// and before the new partner starts serving. Returns how many envelopes
+// were queued for replay.
+func (c *EventChannel) Requeue() int {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	if len(c.inflight) == 0 {
+		return 0
+	}
+	replay := make([]*Envelope, 0, len(c.inflight))
+	for _, env := range c.inflight {
+		replay = append(replay, env)
+	}
+	c.inflight = make(map[uint64]*Envelope)
+	sort.Slice(replay, func(i, j int) bool { return replay[i].Seq < replay[j].Seq })
+	c.redeliver = append(replay, c.redeliver...)
+	return len(replay)
+}
+
+// ForceReliable suppresses further fault injection on this channel; the
+// degraded ROS-only mode uses it so residual control traffic (the thread
+// exit notification) cannot be lost after the recovery budget is spent.
+func (c *EventChannel) ForceReliable() { c.reliable.Store(true) }
 
 // Close tears the channel down (HRT thread exited and the partner
 // finished its cleanup).
@@ -215,18 +428,6 @@ func (c *EventChannel) Close() {
 		c.closed = true
 		close(c.pending)
 	}
-}
-
-// ForwardCount reports how many envelopes of a kind have crossed.
-//
-// Deprecated: the channel also records the same counts in the HVM's
-// metrics registry as `forward.<kind>` counters, which aggregate across
-// channels and appear in the --metrics dump. New code should read those.
-func (c *EventChannel) ForwardCount(k EventKind) uint64 {
-	if k <= 0 || k >= numEventKinds {
-		return 0
-	}
-	return c.forwarded[k].Load()
 }
 
 // Cores returns the two endpoints' cores.

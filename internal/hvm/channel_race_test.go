@@ -7,10 +7,11 @@ import (
 	"multiverse/internal/cycles"
 )
 
-// TestForwardCountConcurrent hammers one channel with concurrent forwards
-// while a reader polls ForwardCount — the satellite-1 audit. Under
-// `go test -race` this fails if the per-kind counters are not atomic.
-func TestForwardCountConcurrent(t *testing.T) {
+// TestForwardCountersConcurrent hammers one channel with concurrent
+// forwards while a reader polls the per-kind metrics counters (which
+// replaced the racy ForwardCount shim). Under `go test -race` this fails
+// if the counters are not atomic.
+func TestForwardCountersConcurrent(t *testing.T) {
 	_, h := newHVM(t)
 	c := h.NewEventChannel(1, 0)
 
@@ -31,7 +32,7 @@ func TestForwardCountConcurrent(t *testing.T) {
 		}
 	}()
 
-	// Concurrent reader of the deprecated counter.
+	// Concurrent reader of the counters.
 	readerStop := make(chan struct{})
 	readerDone := make(chan struct{})
 	go func() {
@@ -41,8 +42,8 @@ func TestForwardCountConcurrent(t *testing.T) {
 			case <-readerStop:
 				return
 			default:
-				_ = c.ForwardCount(EvSyscall)
-				_ = c.ForwardCount(EvPageFault)
+				_ = h.Metrics().Counter("forward.syscall").Value()
+				_ = h.Metrics().Counter("forward.page-fault").Value()
 			}
 		}
 	}()
@@ -72,14 +73,11 @@ func TestForwardCountConcurrent(t *testing.T) {
 	<-svcDone
 
 	want := uint64(workers / 2 * perWorker)
-	if got := c.ForwardCount(EvSyscall); got != want {
-		t.Errorf("ForwardCount(EvSyscall) = %d, want %d", got, want)
-	}
-	if got := c.ForwardCount(EvPageFault); got != want {
-		t.Errorf("ForwardCount(EvPageFault) = %d, want %d", got, want)
-	}
 	if got := h.Metrics().Counter("forward.syscall").Value(); got != want {
 		t.Errorf("forward.syscall counter = %d, want %d", got, want)
+	}
+	if got := h.Metrics().Counter("forward.page-fault").Value(); got != want {
+		t.Errorf("forward.page-fault counter = %d, want %d", got, want)
 	}
 	if got := h.Metrics().LatencyHistogram("forward.page-fault.latency").Count(); got != want {
 		t.Errorf("forward.page-fault.latency count = %d, want %d", got, want)

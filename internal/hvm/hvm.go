@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"multiverse/internal/cycles"
+	"multiverse/internal/faults"
 	"multiverse/internal/image"
 	"multiverse/internal/machine"
 	"multiverse/internal/mem"
@@ -98,6 +99,9 @@ type BootInfo struct {
 	// always usable.
 	Tracer  *telemetry.Tracer
 	Metrics *telemetry.Registry
+	// Faults is the armed fault-injection plane (nil = disabled); the
+	// AeroKernel uses it for HRT-panic injection.
+	Faults *faults.Injector
 }
 
 // BootHandler is the AeroKernel's entry point: it brings the kernel up and
@@ -137,6 +141,10 @@ type HVM struct {
 	tracer     *telemetry.Tracer
 	metrics    *telemetry.Registry
 	channelSeq uint64
+
+	// faults is the armed fault-injection plane; nil means every
+	// channel and protocol runs the exact pre-fault fixed path.
+	faults *faults.Injector
 }
 
 // Config partitions the machine.
@@ -148,6 +156,9 @@ type Config struct {
 	// Metrics receives the HVM's counters and histograms; nil allocates
 	// a private registry.
 	Metrics *telemetry.Registry
+	// Faults arms deterministic fault injection on the HVM's channels
+	// (nil = off; fixed paths unchanged).
+	Faults *faults.Injector
 }
 
 // New creates an HVM over the machine with the given core partitioning.
@@ -174,6 +185,7 @@ func New(m *machine.Machine, cfg Config) (*HVM, error) {
 		exits:    make(map[string]uint64),
 		tracer:   cfg.Tracer,
 		metrics:  cfg.Metrics,
+		faults:   cfg.Faults,
 	}
 	if h.metrics == nil {
 		h.metrics = telemetry.NewRegistry()
@@ -211,6 +223,9 @@ func (h *HVM) Tracer() *telemetry.Tracer { return h.tracer }
 
 // Metrics returns the HVM's metrics registry (never nil).
 func (h *HVM) Metrics() *telemetry.Registry { return h.metrics }
+
+// Faults returns the armed fault injector (nil when injection is off).
+func (h *HVM) Faults() *faults.Injector { return h.faults }
 
 // rosMainTrack is the trace track of the ROS-side thread driving the
 // HVM protocol calls (merger, async call, channel setup): the ROS boot
@@ -301,6 +316,7 @@ func (h *HVM) BootHRT(clk *cycles.Clock) error {
 		SharedPage: h.sharedPage,
 		Tracer:     h.tracer,
 		Metrics:    h.metrics,
+		Faults:     h.faults,
 		Tags: []image.MultibootTag{
 			{Type: image.TagHRTFlags, Data: image.HRTFlagMergeCapable | image.HRTFlagIdentityHigh},
 			{Type: image.TagCommChan, Data: h.sharedPage.Addr()},

@@ -265,7 +265,7 @@ func TestEventChannelRoundTrip(t *testing.T) {
 	if r.Res.Ret != 321 {
 		t.Errorf("reply = %+v", r)
 	}
-	if ch.ForwardCount(EvSyscall) != 1 {
+	if h.Metrics().Counter("forward.syscall").Value() != 1 {
 		t.Error("forward count wrong")
 	}
 	// The HRT clock must land after the ROS completion stamp.

@@ -59,6 +59,14 @@ type SyscallRouter struct {
 	lastForward cycles.Cycles
 	closed      bool
 
+	// Fault-policy state (mu-guarded): lossRun counts consecutive lossy
+	// async forwards, cleanRun consecutive clean sync calls, and lossSync
+	// marks that the current sync channel exists for reliability — the
+	// idle-demotion rule must not tear it down while losses may recur.
+	lossRun  int
+	cleanRun int
+	lossSync bool
+
 	// crossings counts tier-2 forwards (calls that actually crossed the
 	// boundary); atomic so the harness can read it mid-run.
 	crossings atomic.Uint64
@@ -75,6 +83,15 @@ type RouterPolicy struct {
 	// next call, which is the first moment the HRT thread is active
 	// again).
 	DemoteIdle cycles.Cycles
+
+	// Fault policy (active only when the fault plane is armed):
+	// LossStreak consecutive lossy async forwards (at least one
+	// retransmission each) demote the channel to the synchronous
+	// memory-polling path, whose cacheline protocol rides out a flaky
+	// notification plane; CleanStreak consecutive clean sync calls
+	// re-promote it to the cheaper-per-idle async channel.
+	LossStreak  int
+	CleanStreak int
 }
 
 // DefaultRouterPolicy promotes after a burst of 32 forwards inside ~1ms of
@@ -87,6 +104,8 @@ func DefaultRouterPolicy() RouterPolicy {
 		PromoteCalls:  32,
 		PromoteWindow: 2_200_000,  // 1 ms at 2.2 GHz
 		DemoteIdle:    22_000_000, // 10 ms at 2.2 GHz
+		LossStreak:    3,
+		CleanStreak:   64,
 	}
 }
 
@@ -100,6 +119,12 @@ func (p *RouterPolicy) fill() {
 	}
 	if p.DemoteIdle <= 0 {
 		p.DemoteIdle = d.DemoteIdle
+	}
+	if p.LossStreak <= 0 {
+		p.LossStreak = d.LossStreak
+	}
+	if p.CleanStreak <= 0 {
+		p.CleanStreak = d.CleanStreak
 	}
 }
 
@@ -298,22 +323,84 @@ func (r *SyscallRouter) forward(clk *cycles.Clock, ch *EventChannel, call linuxa
 	r.crossings.Add(1)
 	m := r.hvm.metrics
 	if sc != nil {
-		res, err := sc.Invoke(clk, call)
+		res, retx, err := sc.invoke(clk, call)
 		if err != nil {
 			return res, err
 		}
 		m.Counter("router.forward.sync").Inc()
+		r.noteTransport(clk, retx, true)
 		return res, nil
 	}
 	if ch == nil {
 		return linuxabi.Result{Ret: ^uint64(0), Err: linuxabi.ENOSYS}, nil
 	}
-	rep, err := ch.Forward(clk, &Envelope{Kind: EvSyscall, Call: call})
+	env := &Envelope{Kind: EvSyscall, Call: call}
+	rep, err := ch.Forward(clk, env)
 	if err != nil {
 		return linuxabi.Result{}, err
 	}
 	m.Counter("router.forward.async").Inc()
+	r.noteTransport(clk, env.Retransmits, false)
 	return rep.Res, nil
+}
+
+// noteTransport feeds the fault policy with one forward's transport
+// quality. It is a no-op while the fault plane is off, keeping the fixed
+// path untouched.
+func (r *SyscallRouter) noteTransport(clk *cycles.Clock, retx int, viaSync bool) {
+	if r.hvm.faults == nil {
+		return
+	}
+	if retx > 0 {
+		r.mu.Lock()
+		r.cleanRun = 0
+		if viaSync || r.sync != nil || r.promote == nil || r.lossSync {
+			r.mu.Unlock()
+			return
+		}
+		r.lossRun++
+		if r.lossRun < r.policy.LossStreak {
+			r.mu.Unlock()
+			return
+		}
+		// The async notification plane is flaky: fall back to the
+		// synchronous cacheline protocol, which a lost interrupt cannot
+		// touch.
+		promote := r.promote
+		r.lossRun = 0
+		r.mu.Unlock()
+		sc, err := promote(clk)
+		r.mu.Lock()
+		if err == nil && sc != nil {
+			r.sync = sc
+			r.lossSync = true
+			r.hvm.metrics.Counter("router.fault_demotions").Inc()
+			r.hvm.tracer.Instant(r.hrtTrack(), "router", "channel-demote-lossy", clk.Now())
+		}
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Lock()
+	r.lossRun = 0
+	if !viaSync || !r.lossSync || r.sync == nil || r.demote == nil {
+		r.mu.Unlock()
+		return
+	}
+	r.cleanRun++
+	if r.cleanRun < r.policy.CleanStreak {
+		r.mu.Unlock()
+		return
+	}
+	// A clean window on the reliable path: give the polling core back.
+	sc := r.sync
+	r.sync = nil
+	r.lossSync = false
+	r.cleanRun = 0
+	demote := r.demote
+	r.mu.Unlock()
+	demote(clk, sc)
+	r.hvm.metrics.Counter("router.fault_repromotions").Inc()
+	r.hvm.tracer.Instant(r.hrtTrack(), "router", "channel-repromote", clk.Now())
 }
 
 // applyPolicy runs the promotion/demotion policy for one forward at the
@@ -325,8 +412,9 @@ func (r *SyscallRouter) applyPolicy(clk *cycles.Clock) *SyncSyscallChannel {
 	now := clk.Now()
 	r.mu.Lock()
 	// Demote after an idle gap: the polling core stopped paying for
-	// itself somewhere in the silence.
-	if r.sync != nil && r.demote != nil && r.lastForward > 0 && now-r.lastForward >= r.policy.DemoteIdle {
+	// itself somewhere in the silence. A reliability demotion (lossSync)
+	// is exempt — only a clean window may undo it.
+	if r.sync != nil && !r.lossSync && r.demote != nil && r.lastForward > 0 && now-r.lastForward >= r.policy.DemoteIdle {
 		sc := r.sync
 		r.sync = nil
 		r.recent = r.recent[:0]

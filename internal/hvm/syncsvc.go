@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"multiverse/internal/cycles"
+	"multiverse/internal/faults"
 	"multiverse/internal/linuxabi"
 	"multiverse/internal/machine"
 	"multiverse/internal/telemetry"
@@ -41,6 +42,9 @@ type syncSysReq struct {
 	stamp cycles.Cycles
 	flow  uint64
 	reply chan syncSysRep
+	// corrupt marks a request word damaged in flight; the poller detects
+	// it (bad checksum) and keeps polling without answering.
+	corrupt bool
 }
 
 type syncSysRep struct {
@@ -77,11 +81,18 @@ func (s *SyncSyscallChannel) line() cycles.Cycles {
 // Invoke forwards one system call from the HRT side, spinning until the
 // polling partner completes it.
 func (s *SyncSyscallChannel) Invoke(clk *cycles.Clock, call linuxabi.Call) (linuxabi.Result, error) {
+	res, _, err := s.invoke(clk, call)
+	return res, err
+}
+
+// invoke is Invoke plus the retransmission count, which the router's
+// fault policy reads to detect a lossy period.
+func (s *SyncSyscallChannel) invoke(clk *cycles.Clock, call linuxabi.Call) (linuxabi.Result, int, error) {
 	cost := s.hvm.cost
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return linuxabi.Result{}, fmt.Errorf("hvm: sync syscall channel closed")
+		return linuxabi.Result{}, 0, fmt.Errorf("hvm: sync syscall channel closed")
 	}
 	s.mu.Unlock()
 	seq := s.calls.Add(1)
@@ -92,33 +103,72 @@ func (s *SyncSyscallChannel) Invoke(clk *cycles.Clock, call linuxabi.Call) (linu
 		"sync", "sync-syscall", start, telemetry.Attr{Key: "num", Val: uint64(call.Num)})
 	sp.LinkOut(flow)
 
-	clk.Advance(cost.SyncProtocolOverhead / 2)
-	req := syncSysReq{call: call, stamp: clk.Now() + s.line(), flow: flow, reply: make(chan syncSysRep, 1)}
-	s.serve <- req
-	rep := <-req.reply
+	var rep syncSysRep
+	retx := 0
+	if fi := s.hvm.faults; fi != nil {
+		// Poll-deadline policy, same as the event channel: a dropped or
+		// corrupted request word goes unanswered, the caller's virtual
+		// deadline expires, and it rewrites the line with backoff. The
+		// cacheline protocol cannot duplicate a request, so only drop and
+		// corrupt apply here.
+		timeout := fi.RetryTimeout()
+		max := fi.MaxAttempts()
+	send:
+		for attempt := 0; ; attempt++ {
+			last := attempt >= max-1
+			clk.Advance(cost.SyncProtocolOverhead / 2)
+			req := syncSysReq{call: call, stamp: clk.Now() + s.line(), flow: flow, reply: make(chan syncSysRep, 1)}
+			dropped := !last && fi.Roll(faults.DropNotify, s.id, seq, attempt, clk.Now())
+			if !dropped {
+				req.corrupt = !last && fi.Roll(faults.CorruptFrame, s.id, seq, attempt, clk.Now())
+				s.serve <- req
+				if !req.corrupt {
+					rep = <-req.reply
+					break send
+				}
+			}
+			clk.Advance(timeout)
+			timeout *= 2
+			retx++
+			s.hvm.metrics.Counter("faults.retransmit").Inc()
+		}
+	} else {
+		clk.Advance(cost.SyncProtocolOverhead / 2)
+		req := syncSysReq{call: call, stamp: clk.Now() + s.line(), flow: flow, reply: make(chan syncSysRep, 1)}
+		s.serve <- req
+		rep = <-req.reply
+	}
 	clk.SyncTo(rep.stamp + s.line())
 	clk.Advance(cost.SyncProtocolOverhead - cost.SyncProtocolOverhead/2)
 	sp.EndAt(clk.Now())
 	s.hvm.metrics.Counter("sync.syscalls").Inc()
 	s.hvm.metrics.LatencyHistogram("sync.syscall.latency").Observe(clk.Now() - start)
-	return rep.res, nil
+	return rep.res, retx, nil
 }
 
 // Serve handles one forwarded call on the polling ROS thread; it blocks
 // until a request arrives and returns false when the channel closes.
+// Requests that arrived damaged are discarded without an answer — the
+// caller's poll deadline resends them.
 func (s *SyncSyscallChannel) Serve(clk *cycles.Clock, handler func(linuxabi.Call) linuxabi.Result) bool {
-	req, ok := <-s.serve
-	if !ok {
-		return false
+	for {
+		req, ok := <-s.serve
+		if !ok {
+			return false
+		}
+		clk.SyncTo(req.stamp)
+		if req.corrupt {
+			s.hvm.metrics.Counter("faults.corrupt.detected").Inc()
+			continue
+		}
+		sp := s.hvm.tracer.Begin(telemetry.Track{Core: int(s.rosCore), Name: fmt.Sprintf("ros:syncsvc:%d", s.id)},
+			"sync", "serve-syscall", req.stamp, telemetry.Attr{Key: "num", Val: uint64(req.call.Num)})
+		sp.LinkIn(req.flow)
+		res := handler(req.call)
+		sp.EndAt(clk.Now())
+		req.reply <- syncSysRep{res: res, stamp: clk.Now()}
+		return true
 	}
-	clk.SyncTo(req.stamp)
-	sp := s.hvm.tracer.Begin(telemetry.Track{Core: int(s.rosCore), Name: fmt.Sprintf("ros:syncsvc:%d", s.id)},
-		"sync", "serve-syscall", req.stamp, telemetry.Attr{Key: "num", Val: uint64(req.call.Num)})
-	sp.LinkIn(req.flow)
-	res := handler(req.call)
-	sp.EndAt(clk.Now())
-	req.reply <- syncSysRep{res: res, stamp: clk.Now()}
-	return true
 }
 
 // Close shuts the channel down; the poller's Serve returns false.

@@ -10,12 +10,15 @@
 //	echo '(+ 1 2)' | mvrun -world multiverse -repl
 //	mvrun -bench binary-tree-2 -world multiverse
 //	mvrun -bench fasta -world multiverse -trace=out.json -metrics
+//	mvrun -bench fasta -world multiverse -listen :8080
+//	mvrun -bench fasta -world multiverse -metrics-json metrics.json -slo
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 
 	"multiverse/internal/bench"
@@ -44,9 +47,14 @@ func main() {
 	metrics := flag.Bool("metrics", false, "dump the run's metrics registry to stderr afterwards")
 	faultsArg := flag.String("faults", "", "arm random fault injection as <seed>:<rate>, e.g. 42:0.01 (multiverse world only)")
 	faultSpec := flag.String("fault-spec", "", "arm a scripted fault scenario from this JSON file (multiverse world only)")
+	metricsJSON := flag.String("metrics-json", "", "write the run's metrics registry to this file as sorted JSON")
+	listen := flag.String("listen", "", "serve /metrics, /metrics.json, /healthz, /trace, and /flight on this address and keep serving after the run")
+	flight := flag.String("flight", "", "write the flight-recorder contents to this file at exit (auto-dumps also land here instead of stderr)")
+	sloReport := flag.Bool("slo", false, "print the per-group per-syscall SLO latency report to stderr afterwards")
 	flag.Parse()
 
 	knobs := runKnobs{router: *router, merger: *merger, scheduler: *scheduler, hrtCores: *hrtCores, workers: *workers}
+	knobs.obs = obsKnobs{metricsJSON: *metricsJSON, listen: *listen, flight: *flight, slo: *sloReport}
 	plan, err := parseFaultFlags(*faultsArg, *faultSpec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mvrun: %v\n", err)
@@ -80,6 +88,80 @@ type runKnobs struct {
 	hrtCores  int
 	workers   int
 	faults    *faults.Plan
+	obs       obsKnobs
+}
+
+// obsKnobs bundles the exposition-plane switches.
+type obsKnobs struct {
+	metricsJSON string
+	listen      string
+	flight      string
+	slo         bool
+}
+
+// startExposition binds the live endpoint before the run starts, so a
+// scraper can watch the run in flight.
+func startExposition(addr string, reg *telemetry.Registry, tracer *telemetry.Tracer, rec *telemetry.Recorder) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	srv := &http.Server{Addr: addr, Handler: telemetry.ExpositionHandler(reg, tracer, rec)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "mvrun: serving /metrics, /metrics.json, /healthz, /trace, /flight on %s\n", addr)
+	// block parks forever after the run so the endpoint outlives it
+	// (interrupt to exit); a listen failure surfaces instead of hanging.
+	block := func() {
+		fmt.Fprintf(os.Stderr, "mvrun: run finished; still serving on %s (interrupt to exit)\n", addr)
+		if err := <-errc; err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "mvrun: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	return block, nil
+}
+
+// finishObservability emits the post-run artifacts: the metrics JSON
+// file, the SLO report, and the flight-recorder file.
+func finishObservability(obs obsKnobs, reg *telemetry.Registry, rec *telemetry.Recorder) error {
+	if obs.metricsJSON != "" {
+		blob, err := reg.Snapshot().MarshalIndent()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(obs.metricsJSON, blob, 0o644); err != nil {
+			return err
+		}
+	}
+	if obs.slo {
+		if report := telemetry.SLOReport(reg.Snapshot()); report != "" {
+			fmt.Fprint(os.Stderr, report)
+		} else {
+			fmt.Fprintln(os.Stderr, "mvrun: no SLO histograms recorded (hybrid world only)")
+		}
+	}
+	if obs.flight != "" {
+		f, err := os.Create(obs.flight)
+		if err != nil {
+			return err
+		}
+		reason := "end of run"
+		if why, text := rec.LastDump(); why != "" {
+			// An auto-dump fired mid-run; preserve that snapshot verbatim
+			// rather than the (later) final ring state.
+			if _, err := f.WriteString(text); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		if err := rec.DumpTo(f, reason); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
 }
 
 // parseFaultFlags combines -faults <seed>:<rate> and -fault-spec <file>
@@ -122,14 +204,38 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 	}
 
 	// Telemetry: tracing costs only when requested; the metrics registry
-	// always exists (counters are near-free) and is dumped on demand.
+	// and the flight recorder always exist (counters are near-free and
+	// the ring records in host time only). Both are created up front so
+	// the live endpoint can serve them while the run is in flight.
 	var tracer *telemetry.Tracer
-	if tracePath != "" {
+	if tracePath != "" || knobs.obs.listen != "" {
 		tracer = telemetry.New()
+	}
+	reg := telemetry.NewRegistry()
+	rec := telemetry.NewRecorder(telemetry.DefaultRecorderSize)
+	if knobs.obs.flight == "" {
+		// Post-mortem auto-dumps (contained panics, budget exhaustion,
+		// wedged groups) land on stderr unless routed to a file.
+		rec.SetAutoDumpWriter(os.Stderr)
+	}
+	block, err := startExposition(knobs.obs.listen, reg, tracer, rec)
+	if err != nil {
+		return err
+	}
+	finish := func() error {
+		if err := finishObservability(knobs.obs, reg, rec); err != nil {
+			return err
+		}
+		if err := writeTrace(tracer, tracePath); err != nil {
+			return err
+		}
+		block()
+		return nil
 	}
 
 	cfg := bench.RunConfig{
-		Tracer: tracer, Router: router, Merger: merger,
+		Tracer: tracer, Metrics: reg, Recorder: rec,
+		Router: router, Merger: merger,
 		Scheduler: knobs.scheduler, HRTCoreCount: knobs.hrtCores,
 		Faults: knobs.faults,
 	}
@@ -164,7 +270,7 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 		if metrics {
 			fmt.Fprint(os.Stderr, res.Metrics.Dump())
 		}
-		return writeTrace(tracer, tracePath)
+		return finish()
 	}
 
 	// Assemble the program source.
@@ -296,7 +402,7 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 		fmt.Fprintln(os.Stderr)
 		fmt.Fprint(os.Stderr, sys.Hotspots().Report())
 	}
-	return writeTrace(tracer, tracePath)
+	return finish()
 }
 
 // writeTrace exports the recorded spans as Chrome trace-event JSON.

@@ -11,6 +11,8 @@
 //	mvtool bench -suite merger -json -o BENCH_pr3.json
 //	mvtool bench -suite scheduler -json -o BENCH_pr4.json
 //	mvtool bench -suite faults -json -o BENCH_pr5.json
+//	mvtool bench -suite obsv -json -o BENCH_pr6.json
+//	mvtool slo -in metrics.json -check slo.json
 package main
 
 import (
@@ -37,6 +39,8 @@ func main() {
 		err = traceCmd(os.Args[2:])
 	case "bench":
 		err = benchCmd(os.Args[2:])
+	case "slo":
+		err = sloCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -49,8 +53,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: mvtool build -app NAME [-overrides FILE] -o OUT.fat")
 	fmt.Fprintln(os.Stderr, "       mvtool inspect FILE.fat")
-	fmt.Fprintln(os.Stderr, "       mvtool trace [-top N] FILE.json")
-	fmt.Fprintln(os.Stderr, "       mvtool bench [-suite router|merger|scheduler|faults] [-json] [-o FILE]")
+	fmt.Fprintln(os.Stderr, "       mvtool trace [-top N] [-req ID] FILE.json")
+	fmt.Fprintln(os.Stderr, "       mvtool bench [-suite router|merger|scheduler|faults|obsv] [-json] [-o FILE]")
+	fmt.Fprintln(os.Stderr, "       mvtool slo -in METRICS.json [-report] [-check SPEC.json]")
 	os.Exit(2)
 }
 
@@ -64,7 +69,7 @@ func usage() {
 // the table.
 func benchCmd(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	suite := fs.String("suite", "router", "suite: router (BENCH_pr2), merger (BENCH_pr3), scheduler (BENCH_pr4), or faults (BENCH_pr5)")
+	suite := fs.String("suite", "router", "suite: router (BENCH_pr2), merger (BENCH_pr3), scheduler (BENCH_pr4), faults (BENCH_pr5), or obsv (BENCH_pr6)")
 	asJSON := fs.Bool("json", false, "emit the baseline JSON document")
 	out := fs.String("o", "", "write output to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
@@ -104,6 +109,20 @@ func benchCmd(args []string) error {
 		if blob, err = base.MarshalIndent(); err != nil {
 			return err
 		}
+	case *suite == "obsv" && *asJSON:
+		base, err := bench.CollectObsvBaseline()
+		if err != nil {
+			return err
+		}
+		if blob, err = base.MarshalIndent(); err != nil {
+			return err
+		}
+	case *suite == "obsv":
+		t, err := bench.FigureObsv()
+		if err != nil {
+			return err
+		}
+		blob = []byte(t.String() + "\n")
 	case *suite == "faults":
 		t, err := bench.FigureFaults()
 		if err != nil {
@@ -129,7 +148,7 @@ func benchCmd(args []string) error {
 		}
 		blob = []byte(t.String() + "\n")
 	default:
-		return fmt.Errorf("unknown suite %q (want router, merger, scheduler, or faults)", *suite)
+		return fmt.Errorf("unknown suite %q (want router, merger, scheduler, faults, or obsv)", *suite)
 	}
 	if *out != "" {
 		return os.WriteFile(*out, blob, 0o644)

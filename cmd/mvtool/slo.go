@@ -1,0 +1,65 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multiverse/internal/telemetry"
+)
+
+// sloCmd evaluates SLO targets against a metrics snapshot written by
+// `mvrun -metrics-json`. With -check it exits nonzero when any target's
+// quantile is violated (the CI gate); with -report it prints the
+// per-group per-syscall latency table.
+//
+//	mvtool slo -in metrics.json -report
+//	mvtool slo -in metrics.json -check slo.json
+func sloCmd(args []string) error {
+	fs := flag.NewFlagSet("slo", flag.ExitOnError)
+	in := fs.String("in", "", "metrics snapshot file (from mvrun -metrics-json)")
+	check := fs.String("check", "", "SLO spec file: JSON array of {metric, quantile, max_cycles}; '*' suffix in metric is a prefix match")
+	report := fs.Bool("report", false, "print the SLO latency report (p50/p99/p999 per histogram)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("usage: mvtool slo -in METRICS.json [-report] [-check SPEC.json]")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	snap, err := telemetry.ParseMetricsSnapshot(data)
+	if err != nil {
+		return err
+	}
+
+	if *report || *check == "" {
+		if r := telemetry.SLOReport(snap); r != "" {
+			fmt.Print(r)
+		} else {
+			fmt.Println("no SLO histograms in the snapshot (hybrid runs record slo.g<group>.<syscall>)")
+		}
+	}
+
+	if *check != "" {
+		specData, err := os.ReadFile(*check)
+		if err != nil {
+			return err
+		}
+		spec, err := telemetry.ParseSLOSpec(specData)
+		if err != nil {
+			return err
+		}
+		violations := telemetry.CheckSLOs(snap, spec)
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		if len(violations) > 0 {
+			return fmt.Errorf("%d SLO violation(s)", len(violations))
+		}
+		fmt.Printf("all %d SLO target(s) satisfied\n", len(spec))
+	}
+	return nil
+}

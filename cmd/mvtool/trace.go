@@ -9,17 +9,39 @@ import (
 	"strings"
 )
 
+// traceEvent is the subset of a Chrome trace event the summarizer and
+// the request-timeline reconstruction read back.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   json.Number    `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args traceEventArgs `json:"args"`
+}
+
+type traceEventArgs struct {
+	Cycles  uint64 `json:"cycles"`
+	Req     uint64 `json:"req"`
+	Seq     uint64 `json:"seq"`
+	Attempt uint64 `json:"attempt"`
+}
+
 // traceCmd summarizes a Chrome trace-event JSON produced by
 // `mvrun -trace`: top spans by cumulative cycles, and per-event-kind
-// latency percentiles for the boundary-crossing spans.
+// latency percentiles for the boundary-crossing spans. With -req it
+// instead reconstructs the end-to-end timeline of one forwarded
+// request by its causal trace ID.
 func traceCmd(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	top := fs.Int("top", 15, "how many span names to list")
+	req := fs.Uint64("req", 0, "reconstruct the timeline of this request ID (as printed in span req attrs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: mvtool trace [-top N] FILE.json")
+		return fmt.Errorf("usage: mvtool trace [-top N] [-req ID] FILE.json")
 	}
 	data, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -27,19 +49,13 @@ func traceCmd(args []string) error {
 	}
 
 	var doc struct {
-		TraceEvents []struct {
-			Name string `json:"name"`
-			Cat  string `json:"cat"`
-			Ph   string `json:"ph"`
-			Pid  int    `json:"pid"`
-			Tid  int    `json:"tid"`
-			Args struct {
-				Cycles uint64 `json:"cycles"`
-			} `json:"args"`
-		} `json:"traceEvents"`
+		TraceEvents []traceEvent `json:"traceEvents"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return fmt.Errorf("parsing trace: %w", err)
+	}
+	if *req != 0 {
+		return traceRequest(doc.TraceEvents, *req)
 	}
 
 	type agg struct {
@@ -100,6 +116,45 @@ func traceCmd(args []string) error {
 		sort.Slice(a.each, func(i, j int) bool { return a.each[i] < a.each[j] })
 		fmt.Printf("  %-28s %8d %10d %10d %10d\n", a.name, a.count,
 			pct(a.each, 0.50), pct(a.each, 0.90), pct(a.each, 0.99))
+	}
+	return nil
+}
+
+// traceRequest prints every event carrying the request ID in timestamp
+// order: the end-to-end causal timeline of one forwarded syscall or
+// fault, across the HRT doorbell, router tier decisions, retransmission
+// attempts, service spans, and recovery markers.
+func traceRequest(events []traceEvent, req uint64) error {
+	var hits []traceEvent
+	for _, ev := range events {
+		if ev.Args.Req == req {
+			hits = append(hits, ev)
+		}
+	}
+	if len(hits) == 0 {
+		return fmt.Errorf("no events carry req=%#x (run mvrun with -trace and look for req attrs)", req)
+	}
+	sort.SliceStable(hits, func(i, j int) bool {
+		ti, _ := hits[i].Ts.Float64()
+		tj, _ := hits[j].Ts.Float64()
+		return ti < tj
+	})
+	fmt.Printf("timeline of request %#x: %d events\n\n", req, len(hits))
+	fmt.Printf("  %-14s %-6s %-6s %-24s %-10s %s\n", "ts(us)", "core", "tid", "event", "cat", "detail")
+	for _, ev := range hits {
+		kind := "span"
+		if ev.Ph == "i" {
+			kind = "marker"
+		}
+		detail := fmt.Sprintf("%s cycles=%d", kind, ev.Args.Cycles)
+		if ev.Args.Seq != 0 {
+			detail += fmt.Sprintf(" seq=%d", ev.Args.Seq)
+		}
+		if ev.Args.Attempt != 0 {
+			detail += fmt.Sprintf(" attempt=%d", ev.Args.Attempt)
+		}
+		fmt.Printf("  %-14s %-6d %-6d %-24s %-10s %s\n",
+			ev.Ts.String(), ev.Pid, ev.Tid, ev.Name, ev.Cat, detail)
 	}
 	return nil
 }

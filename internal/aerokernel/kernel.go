@@ -98,9 +98,11 @@ type Kernel struct {
 	halted bool
 
 	// Telemetry handed over by the HVM at boot (hvm.BootInfo). tracer may
-	// be nil (tracing off); metrics is never nil after Boot.
-	tracer  *telemetry.Tracer
-	metrics *telemetry.Registry
+	// be nil (tracing off); metrics is never nil after Boot; recorder is
+	// the always-on flight recorder (nil-safe when absent).
+	tracer   *telemetry.Tracer
+	metrics  *telemetry.Registry
+	recorder *telemetry.Recorder
 
 	// Counters for the evaluation.
 	forwardedFaults   uint64
@@ -133,6 +135,7 @@ func Boot(m *machine.Machine, info hvm.BootInfo) (*Kernel, error) {
 		events:    make(chan *hvm.HRTRequest, 4),
 		tracer:    info.Tracer,
 		metrics:   info.Metrics,
+		recorder:  info.Recorder,
 		faults:    info.Faults,
 	}
 	if k.metrics == nil {
@@ -460,7 +463,15 @@ func (k *Kernel) Merge(clk *cycles.Clock, onCore machine.CoreID, cr3 uint64) err
 	k.mu.Unlock()
 	k.metrics.Counter("ak.merges").Inc()
 	k.metrics.LatencyHistogram("ak.merge.latency").Observe(clk.Now() - start)
+	k.recorder.Record(clk.Now(), telemetry.RecMergeDelta, uint64(onCore), 0, uint64(n), boolU64(delta))
 	return nil
+}
+
+func boolU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // containsSlot reports whether slot is in slots.
@@ -602,6 +613,11 @@ func (k *Kernel) handleFault(t *Thread, f *machine.InterruptFrame) error {
 		}
 	}
 
+	// Faults that may cross the boundary (re-merge or forward) are tracked
+	// requests like syscalls: allocate the causal id here so the merger
+	// delta work and the forwarded envelope carry the same one.
+	reqID := t.nextReqID()
+
 	k.mu.Lock()
 	dup := k.lastFault[t.Core] == addr
 	k.lastFault[t.Core] = addr
@@ -617,6 +633,7 @@ func (k *Kernel) handleFault(t *Thread, f *machine.InterruptFrame) error {
 		k.remerges++
 		k.mu.Unlock()
 		k.metrics.Counter("ak.remerges").Inc()
+		k.recorder.Record(t.Clock.Now(), telemetry.RecRemerge, uint64(t.ID), reqID, addr, 0)
 	} else if dup {
 		// Same address faulted twice in a row: the ROS must have
 		// changed a top-level mapping after our merger. Re-merge.
@@ -628,6 +645,7 @@ func (k *Kernel) handleFault(t *Thread, f *machine.InterruptFrame) error {
 		delete(k.lastFault, t.Core)
 		k.mu.Unlock()
 		k.metrics.Counter("ak.remerges").Inc()
+		k.recorder.Record(t.Clock.Now(), telemetry.RecRemerge, uint64(t.ID), reqID, addr, 0)
 		return nil
 	}
 
@@ -656,6 +674,7 @@ func (k *Kernel) handleFault(t *Thread, f *machine.InterruptFrame) error {
 		Kind:       hvm.EvPageFault,
 		FaultAddr:  addr,
 		FaultWrite: f.ErrorCode&0x2 != 0,
+		ReqID:      reqID,
 	})
 	if err != nil {
 		return err

@@ -10,6 +10,7 @@ import (
 	"multiverse/internal/linuxabi"
 	"multiverse/internal/machine"
 	"multiverse/internal/paging"
+	"multiverse/internal/telemetry"
 )
 
 // Superposition is the ROS state mirrored onto an HRT core when a
@@ -50,6 +51,22 @@ type Thread struct {
 	// sysCount numbers this thread's system calls for deterministic
 	// fault-injection keys; only the owning goroutine touches it.
 	sysCount uint64
+
+	// reqCount numbers this thread's tracked requests (syscalls and
+	// forwarded faults) for causal request ids. It is deliberately
+	// separate from sysCount: sysCount keys the HRTPanic injection hash,
+	// whose sequence must not shift when fault forwards also start
+	// allocating ids. Only the owning goroutine touches it.
+	reqCount uint64
+}
+
+// nextReqID allocates the causal request id for one boundary request:
+// the thread id in the high word, a per-thread ordinal in the low. The
+// id depends only on program order, so it is identical across runs and
+// across observability configurations.
+func (t *Thread) nextReqID() uint64 {
+	t.reqCount++
+	return uint64(t.ID)<<32 | t.reqCount
 }
 
 // Fallback is the degraded ROS-only service an execution group installs
@@ -258,6 +275,8 @@ func (t *Thread) Run(fn func(*Thread) uint64) {
 				t.faultStatus = fmt.Errorf("aerokernel: thread %d panicked: %v", t.ID, r)
 				t.mu.Unlock()
 				k.metrics.Counter("ak.thread.panics").Inc()
+				k.recorder.Record(t.Clock.Now(), telemetry.RecThreadPanic, uint64(t.ID), 0, 0, 0)
+				k.recorder.AutoDump(fmt.Sprintf("unrecovered panic in HRT thread %d", t.ID))
 			}
 		}()
 		code = fn(t)
@@ -378,10 +397,14 @@ func (t *Thread) Syscall(call linuxabi.Call) linuxabi.Result {
 	}
 	defer func() { _ = t.Stack.Release(machine.RedZoneSize) }()
 
+	// Causal request id: allocated here, at the AeroKernel syscall entry,
+	// and carried through every tier, hop, retry, and replay below.
+	reqID := t.nextReqID()
+
 	if fi := k.faults; fi != nil {
 		t.sysCount++
 		if fi.Roll(faults.HRTPanic, uint64(t.ID), t.sysCount, 0, t.Clock.Now()) {
-			t.containInjectedPanic()
+			t.containInjectedPanic(reqID)
 		}
 	}
 
@@ -402,7 +425,7 @@ func (t *Thread) Syscall(call linuxabi.Call) linuxabi.Result {
 	if router := t.syscallRouter(); router != nil {
 		// Routed path: only calls that actually cross the boundary count
 		// as forwards; tier-0/tier-1 hits never leave the HRT.
-		res, crossed, err := router.Dispatch(t.Clock, t.channel(), call)
+		res, crossed, err := router.Dispatch(t.Clock, t.channel(), call, reqID)
 		if err != nil {
 			return linuxabi.Result{Ret: ^uint64(0), Err: linuxabi.EINTR}
 		}
@@ -432,7 +455,7 @@ func (t *Thread) Syscall(call linuxabi.Call) linuxabi.Result {
 	t.mu.Unlock()
 
 	if svc != nil {
-		res, err := svc.Invoke(t.Clock, call)
+		res, err := svc.Invoke(t.Clock, call, reqID)
 		if err != nil {
 			return linuxabi.Result{Ret: ^uint64(0), Err: linuxabi.EINTR}
 		}
@@ -442,7 +465,7 @@ func (t *Thread) Syscall(call linuxabi.Call) linuxabi.Result {
 		if ch == nil {
 			return linuxabi.Result{Ret: ^uint64(0), Err: linuxabi.ENOSYS}
 		}
-		r, err := ch.Forward(t.Clock, &hvm.Envelope{Kind: hvm.EvSyscall, Call: call})
+		r, err := ch.Forward(t.Clock, &hvm.Envelope{Kind: hvm.EvSyscall, Call: call, ReqID: reqID})
 		if err != nil {
 			return linuxabi.Result{Ret: ^uint64(0), Err: linuxabi.EINTR}
 		}
@@ -466,12 +489,17 @@ func (t *Thread) Syscall(call linuxabi.Call) linuxabi.Result {
 // the injected panic unwinds onto the IST stack, the kernel's handler
 // recovers, and the syscall restarts from the stub. Output-preserving by
 // construction — only latency is added.
-func (t *Thread) containInjectedPanic() {
+func (t *Thread) containInjectedPanic(reqID uint64) {
 	k := t.kern
 	defer func() {
 		_ = recover()
 		t.Clock.Advance(k.cost.AKIstSwitch + k.cost.PageFaultHW)
 		k.metrics.Counter("ak.panic.contained").Inc()
+		k.recorder.Record(t.Clock.Now(), telemetry.RecPanic, uint64(t.ID), reqID, t.sysCount, 0)
+		// A contained panic is a post-mortem trigger: dump the flight
+		// recorder once so the lead-up is preserved even if the run
+		// subsequently completes.
+		k.recorder.AutoDump(fmt.Sprintf("contained HRT panic on thread %d", t.ID))
 	}()
 	panic("injected: hrt-panic mid-syscall")
 }
@@ -483,7 +511,7 @@ func (t *Thread) NotifyExit(code uint64) error {
 	if ch == nil {
 		return nil
 	}
-	_, err := ch.Forward(t.Clock, &hvm.Envelope{Kind: hvm.EvThreadExit, ExitCode: code})
+	_, err := ch.Forward(t.Clock, &hvm.Envelope{Kind: hvm.EvThreadExit, ExitCode: code, ReqID: t.nextReqID()})
 	return err
 }
 

@@ -61,9 +61,11 @@ type RunResult struct {
 	Reductions    uint64
 
 	// Telemetry of the run: Tracer is nil unless tracing was requested;
-	// Metrics is always populated.
-	Tracer  *telemetry.Tracer
-	Metrics *telemetry.Registry
+	// Metrics is always populated; Recorder is the flight recorder (nil
+	// only when RunConfig.NoRecorder ran the system dark).
+	Tracer   *telemetry.Tracer
+	Metrics  *telemetry.Registry
+	Recorder *telemetry.Recorder
 }
 
 // RunConfig carries the optional knobs of a benchmark run.
@@ -94,6 +96,12 @@ type RunConfig struct {
 	Tracer *telemetry.Tracer
 	// Metrics receives the run's counters; one is created when nil.
 	Metrics *telemetry.Registry
+	// Recorder supplies the flight recorder; one is created when nil
+	// unless NoRecorder is set.
+	Recorder *telemetry.Recorder
+	// NoRecorder runs the system without a flight recorder (the
+	// observability bench's dark baseline).
+	NoRecorder bool
 }
 
 // BenchDir is where the harness installs program files.
@@ -128,6 +136,7 @@ func NewSystemForWorld(world core.World, fs *vfs.FS, name string) (*core.System,
 func NewSystemForWorldCfg(world core.World, fs *vfs.FS, name string, cfg RunConfig) (*core.System, error) {
 	opts := core.Options{
 		AppName: name, FS: fs, Tracer: cfg.Tracer, Metrics: cfg.Metrics,
+		Recorder: cfg.Recorder, NoRecorder: cfg.NoRecorder,
 		Router: cfg.Router, RouterPolicy: cfg.RouterPolicy,
 		Merger: cfg.Merger, Scheduler: cfg.Scheduler,
 		Faults: cfg.Faults,
@@ -243,13 +252,14 @@ func RunBenchmarkCfg(prog Program, world core.World, cfg RunConfig) (*RunResult,
 	}
 
 	res := &RunResult{
-		Program: prog.Name,
-		World:   world,
-		Cycles:  sys.Main.Clock.Now(),
-		Stats:   sys.Proc.Stats(),
-		Output:  out,
-		Tracer:  sys.Tracer(),
-		Metrics: sys.Metrics(),
+		Program:  prog.Name,
+		World:    world,
+		Cycles:   sys.Main.Clock.Now(),
+		Stats:    sys.Proc.Stats(),
+		Output:   out,
+		Tracer:   sys.Tracer(),
+		Metrics:  sys.Metrics(),
+		Recorder: sys.Recorder(),
 	}
 	res.Seconds = res.Cycles.Seconds()
 	if engRef != nil {

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -316,15 +317,25 @@ func (g *ExecutionGroup) respawn(dead *ros.Thread, n int) {
 		// are still intact, so serving can resume regardless.
 		_ = err
 	}
-	replayed := g.channel.Requeue()
+	replayed := g.channel.Requeue(pt.Clock.Now())
 	g.gen.Add(1) // kill rolls re-key: redelivered seqnos roll fresh
 	g.setPartner(pt)
 	s.metrics.Counter("faults.recovery").Inc()
 	s.metrics.LatencyHistogram("faults.recovery.latency").Observe(pt.Clock.Now() - start)
-	s.tracer.Instant(telemetry.Track{Core: int(g.rosCore), Name: "ros:watchdog"},
-		"faults", "partner-respawn", pt.Clock.Now(),
+	// Flow-link the respawn marker to the first replayed envelope's
+	// forward span, so the trace draws the arrow from the stranded
+	// request to the recovery that replayed it.
+	var flowIn, firstReq uint64
+	if len(replayed) > 0 {
+		flowIn, firstReq = replayed[0].Flow, replayed[0].ReqID
+	}
+	s.tracer.InstantFlow(telemetry.Track{Core: int(g.rosCore), Name: "ros:watchdog"},
+		"faults", "partner-respawn", pt.Clock.Now(), flowIn, 0,
 		telemetry.Attr{Key: "generation", Val: g.gen.Load()},
-		telemetry.Attr{Key: "replayed", Val: uint64(replayed)})
+		telemetry.Attr{Key: "replayed", Val: uint64(len(replayed))},
+		telemetry.Attr{Key: "req", Val: firstReq})
+	s.recorder.Record(pt.Clock.Now(), telemetry.RecRespawn, g.id, firstReq,
+		g.gen.Load(), uint64(len(replayed)))
 	_ = n
 	pt.Start(nil, g.serve)
 }
@@ -372,13 +383,16 @@ func (g *ExecutionGroup) degrade(dead *ros.Thread) {
 	pt := s.Proc.NewThread(g.rosCore)
 	pt.Clock.SyncTo(dead.Clock.Now())
 	pt.Clock.Advance(cost.ROSThreadCreate)
-	g.channel.Requeue()
+	g.channel.Requeue(pt.Clock.Now())
 	g.gen.Add(1)
 	g.setPartner(pt)
 	s.metrics.Counter("faults.degraded").Inc()
 	s.tracer.Instant(telemetry.Track{Core: int(g.rosCore), Name: "ros:watchdog"},
 		"faults", "degraded-ros-only", pt.Clock.Now(),
 		telemetry.Attr{Key: "group", Val: g.id})
+	s.recorder.Record(pt.Clock.Now(), telemetry.RecDegrade, g.id, 0, g.gen.Load(), 0)
+	// Budget exhaustion is a post-mortem trigger: preserve the lead-up.
+	s.recorder.AutoDump(fmt.Sprintf("recovery budget exhausted on group %d (degraded to ROS-only)", g.id))
 	pt.Start(nil, g.serve)
 }
 
@@ -473,14 +487,24 @@ func (g *ExecutionGroup) awaitDone() error {
 	select {
 	case <-g.finished:
 	case <-timer.C:
-		return ErrGroupWedged
+		return g.wedged()
 	}
 	select {
 	case <-g.hrt.Done():
 	case <-timer.C:
-		return ErrGroupWedged
+		return g.wedged()
 	}
 	return nil
+}
+
+// wedged records the wedge in the flight recorder and dumps it: a group
+// that never signals exit is exactly the post-mortem the ring exists for.
+func (g *ExecutionGroup) wedged() error {
+	// The group's virtual clocks are stalled; stamp with the last time
+	// the partner side reached, which is 0 if cleanup never ran.
+	g.sys.recorder.Record(cycles.Cycles(g.finalTime.Load()), telemetry.RecWedge, g.id, 0, 0, 0)
+	g.sys.recorder.AutoDump(fmt.Sprintf("group %d wedged: no exit notification within deadline", g.id))
+	return ErrGroupWedged
 }
 
 // WaitExit blocks until the group has finished — cleanup ran on the
@@ -562,7 +586,13 @@ func (e *hrtEnv) Compute(c cycles.Cycles) {
 func (e *hrtEnv) Syscall(call linuxabi.Call) linuxabi.Result {
 	start := e.t.Clock.Now()
 	res := e.t.Syscall(call)
-	e.sys.recordHotspot(call.Num, false, e.t.Clock.Now()-start)
+	lat := e.t.Clock.Now() - start
+	e.sys.recordHotspot(call.Num, false, lat)
+	// Per-group, per-syscall-kind SLO distribution. Wall-only cost: the
+	// histogram observes the already-computed virtual latency and never
+	// advances a clock.
+	e.sys.metrics.LatencyHistogram(telemetry.SLOPrefix + "g" +
+		strconv.FormatUint(e.group.id, 10) + "." + call.Num.String()).Observe(lat)
 	return res
 }
 

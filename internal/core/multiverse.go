@@ -83,6 +83,13 @@ type Options struct {
 	Tracer *telemetry.Tracer
 	// Metrics is the run's metrics registry; one is created when nil.
 	Metrics *telemetry.Registry
+	// Recorder is the always-on flight recorder. When nil one is created
+	// with the default ring size, so every run retains its last window of
+	// structured events for post-mortem dumps; set NoRecorder to run dark.
+	Recorder *telemetry.Recorder
+	// NoRecorder disables the flight recorder entirely (the observability
+	// bench's dark baseline; also useful to measure the ring's wall cost).
+	NoRecorder bool
 }
 
 func (o *Options) fill() {
@@ -126,9 +133,10 @@ type System struct {
 	exitHooks     []func()
 	hotspots      *HotspotProfile
 
-	tracer  *telemetry.Tracer
-	metrics *telemetry.Registry
-	faults  *faults.Injector // nil unless Options.Faults
+	tracer   *telemetry.Tracer
+	metrics  *telemetry.Registry
+	recorder *telemetry.Recorder // nil only under Options.NoRecorder
+	faults   *faults.Injector    // nil unless Options.Faults
 
 	createThreadAddr uint64
 }
@@ -159,15 +167,23 @@ func NewSystem(fat *image.Image, opts Options) (*System, error) {
 		exitPending:   make(chan uint64, 64),
 		tracer:        opts.Tracer,
 		metrics:       opts.Metrics,
+		recorder:      opts.Recorder,
 	}
 	if s.metrics == nil {
 		s.metrics = telemetry.NewRegistry()
+	}
+	if s.recorder == nil && !opts.NoRecorder {
+		s.recorder = telemetry.NewRecorder(telemetry.DefaultRecorderSize)
+	}
+	if opts.NoRecorder {
+		s.recorder = nil
 	}
 	if opts.Faults != nil {
 		fi, err := faults.New(*opts.Faults, s.metrics)
 		if err != nil {
 			return nil, err
 		}
+		fi.SetRecorder(s.recorder)
 		s.faults = fi
 	}
 
@@ -181,6 +197,7 @@ func NewSystem(fat *image.Image, opts Options) (*System, error) {
 			HRTCores: opts.HRTCores,
 			Tracer:   s.tracer,
 			Metrics:  s.metrics,
+			Recorder: s.recorder,
 			Faults:   s.faults,
 		})
 		if err != nil {
@@ -229,6 +246,10 @@ func (s *System) Tracer() *telemetry.Tracer { return s.tracer }
 
 // Metrics returns the run's metrics registry (never nil).
 func (s *System) Metrics() *telemetry.Registry { return s.metrics }
+
+// Recorder returns the run's flight recorder (nil under
+// Options.NoRecorder).
+func (s *System) Recorder() *telemetry.Recorder { return s.recorder }
 
 // FaultInjector returns the run's fault injector (nil when the fault
 // plane is unarmed).

@@ -181,11 +181,22 @@ type specEntry struct {
 // per-instance (no package globals), so concurrent runs and repeated
 // tests cannot leak seed state into each other.
 type Injector struct {
-	plan    Plan
-	metrics *telemetry.Registry
+	plan     Plan
+	metrics  *telemetry.Registry
+	recorder *telemetry.Recorder
 
 	mu   sync.Mutex
 	spec []specEntry
+}
+
+// SetRecorder attaches the flight recorder; every fired roll is then
+// recorded as a fault-roll event (site, kind, seq), which is what lets
+// a post-mortem dump explain *why* a retransmission or respawn
+// happened, not just that it did.
+func (i *Injector) SetRecorder(rec *telemetry.Recorder) {
+	if i != nil {
+		i.recorder = rec
+	}
 }
 
 // New compiles a plan. metrics receives the faults.injected.* counters
@@ -225,6 +236,7 @@ func (i *Injector) Roll(k Kind, id, seq uint64, attempt int, now cycles.Cycles) 
 	}
 	if i.specFire(k, id, now) {
 		i.count(k)
+		i.recorder.Record(now, telemetry.RecFaultRoll, id, 0, uint64(k), seq)
 		return true
 	}
 	r := i.plan.rateOf(k)
@@ -235,6 +247,7 @@ func (i *Injector) Roll(k Kind, id, seq uint64, attempt int, now cycles.Cycles) 
 		return false
 	}
 	i.count(k)
+	i.recorder.Record(now, telemetry.RecFaultRoll, id, 0, uint64(k), seq)
 	return true
 }
 

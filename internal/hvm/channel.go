@@ -73,6 +73,12 @@ type Envelope struct {
 	// request was resent before this Forward returned.
 	Retransmits int
 
+	// ReqID is the causal request id allocated at the AeroKernel syscall
+	// (or fault) entry and carried across every hop, retry, and replay of
+	// this request; 0 when the origin predates id allocation (boot-time
+	// control traffic).
+	ReqID uint64
+
 	reply chan Reply
 
 	// flow is the deterministic cross-track link id stitching the HRT
@@ -187,9 +193,11 @@ func (c *EventChannel) Forward(clk *cycles.Clock, env *Envelope) (Reply, error) 
 
 	tr := c.hvm.tracer
 	start := clk.Now()
-	sp := tr.Begin(c.hrtTrack(), "evtchan", "forward:"+env.Kind.String(), start)
+	sp := tr.Begin(c.hrtTrack(), "evtchan", "forward:"+env.Kind.String(), start,
+		telemetry.Attr{Key: "req", Val: env.ReqID})
 	sp.LinkOut(env.flow)
 	env.reply = make(chan Reply, 1)
+	c.hvm.recorder.Record(start, telemetry.RecDoorbell, c.id, env.ReqID, seq, uint64(env.Kind))
 
 	var r Reply
 	if fi := c.hvm.faults; fi != nil {
@@ -291,8 +299,15 @@ func (c *EventChannel) sendFaulted(clk *cycles.Clock, env *Envelope, fi *faults.
 		timeout *= 2
 		env.Retransmits++
 		c.hvm.metrics.Counter("faults.retransmit").Inc()
-		tr.Instant(c.hrtTrack(), "evtchan", "retransmit", clk.Now(),
-			telemetry.Attr{Key: "seq", Val: env.Seq})
+		// The retransmit re-emits the envelope's flow id, so Perfetto draws
+		// the arrow from this marker to the service span that finally
+		// accepts the frame.
+		tr.InstantFlow(c.hrtTrack(), "evtchan", "retransmit", clk.Now(), 0, env.flow,
+			telemetry.Attr{Key: "seq", Val: env.Seq},
+			telemetry.Attr{Key: "req", Val: env.ReqID},
+			telemetry.Attr{Key: "attempt", Val: uint64(env.Retransmits)})
+		c.hvm.recorder.Record(clk.Now(), telemetry.RecRetransmit, c.id, env.ReqID,
+			env.Seq, uint64(env.Retransmits))
 	}
 }
 
@@ -308,8 +323,10 @@ func (c *EventChannel) Recv(clk *cycles.Clock) *Envelope {
 		return nil
 	}
 	clk.SyncTo(env.Arrival)
-	env.span = c.hvm.tracer.Begin(c.svcTrack(), "evtchan", "service:"+env.Kind.String(), env.Arrival)
+	env.span = c.hvm.tracer.Begin(c.svcTrack(), "evtchan", "service:"+env.Kind.String(), env.Arrival,
+		telemetry.Attr{Key: "req", Val: env.ReqID})
 	env.span.LinkIn(env.flow)
+	c.hvm.recorder.Record(env.Arrival, telemetry.RecDeliver, c.id, env.ReqID, env.Seq, 0)
 	clk.Advance(c.hvm.cost.ContextSwitch) // partner wakes from its wait
 	clk.Advance(c.hvm.cost.EventChannelPost)
 	return env
@@ -334,18 +351,22 @@ func (c *EventChannel) recvFaulted(clk *cycles.Clock, fi *faults.Injector) *Enve
 			// sender's deadline handles the rest.
 			clk.Advance(c.hvm.cost.EventChannelPost)
 			m.Counter("faults.corrupt.detected").Inc()
+			c.hvm.recorder.Record(clk.Now(), telemetry.RecCorrupt, c.id, env.ReqID, env.Seq, 0)
 			continue
 		}
 		c.rmu.Lock()
 		if c.completed[env.Seq] {
 			c.rmu.Unlock()
 			m.Counter("faults.dedup").Inc()
+			c.hvm.recorder.Record(clk.Now(), telemetry.RecDedup, c.id, env.ReqID, env.Seq, 0)
 			continue
 		}
 		c.inflight[env.Seq] = env
 		c.rmu.Unlock()
-		env.span = c.hvm.tracer.Begin(c.svcTrack(), "evtchan", "service:"+env.Kind.String(), env.Arrival)
+		env.span = c.hvm.tracer.Begin(c.svcTrack(), "evtchan", "service:"+env.Kind.String(), env.Arrival,
+			telemetry.Attr{Key: "req", Val: env.ReqID})
 		env.span.LinkIn(env.flow)
+		c.hvm.recorder.Record(env.Arrival, telemetry.RecDeliver, c.id, env.ReqID, env.Seq, 0)
 		clk.Advance(c.hvm.cost.ContextSwitch)
 		clk.Advance(c.hvm.cost.EventChannelPost)
 		if !c.reliable.Load() && fi.Roll(faults.PartnerStall, c.id, env.Seq, 0, clk.Now()) {
@@ -382,6 +403,7 @@ func (c *EventChannel) Complete(clk *cycles.Clock, env *Envelope, r Reply) {
 	r.Departure = clk.Now()
 	env.span.EndAt(clk.Now())
 	env.span = nil
+	c.hvm.recorder.Record(clk.Now(), telemetry.RecComplete, c.id, env.ReqID, env.Seq, 0)
 	if c.hvm.faults != nil {
 		// Mark the seqno served *before* releasing the sender, so a
 		// duplicate delivery can never race past the dedup check.
@@ -393,16 +415,27 @@ func (c *EventChannel) Complete(clk *cycles.Clock, env *Envelope, r Reply) {
 	env.reply <- r
 }
 
+// Replayed describes one envelope Requeue put back for redelivery: its
+// seqno, the causal request id it carries, and its cross-track flow id,
+// so the watchdog can record the replay and flow-link its respawn
+// marker back to the original forward.
+type Replayed struct {
+	Seq   uint64
+	ReqID uint64
+	Flow  uint64
+}
+
 // Requeue moves every envelope a dead partner left in flight (received
 // but never completed) onto the redelivery queue, ordered by seqno so
 // replay preserves program order. The watchdog calls this after a respawn
-// and before the new partner starts serving. Returns how many envelopes
-// were queued for replay.
-func (c *EventChannel) Requeue() int {
+// and before the new partner starts serving; `at` is the respawn's
+// virtual time, used only to stamp the flight-recorder replay events.
+// Returns the replayed envelopes' identifying ids in replay order.
+func (c *EventChannel) Requeue(at cycles.Cycles) []Replayed {
 	c.rmu.Lock()
-	defer c.rmu.Unlock()
 	if len(c.inflight) == 0 {
-		return 0
+		c.rmu.Unlock()
+		return nil
 	}
 	replay := make([]*Envelope, 0, len(c.inflight))
 	for _, env := range c.inflight {
@@ -411,7 +444,15 @@ func (c *EventChannel) Requeue() int {
 	c.inflight = make(map[uint64]*Envelope)
 	sort.Slice(replay, func(i, j int) bool { return replay[i].Seq < replay[j].Seq })
 	c.redeliver = append(replay, c.redeliver...)
-	return len(replay)
+	out := make([]Replayed, len(replay))
+	for i, env := range replay {
+		out[i] = Replayed{Seq: env.Seq, ReqID: env.ReqID, Flow: env.flow}
+	}
+	c.rmu.Unlock()
+	for _, r := range out {
+		c.hvm.recorder.Record(at, telemetry.RecRequeue, c.id, r.ReqID, r.Seq, 0)
+	}
+	return out
 }
 
 // ForceReliable suppresses further fault injection on this channel; the

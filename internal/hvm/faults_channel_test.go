@@ -192,8 +192,8 @@ func TestChannelRequeueRedelivers(t *testing.T) {
 	if env == nil {
 		t.Fatal("service loop got no envelope")
 	}
-	if n := c.Requeue(); n != 1 {
-		t.Fatalf("Requeue = %d, want 1", n)
+	if n := c.Requeue(clkSvc.Now()); len(n) != 1 {
+		t.Fatalf("Requeue = %d, want 1", len(n))
 	}
 	// Second generation drains the redeliver queue and completes it.
 	clk2 := cycles.NewClock(clkSvc.Now())
@@ -241,7 +241,7 @@ func TestSyncChannelDropRetransmits(t *testing.T) {
 		}
 	}()
 
-	res, err := sc.Invoke(clk, linuxabi.Call{Num: linuxabi.SysGetpid, Args: [6]uint64{5}})
+	res, err := sc.Invoke(clk, linuxabi.Call{Num: linuxabi.SysGetpid, Args: [6]uint64{5}}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

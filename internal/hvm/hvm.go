@@ -99,6 +99,8 @@ type BootInfo struct {
 	// always usable.
 	Tracer  *telemetry.Tracer
 	Metrics *telemetry.Registry
+	// Recorder is the always-on flight recorder (nil-safe when absent).
+	Recorder *telemetry.Recorder
 	// Faults is the armed fault-injection plane (nil = disabled); the
 	// AeroKernel uses it for HRT-panic injection.
 	Faults *faults.Injector
@@ -140,6 +142,7 @@ type HVM struct {
 	// non-nil. Channel ids make flow links deterministic.
 	tracer     *telemetry.Tracer
 	metrics    *telemetry.Registry
+	recorder   *telemetry.Recorder
 	channelSeq uint64
 
 	// faults is the armed fault-injection plane; nil means every
@@ -156,6 +159,9 @@ type Config struct {
 	// Metrics receives the HVM's counters and histograms; nil allocates
 	// a private registry.
 	Metrics *telemetry.Registry
+	// Recorder receives flight-recorder events from the HVM's channels
+	// and protocols (nil = off; every Record call is nil-safe).
+	Recorder *telemetry.Recorder
 	// Faults arms deterministic fault injection on the HVM's channels
 	// (nil = off; fixed paths unchanged).
 	Faults *faults.Injector
@@ -185,6 +191,7 @@ func New(m *machine.Machine, cfg Config) (*HVM, error) {
 		exits:    make(map[string]uint64),
 		tracer:   cfg.Tracer,
 		metrics:  cfg.Metrics,
+		recorder: cfg.Recorder,
 		faults:   cfg.Faults,
 	}
 	if h.metrics == nil {
@@ -223,6 +230,9 @@ func (h *HVM) Tracer() *telemetry.Tracer { return h.tracer }
 
 // Metrics returns the HVM's metrics registry (never nil).
 func (h *HVM) Metrics() *telemetry.Registry { return h.metrics }
+
+// Recorder returns the HVM's flight recorder (nil when disabled).
+func (h *HVM) Recorder() *telemetry.Recorder { return h.recorder }
 
 // Faults returns the armed fault injector (nil when injection is off).
 func (h *HVM) Faults() *faults.Injector { return h.faults }
@@ -316,6 +326,7 @@ func (h *HVM) BootHRT(clk *cycles.Clock) error {
 		SharedPage: h.sharedPage,
 		Tracer:     h.tracer,
 		Metrics:    h.metrics,
+		Recorder:   h.recorder,
 		Faults:     h.faults,
 		Tags: []image.MultibootTag{
 			{Type: image.TagHRTFlags, Data: image.HRTFlagMergeCapable | image.HRTFlagIdentityHigh},

@@ -209,16 +209,20 @@ func (r *SyscallRouter) hrtTrack() telemetry.Track {
 // Dispatch routes one system call from the HRT thread. It returns the
 // result, whether the call crossed the boundary, and a transport error (a
 // closed channel) if any. clk is the HRT thread's clock; each tier charges
-// its own virtual cost to it.
-func (r *SyscallRouter) Dispatch(clk *cycles.Clock, ch *EventChannel, call linuxabi.Call) (linuxabi.Result, bool, error) {
+// its own virtual cost to it. reqID is the causal request id allocated at
+// the syscall entry; it rides every hop the call takes (0 = untracked
+// control traffic).
+func (r *SyscallRouter) Dispatch(clk *cycles.Clock, ch *EventChannel, call linuxabi.Call, reqID uint64) (linuxabi.Result, bool, error) {
 	cost := r.hvm.cost
 	m := r.hvm.metrics
+	rec := r.hvm.recorder
 
 	// Tier 0: HRT-local service from mirrored state.
 	if res, ok := r.serveLocal(clk, call); ok {
 		m.Counter("router.local_hits").Inc()
 		m.Counter("router.local." + call.Num.String()).Inc()
 		m.LatencyHistogram("router.local.latency").Observe(cost.HRTLocalSyscall)
+		rec.Record(clk.Now(), telemetry.RecTierLocal, uint64(r.hrtCore), reqID, uint64(call.Num), 0)
 		return res, false, nil
 	}
 
@@ -232,10 +236,11 @@ func (r *SyscallRouter) Dispatch(clk *cycles.Clock, ch *EventChannel, call linux
 			clk.Advance(cost.SyscallCacheHit)
 			m.Counter("router.cache_hits").Inc()
 			m.LatencyHistogram("router.cache_hit.latency").Observe(cost.SyscallCacheProbe + cost.SyscallCacheHit)
+			rec.Record(clk.Now(), telemetry.RecTierCache, uint64(r.hrtCore), reqID, uint64(call.Num), 0)
 			return res, false, nil
 		}
 		m.Counter("router.cache_misses").Inc()
-		res, err := r.forward(clk, ch, call)
+		res, err := r.forward(clk, ch, call, reqID)
 		if err == nil && res.Err == linuxabi.OK {
 			r.mu.Lock()
 			if !r.closed {
@@ -247,7 +252,7 @@ func (r *SyscallRouter) Dispatch(clk *cycles.Clock, ch *EventChannel, call linux
 	}
 
 	// Tier 2: forward.
-	res, err := r.forward(clk, ch, call)
+	res, err := r.forward(clk, ch, call, reqID)
 	return res, true, err
 }
 
@@ -318,12 +323,12 @@ func (r *SyscallRouter) resolvePath(path string) string {
 
 // forward is tier 2: apply the promotion policy, then cross the boundary
 // over the synchronous channel if promoted, the event channel otherwise.
-func (r *SyscallRouter) forward(clk *cycles.Clock, ch *EventChannel, call linuxabi.Call) (linuxabi.Result, error) {
+func (r *SyscallRouter) forward(clk *cycles.Clock, ch *EventChannel, call linuxabi.Call, reqID uint64) (linuxabi.Result, error) {
 	sc := r.applyPolicy(clk)
 	r.crossings.Add(1)
 	m := r.hvm.metrics
 	if sc != nil {
-		res, retx, err := sc.invoke(clk, call)
+		res, retx, err := sc.invoke(clk, call, reqID)
 		if err != nil {
 			return res, err
 		}
@@ -334,7 +339,7 @@ func (r *SyscallRouter) forward(clk *cycles.Clock, ch *EventChannel, call linuxa
 	if ch == nil {
 		return linuxabi.Result{Ret: ^uint64(0), Err: linuxabi.ENOSYS}, nil
 	}
-	env := &Envelope{Kind: EvSyscall, Call: call}
+	env := &Envelope{Kind: EvSyscall, Call: call, ReqID: reqID}
 	rep, err := ch.Forward(clk, env)
 	if err != nil {
 		return linuxabi.Result{}, err
@@ -376,6 +381,7 @@ func (r *SyscallRouter) noteTransport(clk *cycles.Clock, retx int, viaSync bool)
 			r.lossSync = true
 			r.hvm.metrics.Counter("router.fault_demotions").Inc()
 			r.hvm.tracer.Instant(r.hrtTrack(), "router", "channel-demote-lossy", clk.Now())
+			r.hvm.recorder.Record(clk.Now(), telemetry.RecDemoteLossy, uint64(r.hrtCore), 0, 0, 0)
 		}
 		r.mu.Unlock()
 		return
@@ -401,6 +407,7 @@ func (r *SyscallRouter) noteTransport(clk *cycles.Clock, retx int, viaSync bool)
 	demote(clk, sc)
 	r.hvm.metrics.Counter("router.fault_repromotions").Inc()
 	r.hvm.tracer.Instant(r.hrtTrack(), "router", "channel-repromote", clk.Now())
+	r.hvm.recorder.Record(clk.Now(), telemetry.RecRepromote, uint64(r.hrtCore), 0, 0, 0)
 }
 
 // applyPolicy runs the promotion/demotion policy for one forward at the
@@ -423,6 +430,7 @@ func (r *SyscallRouter) applyPolicy(clk *cycles.Clock) *SyncSyscallChannel {
 		demote(clk, sc)
 		r.hvm.metrics.Counter("router.demotions").Inc()
 		r.hvm.tracer.Instant(r.hrtTrack(), "router", "channel-demote", clk.Now())
+		r.hvm.recorder.Record(clk.Now(), telemetry.RecDemote, uint64(r.hrtCore), 0, 0, 0)
 		r.mu.Lock()
 	}
 
@@ -442,6 +450,7 @@ func (r *SyscallRouter) applyPolicy(clk *cycles.Clock) *SyncSyscallChannel {
 				r.sync = sc
 				r.hvm.metrics.Counter("router.promotions").Inc()
 				r.hvm.tracer.Instant(r.hrtTrack(), "router", "channel-promote", clk.Now())
+				r.hvm.recorder.Record(clk.Now(), telemetry.RecPromote, uint64(r.hrtCore), 0, 0, 0)
 			}
 		}
 	}

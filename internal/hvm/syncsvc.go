@@ -79,15 +79,16 @@ func (s *SyncSyscallChannel) line() cycles.Cycles {
 }
 
 // Invoke forwards one system call from the HRT side, spinning until the
-// polling partner completes it.
-func (s *SyncSyscallChannel) Invoke(clk *cycles.Clock, call linuxabi.Call) (linuxabi.Result, error) {
-	res, _, err := s.invoke(clk, call)
+// polling partner completes it. reqID is the causal request id from the
+// syscall entry (0 for control traffic without one).
+func (s *SyncSyscallChannel) Invoke(clk *cycles.Clock, call linuxabi.Call, reqID uint64) (linuxabi.Result, error) {
+	res, _, err := s.invoke(clk, call, reqID)
 	return res, err
 }
 
 // invoke is Invoke plus the retransmission count, which the router's
 // fault policy reads to detect a lossy period.
-func (s *SyncSyscallChannel) invoke(clk *cycles.Clock, call linuxabi.Call) (linuxabi.Result, int, error) {
+func (s *SyncSyscallChannel) invoke(clk *cycles.Clock, call linuxabi.Call, reqID uint64) (linuxabi.Result, int, error) {
 	cost := s.hvm.cost
 	s.mu.Lock()
 	if s.closed {
@@ -100,7 +101,9 @@ func (s *SyncSyscallChannel) invoke(clk *cycles.Clock, call linuxabi.Call) (linu
 	start := clk.Now()
 	flow := s.id<<20 | seq
 	sp := s.hvm.tracer.Begin(telemetry.Track{Core: int(s.hrtCore), Name: "hrt"},
-		"sync", "sync-syscall", start, telemetry.Attr{Key: "num", Val: uint64(call.Num)})
+		"sync", "sync-syscall", start,
+		telemetry.Attr{Key: "num", Val: uint64(call.Num)},
+		telemetry.Attr{Key: "req", Val: reqID})
 	sp.LinkOut(flow)
 
 	var rep syncSysRep
@@ -131,6 +134,12 @@ func (s *SyncSyscallChannel) invoke(clk *cycles.Clock, call linuxabi.Call) (linu
 			timeout *= 2
 			retx++
 			s.hvm.metrics.Counter("faults.retransmit").Inc()
+			s.hvm.tracer.InstantFlow(telemetry.Track{Core: int(s.hrtCore), Name: "hrt"},
+				"sync", "retransmit", clk.Now(), 0, flow,
+				telemetry.Attr{Key: "seq", Val: seq},
+				telemetry.Attr{Key: "req", Val: reqID},
+				telemetry.Attr{Key: "attempt", Val: uint64(retx)})
+			s.hvm.recorder.Record(clk.Now(), telemetry.RecRetransmit, s.id, reqID, seq, uint64(retx))
 		}
 	} else {
 		clk.Advance(cost.SyncProtocolOverhead / 2)
@@ -143,6 +152,7 @@ func (s *SyncSyscallChannel) invoke(clk *cycles.Clock, call linuxabi.Call) (linu
 	sp.EndAt(clk.Now())
 	s.hvm.metrics.Counter("sync.syscalls").Inc()
 	s.hvm.metrics.LatencyHistogram("sync.syscall.latency").Observe(clk.Now() - start)
+	s.hvm.recorder.Record(clk.Now(), telemetry.RecSyncCall, s.id, reqID, seq, uint64(retx))
 	return rep.res, retx, nil
 }
 

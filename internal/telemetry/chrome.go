@@ -64,13 +64,15 @@ func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
 			args += fmt.Sprintf(",%s:%d", strconv.Quote(a.Key), a.Val)
 		}
 		if sp.Instant {
-			// Thread-scoped instant event: a zero-duration marker.
+			// Thread-scoped instant event: a zero-duration marker. Flow
+			// events still follow below so retransmission/recovery markers
+			// join the causal arrows rather than floating disconnected.
 			emit(fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"i","s":"t","ts":%s,"pid":%d,"tid":%d,"args":{%s}}`,
 				strconv.Quote(sp.Name), strconv.Quote(sp.Cat), ts, sp.Track.Core, tid, args))
-			continue
+		} else {
+			emit(fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d,"args":{%s}}`,
+				strconv.Quote(sp.Name), strconv.Quote(sp.Cat), ts, dur, sp.Track.Core, tid, args))
 		}
-		emit(fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d,"args":{%s}}`,
-			strconv.Quote(sp.Name), strconv.Quote(sp.Cat), ts, dur, sp.Track.Core, tid, args))
 		if sp.FlowOut != 0 {
 			emit(fmt.Sprintf(`{"name":"flow","cat":%s,"ph":"s","id":%d,"ts":%s,"pid":%d,"tid":%d}`,
 				strconv.Quote(sp.Cat), sp.FlowOut, ts, sp.Track.Core, tid))

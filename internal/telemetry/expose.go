@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"net/http"
+)
+
+// ExpositionHandler serves the live observability plane over HTTP — the
+// first brick of mvserve. Routes:
+//
+//	/metrics  Prometheus text exposition of the registry
+//	/healthz  liveness probe ("ok")
+//	/trace    on-demand Chrome trace snapshot of completed spans
+//	/flight   current flight-recorder ring as plain text
+//
+// Any argument may be nil; the corresponding route degrades to an
+// empty-but-valid response so a probe never 500s just because a run
+// was started without tracing armed.
+func ExpositionHandler(reg *Registry, tr *Tracer, rec *Recorder) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		b, err := reg.Snapshot().MarshalIndent()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(b)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if !tr.Enabled() {
+			// Valid, empty trace document: run started without -trace.
+			w.Write([]byte("{\"traceEvents\":[\n\n],\"displayTimeUnit\":\"ns\"}\n"))
+			return
+		}
+		tr.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if rec == nil {
+			w.Write([]byte("flight recorder disabled\n"))
+			return
+		}
+		rec.DumpTo(w, "on-demand /flight snapshot")
+	})
+	return mux
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SLOTarget is one latency objective: "quantile Q of the histograms
+// matching Metric must not exceed MaxCycles". Metric matches histogram
+// names exactly, or as a prefix when it ends in '*' — the per-group
+// syscall histograms are named "slo.g<group>.<syscall>", so
+// "slo.*.write" -style matching is spelled "slo.g" prefixes plus Call,
+// and the common cases are:
+//
+//	{"metric": "slo.g1.write", "quantile": 0.99, "max_cycles": 50000}
+//	{"metric": "slo.*", "quantile": 0.999, "max_cycles": 200000}
+type SLOTarget struct {
+	Metric    string  `json:"metric"`
+	Quantile  float64 `json:"quantile"`
+	MaxCycles uint64  `json:"max_cycles"`
+}
+
+// SLOViolation reports one histogram that missed its target.
+type SLOViolation struct {
+	Metric   string
+	Target   SLOTarget
+	Observed uint64
+	Count    uint64
+}
+
+func (v SLOViolation) String() string {
+	return fmt.Sprintf("SLO VIOLATION %s p%g=%d cycles > max %d (n=%d, spec %s)",
+		v.Metric, v.Target.Quantile*100, v.Observed, v.Target.MaxCycles, v.Count, v.Target.Metric)
+}
+
+// ParseSLOSpec parses a JSON array of SLOTarget entries.
+func ParseSLOSpec(data []byte) ([]SLOTarget, error) {
+	var spec []SLOTarget
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, fmt.Errorf("parse SLO spec: %w", err)
+	}
+	for i, t := range spec {
+		if t.Metric == "" {
+			return nil, fmt.Errorf("SLO spec entry %d: missing metric", i)
+		}
+		if t.Quantile <= 0 || t.Quantile > 1 {
+			return nil, fmt.Errorf("SLO spec entry %d (%s): quantile %g out of (0,1]", i, t.Metric, t.Quantile)
+		}
+	}
+	return spec, nil
+}
+
+// matchMetric reports whether pattern matches name. A trailing '*'
+// makes the pattern a prefix match; otherwise it is exact.
+func matchMetric(pattern, name string) bool {
+	if strings.HasSuffix(pattern, "*") {
+		return strings.HasPrefix(name, strings.TrimSuffix(pattern, "*"))
+	}
+	return pattern == name
+}
+
+// CheckSLOs evaluates every target against the snapshot's histograms
+// and returns the violations, metric-name-sorted. Empty histograms
+// never violate (quantile 0); targets that match no histogram are
+// silently satisfied — a spec can cover workloads that exercise only
+// some syscalls.
+func CheckSLOs(s *MetricsSnapshot, spec []SLOTarget) []SLOViolation {
+	if s == nil {
+		return nil
+	}
+	names := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []SLOViolation
+	for _, t := range spec {
+		for _, n := range names {
+			if !matchMetric(t.Metric, n) {
+				continue
+			}
+			h := s.Histograms[n]
+			obs := h.Quantile(t.Quantile)
+			if obs > t.MaxCycles {
+				out = append(out, SLOViolation{Metric: n, Target: t, Observed: obs, Count: h.Count})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Metric != out[j].Metric {
+			return out[i].Metric < out[j].Metric
+		}
+		return out[i].Target.Quantile < out[j].Target.Quantile
+	})
+	return out
+}
+
+// SLOPrefix is the histogram-name prefix of the per-group,
+// per-syscall-kind latency histograms recorded at the HRT syscall
+// boundary.
+const SLOPrefix = "slo."
+
+// SLOReport renders the per-group per-syscall latency histograms as a
+// p50/p99/p999 table — the end-of-run report behind `mvrun -slo` and
+// `mvtool slo -report`. Only histograms under SLOPrefix appear.
+func SLOReport(s *MetricsSnapshot) string {
+	if s == nil {
+		return ""
+	}
+	names := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		if strings.HasPrefix(n, SLOPrefix) {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return ""
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-40s %10s %10s %10s %10s %10s\n",
+		"slo histogram", "n", "mean", "p50", "p99", "p999")
+	for _, n := range names {
+		h := s.Histograms[n]
+		mean := uint64(0)
+		if h.Count > 0 {
+			mean = h.Sum / h.Count
+		}
+		fmt.Fprintf(&b, "%-40s %10d %10d %10d %10d %10d\n",
+			n, h.Count, mean,
+			h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999))
+	}
+	return b.String()
+}

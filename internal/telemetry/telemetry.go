@@ -133,6 +133,28 @@ func (tr *Tracer) Instant(tk Track, cat, name string, at cycles.Cycles, attrs ..
 	tr.mu.Unlock()
 }
 
+// InstantFlow records an instant that participates in cross-track flow
+// links: flowIn draws an arrow into the marker, flowOut draws one out
+// of it (either may be 0). Retransmissions and recovery actions use
+// this so Perfetto renders the causal chain from the original forward
+// through each retry to the respawn that replayed it, instead of
+// disconnected dots.
+func (tr *Tracer) InstantFlow(tk Track, cat, name string, at cycles.Cycles, flowIn, flowOut uint64, attrs ...Attr) {
+	if tr == nil || !tr.enabled {
+		return
+	}
+	sp := &Span{Track: tk, Cat: cat, Name: name, Start: at, End: at,
+		Attrs: attrs, Instant: true, ended: true, tr: tr,
+		FlowIn: flowIn, FlowOut: flowOut}
+	tr.mu.Lock()
+	if stack := tr.open[tk]; len(stack) > 0 {
+		sp.parent = stack[len(stack)-1]
+		sp.Depth = len(stack)
+	}
+	tr.spans = append(tr.spans, sp)
+	tr.mu.Unlock()
+}
+
 // EndAt closes the span at virtual time `at` and records it. Ending a
 // span that is not the innermost on its track closes it anyway (the
 // stack entry is removed wherever it is), so error paths cannot wedge

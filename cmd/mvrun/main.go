@@ -10,6 +10,7 @@
 //	echo '(+ 1 2)' | mvrun -world multiverse -repl
 //	mvrun -bench binary-tree-2 -world multiverse
 //	mvrun -bench fasta -world multiverse -trace=out.json -metrics
+//	mvrun -bench fasta -world multiverse -exitless -stats
 //	mvrun -bench fasta -world multiverse -listen :8080
 //	mvrun -bench fasta -world multiverse -metrics-json metrics.json -slo
 package main
@@ -38,6 +39,7 @@ func main() {
 	benchName := flag.String("bench", "", "run a named paper benchmark instead of a file")
 	stats := flag.Bool("stats", false, "print run statistics afterwards")
 	router := flag.Bool("router", false, "enable the adaptive boundary-crossing router (multiverse world only)")
+	exitless := flag.Bool("exitless", false, "enable tier-3 exitless forwarding over polled SPSC rings (implies -router; multiverse world only)")
 	merger := flag.Bool("merger", false, "enable the incremental state-superposition merger (multiverse world only)")
 	scheduler := flag.Bool("scheduler", false, "enable the AeroKernel per-core run-queue scheduler (multiverse world only)")
 	hrtCores := flag.Int("hrtcores", 0, "size of the HRT core partition (cores 1..N; 0 = default single core)")
@@ -53,7 +55,7 @@ func main() {
 	sloReport := flag.Bool("slo", false, "print the per-group per-syscall SLO latency report to stderr afterwards")
 	flag.Parse()
 
-	knobs := runKnobs{router: *router, merger: *merger, scheduler: *scheduler, hrtCores: *hrtCores, workers: *workers}
+	knobs := runKnobs{router: *router || *exitless, exitless: *exitless, merger: *merger, scheduler: *scheduler, hrtCores: *hrtCores, workers: *workers}
 	knobs.obs = obsKnobs{metricsJSON: *metricsJSON, listen: *listen, flight: *flight, slo: *sloReport}
 	plan, err := parseFaultFlags(*faultsArg, *faultSpec)
 	if err != nil {
@@ -83,6 +85,7 @@ func parseWorld(s string) (core.World, error) {
 // runKnobs bundles the optional subsystem switches.
 type runKnobs struct {
 	router    bool
+	exitless  bool
 	merger    bool
 	scheduler bool
 	hrtCores  int
@@ -235,7 +238,7 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 
 	cfg := bench.RunConfig{
 		Tracer: tracer, Metrics: reg, Recorder: rec,
-		Router: router, Merger: merger,
+		Router: router, Exitless: knobs.exitless, Merger: merger,
 		Scheduler: knobs.scheduler, HRTCoreCount: knobs.hrtCores,
 		Faults: knobs.faults,
 	}
@@ -265,7 +268,7 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 		}
 		os.Stdout.Write(res.Output)
 		if stats {
-			printStats(res, router, merger, knobs.faults != nil)
+			printStats(res, router, knobs.exitless, merger, knobs.faults != nil)
 		}
 		if metrics {
 			fmt.Fprint(os.Stderr, res.Metrics.Dump())
@@ -365,6 +368,15 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 				m.Counter("router.cache_invalidations").Value(),
 				m.Counter("router.promotions").Value(), m.Counter("router.demotions").Value())
 		}
+		if knobs.exitless {
+			m := sys.Metrics()
+			fmt.Fprintf(os.Stderr, "[%s] ring: calls=%d promo=%d/%d fault-demo=%d repromo=%d exits=%d\n",
+				w, m.Counter("ring.syscalls").Value(),
+				m.Counter("router.tier3.promotions").Value(), m.Counter("router.tier3.demotions").Value(),
+				m.Counter("router.tier3.fault_demotions").Value(),
+				m.Counter("router.tier3.repromotions").Value(),
+				m.Counter("exits.ring").Value())
+		}
 		if knobs.scheduler {
 			m := sys.Metrics()
 			fmt.Fprintf(os.Stderr, "[%s] sched: placements=%d steals=%d halts=%d queue-delay=%d\n",
@@ -421,7 +433,7 @@ func writeTrace(tracer *telemetry.Tracer, path string) error {
 	return f.Close()
 }
 
-func printStats(res *bench.RunResult, router, merger, faulted bool) {
+func printStats(res *bench.RunResult, router, exitless, merger, faulted bool) {
 	fmt.Fprintf(os.Stderr, "\n[%s] %s: %.4f virtual seconds\n", res.World, res.Program, res.Seconds)
 	fmt.Fprintf(os.Stderr, "  syscalls=%d faults=%d maxrss=%dKb ctxsw=%d\n",
 		res.Stats.TotalSyscalls(), res.Stats.MinorFaults+res.Stats.MajorFaults,
@@ -437,6 +449,11 @@ func printStats(res *bench.RunResult, router, merger, faulted bool) {
 			res.RouterLocalHits, res.RouterCacheHits, res.RouterCacheMisses,
 			res.RouterInvalidations, res.RouterPromotions, res.RouterDemotions,
 			uint64(res.ForwardedSyscallCycles))
+	}
+	if exitless {
+		fmt.Fprintf(os.Stderr, "  ring: calls=%d promo=%d/%d fault-demo=%d repromo=%d exits=%d\n",
+			res.RingCalls, res.RingPromotions, res.RingDemotions,
+			res.RingFaultDrops, res.RingRepromotions, res.RingExits)
 	}
 	if merger {
 		fmt.Fprintf(os.Stderr, "  merger: entries=%d delta=%d remerges=%d shootdowns=%d/%d local-faults=%d\n",

@@ -12,6 +12,7 @@
 //	mvtool bench -suite scheduler -json -o BENCH_pr4.json
 //	mvtool bench -suite faults -json -o BENCH_pr5.json
 //	mvtool bench -suite obsv -json -o BENCH_pr6.json
+//	mvtool bench -suite exitless -json -o BENCH_pr7.json
 //	mvtool slo -in metrics.json -check slo.json
 package main
 
@@ -54,7 +55,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: mvtool build -app NAME [-overrides FILE] -o OUT.fat")
 	fmt.Fprintln(os.Stderr, "       mvtool inspect FILE.fat")
 	fmt.Fprintln(os.Stderr, "       mvtool trace [-top N] [-req ID] FILE.json")
-	fmt.Fprintln(os.Stderr, "       mvtool bench [-suite router|merger|scheduler|faults|obsv] [-json] [-o FILE]")
+	fmt.Fprintln(os.Stderr, "       mvtool bench [-suite router|merger|scheduler|faults|obsv|exitless] [-json] [-o FILE]")
 	fmt.Fprintln(os.Stderr, "       mvtool slo -in METRICS.json [-report] [-check SPEC.json]")
 	os.Exit(2)
 }
@@ -63,13 +64,14 @@ func usage() {
 // multiverse world: "router" compares the adaptive boundary router,
 // "merger" the incremental state-superposition merger, "scheduler"
 // sweeps the work-stealing scheduler's HPCG + places scaling ladder, and
-// "faults" measures the fault-injection/recovery configurations. With
-// -json it emits the corresponding baseline document (BENCH_pr2.json /
-// BENCH_pr3.json / BENCH_pr4.json / BENCH_pr5.json); otherwise it prints
-// the table.
+// "faults" measures the fault-injection/recovery configurations, and
+// "exitless" compares the router with and without the tier-3 polled
+// SPSC rings. With -json it emits the corresponding baseline document
+// (BENCH_pr2.json / BENCH_pr3.json / BENCH_pr4.json / BENCH_pr5.json /
+// BENCH_pr7.json); otherwise it prints the table.
 func benchCmd(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	suite := fs.String("suite", "router", "suite: router (BENCH_pr2), merger (BENCH_pr3), scheduler (BENCH_pr4), faults (BENCH_pr5), or obsv (BENCH_pr6)")
+	suite := fs.String("suite", "router", "suite: router (BENCH_pr2), merger (BENCH_pr3), scheduler (BENCH_pr4), faults (BENCH_pr5), obsv (BENCH_pr6), or exitless (BENCH_pr7)")
 	asJSON := fs.Bool("json", false, "emit the baseline JSON document")
 	out := fs.String("o", "", "write output to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
@@ -109,6 +111,20 @@ func benchCmd(args []string) error {
 		if blob, err = base.MarshalIndent(); err != nil {
 			return err
 		}
+	case *suite == "exitless" && *asJSON:
+		base, err := bench.CollectExitlessBaseline()
+		if err != nil {
+			return err
+		}
+		if blob, err = base.MarshalIndent(); err != nil {
+			return err
+		}
+	case *suite == "exitless":
+		t, err := bench.FigureExitless()
+		if err != nil {
+			return err
+		}
+		blob = []byte(t.String() + "\n")
 	case *suite == "obsv" && *asJSON:
 		base, err := bench.CollectObsvBaseline()
 		if err != nil {
@@ -148,7 +164,7 @@ func benchCmd(args []string) error {
 		}
 		blob = []byte(t.String() + "\n")
 	default:
-		return fmt.Errorf("unknown suite %q (want router, merger, scheduler, faults, or obsv)", *suite)
+		return fmt.Errorf("unknown suite %q (want router, merger, scheduler, faults, obsv, or exitless)", *suite)
 	}
 	if *out != "" {
 		return os.WriteFile(*out, blob, 0o644)

@@ -41,9 +41,19 @@ type RunResult struct {
 	RouterPromotions    uint64
 	RouterDemotions     uint64
 	// ForwardedSyscallCycles is the virtual time the HRT thread spent
-	// crossing the boundary for system calls (async event-channel plus
-	// promoted synchronous-channel round trips).
+	// crossing the boundary for system calls (async event-channel,
+	// promoted synchronous-channel, and tier-3 ring round trips).
 	ForwardedSyscallCycles cycles.Cycles
+
+	// Tier-3 exitless counters (all zero unless RunConfig.Exitless).
+	RingCalls        uint64
+	RingPromotions   uint64
+	RingDemotions    uint64
+	RingFaultDrops   uint64
+	RingRepromotions uint64
+	// RingExits counts VM exits taken on the ring path itself (the
+	// overflow doorbell); a healthy steady state keeps it at zero.
+	RingExits uint64
 
 	// Incremental-merger counters. Entries copied and broadcast shootdowns
 	// accrue on every hybrid run (the fixed paths count too); the delta,
@@ -79,6 +89,10 @@ type RunConfig struct {
 	// RouterPolicy tunes promotion/demotion when Router is set; zero
 	// fields take hvm.DefaultRouterPolicy.
 	RouterPolicy hvm.RouterPolicy
+	// Exitless enables the router's tier-3 polled SPSC rings
+	// (core.Options.Exitless); requires Router, only meaningful in
+	// WorldHRT.
+	Exitless bool
 	// Merger enables the incremental state-superposition merger
 	// (core.Options.Merger); only meaningful in WorldHRT.
 	Merger bool
@@ -137,7 +151,7 @@ func NewSystemForWorldCfg(world core.World, fs *vfs.FS, name string, cfg RunConf
 	opts := core.Options{
 		AppName: name, FS: fs, Tracer: cfg.Tracer, Metrics: cfg.Metrics,
 		Recorder: cfg.Recorder, NoRecorder: cfg.NoRecorder,
-		Router: cfg.Router, RouterPolicy: cfg.RouterPolicy,
+		Router: cfg.Router, RouterPolicy: cfg.RouterPolicy, Exitless: cfg.Exitless,
 		Merger: cfg.Merger, Scheduler: cfg.Scheduler,
 		Faults: cfg.Faults,
 	}
@@ -281,7 +295,14 @@ func RunBenchmarkCfg(prog Program, world core.World, cfg RunConfig) (*RunResult,
 	res.RouterPromotions = m.Counter("router.promotions").Value()
 	res.RouterDemotions = m.Counter("router.demotions").Value()
 	res.ForwardedSyscallCycles = m.LatencyHistogram("forward.syscall.latency").Sum() +
-		m.LatencyHistogram("sync.syscall.latency").Sum()
+		m.LatencyHistogram("sync.syscall.latency").Sum() +
+		m.LatencyHistogram("ring.syscall.latency").Sum()
+	res.RingCalls = m.Counter("ring.syscalls").Value()
+	res.RingPromotions = m.Counter("router.tier3.promotions").Value()
+	res.RingDemotions = m.Counter("router.tier3.demotions").Value()
+	res.RingFaultDrops = m.Counter("router.tier3.fault_demotions").Value()
+	res.RingRepromotions = m.Counter("router.tier3.repromotions").Value()
+	res.RingExits = m.Counter("exits.ring").Value()
 	res.PML4EntriesCopied = m.Counter("paging.pml4_entries_copied").Value()
 	res.MergerDeltaEntries = m.Counter("merger.delta.entries").Value()
 	res.MergerTargeted = m.Counter("merger.shootdown.targeted").Value()

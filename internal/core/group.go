@@ -225,6 +225,33 @@ func (s *System) spawnGroupFrom(creator *cycles.Clock, creatorT *aerokernel.Thre
 				},
 			)
 		}
+		if s.Opts.Exitless && g.syncSvc == nil {
+			// Tier-3 exitless rings: promotion sets up the ring pair with
+			// one hypercall and dedicates a fresh ROS thread to the poll
+			// loop; demotion (idle, fault pressure, or kill recovery)
+			// revokes the pages with the teardown hypercall, which also
+			// releases the poller.
+			gid := g.id
+			r.SetExitlessHooks(
+				func(clk *cycles.Clock) (*hvm.ExitlessChannel, error) {
+					x, xerr := s.HVM.SetupExitless(clk, 0x7f70_0000_0000+gid*4096, rosCore, hrtCore)
+					if xerr != nil {
+						return nil, xerr
+					}
+					poller := s.Proc.NewThread(rosCore)
+					poller.Start(clk, func(pt *ros.Thread) {
+						for x.Serve(pt.Clock, func(call linuxabi.Call) linuxabi.Result {
+							return s.Proc.Syscall(pt, call)
+						}) {
+						}
+					})
+					return x, nil
+				},
+				func(clk *cycles.Clock, x *hvm.ExitlessChannel) {
+					s.HVM.TeardownExitless(clk, x)
+				},
+			)
+		}
 	}
 
 	partner := s.Proc.NewThread(rosCore)

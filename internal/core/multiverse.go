@@ -48,6 +48,14 @@ type Options struct {
 	// RouterPolicy tunes promotion/demotion; zero fields take the
 	// defaults (hvm.DefaultRouterPolicy).
 	RouterPolicy hvm.RouterPolicy
+	// Exitless enables the router's tier-3 transport: sustained forward
+	// rates dedicate the partner to polling SPSC shared-memory rings, so
+	// steady-state forwarding takes zero VM exits ("Look Mum, no VM
+	// Exits!") — hypercalls remain only for ring setup/teardown and
+	// kill recovery. Requires Router (ignored without it, and in the
+	// static SyncSyscalls configuration). Off (the default) leaves the
+	// router's tier-2 paths byte for byte.
+	Exitless bool
 	// Merger enables the incremental state-superposition merger: re-merges
 	// copy only PML4 slots whose ROS-side generation stamp changed, TLB
 	// shootdowns target the changed slots when few, HRT cores run with

@@ -189,7 +189,7 @@ func (c *EventChannel) Forward(clk *cycles.Clock, env *Envelope) (Reply, error) 
 	c.mu.Unlock()
 	seq := c.seq.Add(1)
 	env.Seq = seq
-	env.flow = c.id<<20 | seq
+	env.flow = flowID(c.id, seq)
 
 	tr := c.hvm.tracer
 	start := clk.Now()
@@ -549,7 +549,7 @@ func (s *SyncChannel) Invoke(clk *cycles.Clock, fn uint64, args ...uint64) (uint
 	seq := s.calls.Add(1)
 
 	start := clk.Now()
-	flow := s.id<<20 | seq
+	flow := flowID(s.id, seq)
 	sp := s.hvm.tracer.Begin(telemetry.Track{Core: int(s.rosCore), Name: "ros:main"},
 		"sync", "sync-invoke", start, telemetry.Attr{Key: "fn", Val: fn})
 	sp.LinkOut(flow)

@@ -1,0 +1,260 @@
+package hvm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"multiverse/internal/cycles"
+	"multiverse/internal/faults"
+	"multiverse/internal/linuxabi"
+	"multiverse/internal/machine"
+	"multiverse/internal/telemetry"
+)
+
+// errRingDown reports that the exitless rings were torn down mid-call —
+// a partner kill or a concurrent shutdown. The router catches it and
+// falls back to the hypercall-mode transports.
+var errRingDown = errors.New("hvm: exitless rings down")
+
+// ExitlessChannel is the tier-3 transport ("Look Mum, no VM Exits!"):
+// a pair of SPSC shared-memory rings — request and reply — with the ROS
+// partner statically dedicated to a poll loop on the request ring and
+// the HRT posting frames with plain stores. A steady-state round trip
+// is RingPost + cacheline + RingPoll + service + RingPost + cacheline +
+// RingReapBatch: no hypercalls, no injection window, zero VM exits.
+// Hypercalls appear only at setup/teardown (SetupExitless /
+// TeardownExitless) and as the overflow doorbell a full ring would
+// need — which a healthy run never takes, so exits.ring pins to zero.
+type ExitlessChannel struct {
+	hvm        *HVM
+	id         uint64
+	va         uint64
+	rosCore    machine.CoreID
+	hrtCore    machine.CoreID
+	sameSocket bool
+
+	req *spscRing // HRT -> ROS request frames
+	rep *spscRing // ROS -> HRT reply frames
+
+	// mu serializes invokes: the rings are strictly single-producer/
+	// single-consumer, and holding the lock across the round trip also
+	// guarantees the reply popped is the caller's own.
+	mu        sync.Mutex
+	closeOnce sync.Once
+	dead      atomic.Bool
+	// calls is atomic, like SyncSyscallChannel.calls: the HRT thread
+	// invokes while the evaluation harness reads mid-run.
+	calls atomic.Uint64
+}
+
+// SetupExitless establishes the ring pair with a single hypercall: the
+// VMM pins and zeroes the two shared ring pages at va and tells the HRT
+// where they live. Every subsequent steady-state crossing bypasses the
+// VMM entirely.
+func (h *HVM) SetupExitless(clk *cycles.Clock, va uint64, rosCore, hrtCore machine.CoreID) (*ExitlessChannel, error) {
+	if !h.Booted() {
+		return nil, fmt.Errorf("hvm: cannot set up exitless rings before HRT boot")
+	}
+	h.hypercall(clk, "ring-setup")
+	clk.Advance(2 * h.cost.PageZero)
+	return &ExitlessChannel{
+		hvm:        h,
+		id:         atomic.AddUint64(&h.channelSeq, 1),
+		va:         va,
+		rosCore:    rosCore,
+		hrtCore:    hrtCore,
+		sameSocket: h.machine.SameSocket(rosCore, hrtCore),
+		req:        newSPSCRing(ringCapacity),
+		rep:        newSPSCRing(ringCapacity),
+	}, nil
+}
+
+// TeardownExitless revokes the ring pages with a hypercall and closes
+// the rings, releasing the dedicated poller (its Serve returns false).
+// After a partner kill this same hypercall is the "hypercall-mode
+// recovery" step the fallback path charges.
+func (h *HVM) TeardownExitless(clk *cycles.Clock, x *ExitlessChannel) {
+	h.hypercall(clk, "ring-teardown")
+	x.Close()
+}
+
+func (x *ExitlessChannel) line() cycles.Cycles {
+	if x.sameSocket {
+		return x.hvm.cost.CachelineSameSocket
+	}
+	return x.hvm.cost.CachelineCrossSocket
+}
+
+// Invoke forwards one system call over the rings. reqID is the causal
+// request id from the syscall entry (0 for control traffic).
+func (x *ExitlessChannel) Invoke(clk *cycles.Clock, call linuxabi.Call, reqID uint64) (linuxabi.Result, error) {
+	res, _, err := x.invoke(clk, call, reqID)
+	return res, err
+}
+
+// invoke is Invoke plus the retransmission count for the router's fault
+// policy. It returns errRingDown when the rings died mid-call; the
+// caller still owns the request and must re-route it.
+func (x *ExitlessChannel) invoke(clk *cycles.Clock, call linuxabi.Call, reqID uint64) (linuxabi.Result, int, error) {
+	cost := x.hvm.cost
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.dead.Load() {
+		return linuxabi.Result{}, 0, errRingDown
+	}
+	seq := x.calls.Add(1)
+
+	start := clk.Now()
+	flow := flowID(x.id, seq)
+	sp := x.hvm.tracer.Begin(telemetry.Track{Core: int(x.hrtCore), Name: "hrt"},
+		"ring", "ring-syscall", start,
+		telemetry.Attr{Key: "num", Val: uint64(call.Num)},
+		telemetry.Attr{Key: "req", Val: reqID})
+	sp.LinkOut(flow)
+
+	var rep ringFrame
+	retx := 0
+	if fi := x.hvm.faults; fi != nil {
+		// Same poll-deadline policy as the sync channel: a dropped or
+		// corrupted frame goes unanswered, the caller's virtual deadline
+		// expires, and it reposts with backoff. The ring protocol cannot
+		// duplicate a frame, so only drop and corrupt apply — plus
+		// PartnerKill, which tears the rings down entirely and pushes
+		// recovery up to the router.
+		timeout := fi.RetryTimeout()
+		max := fi.MaxAttempts()
+	send:
+		for attempt := 0; ; attempt++ {
+			if fi.Roll(faults.PartnerKill, x.id, seq, attempt, clk.Now()) {
+				x.killed(clk, seq, reqID)
+				sp.EndAt(clk.Now())
+				return linuxabi.Result{}, retx, errRingDown
+			}
+			last := attempt >= max-1
+			clk.Advance(cost.RingPost)
+			f := ringFrame{call: call, seq: seq, reqID: reqID, stamp: clk.Now() + x.line(), flow: flow}
+			dropped := !last && fi.Roll(faults.DropNotify, x.id, seq, attempt, clk.Now())
+			if !dropped {
+				f.corrupt = !last && fi.Roll(faults.CorruptFrame, x.id, seq, attempt, clk.Now())
+				if !x.post(clk, f) {
+					sp.EndAt(clk.Now())
+					return linuxabi.Result{}, retx, errRingDown
+				}
+				if !f.corrupt {
+					r, ok := x.rep.Pop()
+					if !ok {
+						sp.EndAt(clk.Now())
+						return linuxabi.Result{}, retx, errRingDown
+					}
+					rep = r
+					break send
+				}
+			}
+			clk.Advance(timeout)
+			timeout *= 2
+			retx++
+			x.hvm.metrics.Counter("faults.retransmit").Inc()
+			x.hvm.tracer.InstantFlow(telemetry.Track{Core: int(x.hrtCore), Name: "hrt"},
+				"ring", "retransmit", clk.Now(), 0, flow,
+				telemetry.Attr{Key: "seq", Val: seq},
+				telemetry.Attr{Key: "req", Val: reqID},
+				telemetry.Attr{Key: "attempt", Val: uint64(retx)})
+			x.hvm.recorder.Record(clk.Now(), telemetry.RecRetransmit, x.id, reqID, seq, uint64(retx))
+		}
+	} else {
+		clk.Advance(cost.RingPost)
+		f := ringFrame{call: call, seq: seq, reqID: reqID, stamp: clk.Now() + x.line(), flow: flow}
+		if !x.post(clk, f) {
+			sp.EndAt(clk.Now())
+			return linuxabi.Result{}, retx, errRingDown
+		}
+		r, ok := x.rep.Pop()
+		if !ok {
+			sp.EndAt(clk.Now())
+			return linuxabi.Result{}, retx, errRingDown
+		}
+		rep = r
+	}
+	clk.SyncTo(rep.stamp + x.line())
+	clk.Advance(cost.RingReapBatch)
+	sp.EndAt(clk.Now())
+	x.hvm.metrics.Counter("ring.syscalls").Inc()
+	x.hvm.metrics.LatencyHistogram("ring.syscall.latency").Observe(clk.Now() - start)
+	x.hvm.recorder.Record(clk.Now(), telemetry.RecRingCall, x.id, reqID, seq, uint64(retx))
+	return rep.res, retx, nil
+}
+
+// post publishes a request frame. A full ring would need a doorbell
+// hypercall to kick the partner — the only exit the steady-state path
+// can take, and one it never takes by construction (at most one frame
+// is outstanding per ring pair), so a healthy run keeps exits.ring at
+// exactly zero.
+func (x *ExitlessChannel) post(clk *cycles.Clock, f ringFrame) bool {
+	for !x.req.Push(f) {
+		if x.req.Closed() {
+			return false
+		}
+		x.hvm.countExit("ring")
+		clk.Advance(x.hvm.cost.HypercallRoundTrip())
+	}
+	return true
+}
+
+// killed tears the rings down after a PartnerKill roll: the dedicated
+// poller's Pop drains and returns false, its thread exits, and every
+// subsequent invoke fails fast with errRingDown until the router
+// re-promotes onto a fresh channel.
+func (x *ExitlessChannel) killed(clk *cycles.Clock, seq, reqID uint64) {
+	x.hvm.metrics.Counter("ring.kills").Inc()
+	x.hvm.recorder.Record(clk.Now(), telemetry.RecRingKill, x.id, reqID, seq, 0)
+	x.Close()
+}
+
+// Serve handles one forwarded call on the dedicated ROS poller: one
+// poll iteration that found a frame, the service itself, and the reply
+// post. It blocks (host-level only) until a frame arrives and returns
+// false when the rings close. Corrupt frames are discarded without an
+// answer — the caller's poll deadline reposts them.
+func (x *ExitlessChannel) Serve(clk *cycles.Clock, handler func(linuxabi.Call) linuxabi.Result) bool {
+	cost := x.hvm.cost
+	for {
+		f, ok := x.req.Pop()
+		if !ok {
+			return false
+		}
+		clk.SyncTo(f.stamp)
+		clk.Advance(cost.RingPoll)
+		if f.corrupt {
+			x.hvm.metrics.Counter("faults.corrupt.detected").Inc()
+			continue
+		}
+		sp := x.hvm.tracer.Begin(telemetry.Track{Core: int(x.rosCore), Name: fmt.Sprintf("ros:ringsvc:%d", x.id)},
+			"ring", "serve-syscall", f.stamp, telemetry.Attr{Key: "num", Val: uint64(f.call.Num)})
+		sp.LinkIn(f.flow)
+		res := handler(f.call)
+		sp.EndAt(clk.Now())
+		clk.Advance(cost.RingPost)
+		x.rep.Push(ringFrame{seq: f.seq, reqID: f.reqID, res: res, stamp: clk.Now()})
+		return true
+	}
+}
+
+// Close tears both rings down; idempotent, callable from either side.
+func (x *ExitlessChannel) Close() {
+	x.closeOnce.Do(func() {
+		x.dead.Store(true)
+		x.req.Close()
+		x.rep.Close()
+	})
+}
+
+// Calls reports how many calls crossed the rings. Race-free mid-run.
+func (x *ExitlessChannel) Calls() uint64 { return x.calls.Load() }
+
+// VA returns the agreed ring-page address.
+func (x *ExitlessChannel) VA() uint64 { return x.va }
+
+// ID returns the channel's deterministic id (fault-injection site key).
+func (x *ExitlessChannel) ID() uint64 { return x.id }

@@ -1,0 +1,18 @@
+package hvm
+
+// flowSeqBits is how much of a flow id the per-channel sequence number
+// occupies; the channel id lives above it. 40 bits of seqno means a
+// single channel can forward ~10^12 requests before the encoding wraps
+// — effectively never at simulation scale — while still leaving 24 bits
+// of channel id, far beyond any plausible channel count.
+const flowSeqBits = 40
+
+// flowID is the deterministic cross-track trace link id stitching a
+// sender span to the partner span that services it. It must be unique
+// per (channel, request): an earlier encoding used a 20-bit seqno
+// split, so after 2^20 forwards on one channel the sequence overflowed
+// into the channel-id bits and Perfetto flow arrows cross-linked
+// unrelated requests.
+func flowID(id, seq uint64) uint64 {
+	return id<<flowSeqBits | seq
+}

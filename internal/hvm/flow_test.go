@@ -1,0 +1,38 @@
+package hvm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestFlowIDNoSeqOverflowCollision is the regression for the original
+// 20-bit split: after 2^20 forwards on one channel, the seqno bled into
+// the channel-id bits, so channel 1's request 2^21+7 collided with
+// channel 3's request 7 and Perfetto drew flow arrows between unrelated
+// requests.
+func TestFlowIDNoSeqOverflowCollision(t *testing.T) {
+	if flowID(1, (2<<20)+7) == flowID(3, 7) {
+		t.Fatal("flow ids collide across channels after 2^20 forwards (seqno overflows into channel-id bits)")
+	}
+	// The old encoding is exactly what the widened one must not be.
+	old := func(id, seq uint64) uint64 { return id<<20 | seq }
+	if old(1, (2<<20)+7) != old(3, 7) {
+		t.Fatal("regression premise wrong: the 20-bit encoding was expected to collide")
+	}
+}
+
+// TestFlowIDRoundTrips checks the split is a clean bitfield: channel id
+// and seqno decode back out for every realistic value.
+func TestFlowIDRoundTrips(t *testing.T) {
+	f := func(id uint32, seq uint64) bool {
+		// Realistic ranges: channel ids are small sequential integers
+		// (the top 24 bits hold them), seqnos stay below the split.
+		cid := uint64(id) & ((1 << (64 - flowSeqBits)) - 1)
+		seq &= (1 << flowSeqBits) - 1
+		flow := flowID(cid, seq)
+		return flow>>flowSeqBits == cid && flow&((1<<flowSeqBits)-1) == seq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

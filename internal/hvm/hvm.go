@@ -256,10 +256,15 @@ func (h *HVM) RegisterBootHandler(bh BootHandler) {
 	h.bootHandler = bh
 }
 
+// countExit records one VM exit, both in the per-kind map (ExitCount)
+// and as an "exits.<kind>" metrics counter so a run's exposition plane
+// can prove transport-level claims — in particular that the tier-3
+// exitless steady state really takes zero exits (exits.ring stays 0).
 func (h *HVM) countExit(kind string) {
 	h.mu.Lock()
 	h.exits[kind]++
 	h.mu.Unlock()
+	h.metrics.Counter("exits." + kind).Inc()
 }
 
 // ExitCount returns the number of VM exits recorded for a kind.

@@ -1,6 +1,7 @@
 package hvm
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -56,3 +57,76 @@ func TestAsyncCallRoundTripProperty(t *testing.T) {
 type sinkFunc func(*HRTRequest)
 
 func (f sinkFunc) Inject(req *HRTRequest) { f(req) }
+
+// Property: the router's tier-3 promotion/demotion policy is a pure
+// function of the forward stream's virtual times. For any sequence of
+// inter-arrival gaps, replaying the identical stream through a fresh
+// router yields the identical transition sequence at identical virtual
+// times — the determinism the seeded fault plane and the pinned bench
+// baselines stand on. Promotions and demotions must also strictly
+// alternate (the policy never double-promotes or double-demotes).
+func TestRouterRingTransitionsReplayableProperty(t *testing.T) {
+	type transition struct {
+		What string
+		At   cycles.Cycles
+	}
+	pol := RouterPolicy{RingCalls: 8, RingWindow: 400_000, RingIdle: 1_200_000}
+
+	run := func(gaps []uint16) []transition {
+		m, err := machine.New(machine.DefaultSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := New(m, Config{ROSCores: []machine.CoreID{0}, HRTCores: []machine.CoreID{1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := NewSyscallRouter(h, 1, RouterLocalState{}, pol)
+		var evs []transition
+		r.SetExitlessHooks(
+			func(clk *cycles.Clock) (*ExitlessChannel, error) {
+				clk.Advance(h.cost.HypercallRoundTrip())
+				evs = append(evs, transition{"promote", clk.Now()})
+				return &ExitlessChannel{hvm: h, req: newSPSCRing(ringCapacity), rep: newSPSCRing(ringCapacity)}, nil
+			},
+			func(clk *cycles.Clock, x *ExitlessChannel) {
+				clk.Advance(h.cost.HypercallRoundTrip())
+				evs = append(evs, transition{"demote", clk.Now()})
+				x.Close()
+			},
+		)
+		clk := cycles.NewClock(0)
+		for _, g := range gaps {
+			// Mostly sub-window gaps (promotable bursts) with occasional
+			// idle stretches past the poll budget — both derived only
+			// from the input, so the stream itself is deterministic.
+			gap := cycles.Cycles(g&1023) * 97
+			if g%31 == 0 {
+				gap += pol.RingIdle
+			}
+			clk.Advance(gap)
+			r.applyRingPolicy(clk)
+		}
+		return evs
+	}
+
+	prop := func(gaps []uint16) bool {
+		a, b := run(gaps), run(gaps)
+		if !reflect.DeepEqual(a, b) {
+			return false
+		}
+		for i, e := range a {
+			want := "promote"
+			if i%2 == 1 {
+				want = "demote"
+			}
+			if e.What != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,124 @@
+package hvm
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"multiverse/internal/cycles"
+	"multiverse/internal/linuxabi"
+)
+
+// ringFrame is one slot of an exitless SPSC ring: a request descriptor
+// on the way out, a result on the way back. All payload travels by
+// value — the simulated shared pages never hold pointers, so a torn or
+// replayed frame can never alias live state.
+type ringFrame struct {
+	call  linuxabi.Call
+	seq   uint64
+	reqID uint64
+	stamp cycles.Cycles
+	flow  uint64
+	// corrupt marks a frame damaged in flight; the poller detects it
+	// (bad checksum) and keeps polling without answering.
+	corrupt bool
+
+	res linuxabi.Result
+}
+
+// ringCapacity is the default slot count of one ring. The exitless
+// protocol has at most one request outstanding per ring pair (the
+// caller spins for its reply before posting again), so capacity only
+// absorbs discarded corrupt frames; 64 slots is one page of frames.
+const ringCapacity = 64
+
+// spscRing is a lock-free single-producer/single-consumer ring: the
+// producer publishes a slot with a plain write followed by an atomic
+// tail store; the consumer observes the tail, reads the slot, and
+// retires it with an atomic head store. Those two atomics are the whole
+// protocol — no lock, no syscall, and in the simulated machine no VM
+// exit, which is the entire point of tier 3.
+//
+// The notify channel is host-level blocking only (so an idle poller
+// does not burn a host CPU); it carries no simulated cost and no
+// information — virtual time on both sides is governed entirely by the
+// frame stamps, exactly like the sync channel's serve queue.
+type spscRing struct {
+	slots []ringFrame
+	mask  uint64
+
+	head atomic.Uint64 // next slot the consumer will read
+	tail atomic.Uint64 // next slot the producer will write
+
+	notify    chan struct{}
+	done      chan struct{}
+	closed    atomic.Bool
+	closeOnce sync.Once
+}
+
+// newSPSCRing builds a ring with capacity rounded up to a power of two.
+func newSPSCRing(capacity int) *spscRing {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &spscRing{
+		slots:  make([]ringFrame, n),
+		mask:   uint64(n - 1),
+		notify: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+}
+
+// Push publishes one frame. It returns false without publishing when
+// the ring is full or closed; the caller distinguishes the two with
+// Closed. Producer-side only.
+func (r *spscRing) Push(f ringFrame) bool {
+	if r.closed.Load() {
+		return false
+	}
+	t := r.tail.Load()
+	if t-r.head.Load() >= uint64(len(r.slots)) {
+		return false
+	}
+	r.slots[t&r.mask] = f
+	r.tail.Store(t + 1)
+	select {
+	case r.notify <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// Pop returns the next published frame, blocking (host-level only)
+// until one arrives or the ring closes. After a close it drains frames
+// published before the close, then reports false. Consumer-side only.
+func (r *spscRing) Pop() (ringFrame, bool) {
+	for {
+		h := r.head.Load()
+		if r.tail.Load() > h {
+			f := r.slots[h&r.mask]
+			r.head.Store(h + 1)
+			return f, true
+		}
+		select {
+		case <-r.notify:
+		case <-r.done:
+			if r.tail.Load() > r.head.Load() {
+				continue
+			}
+			return ringFrame{}, false
+		}
+	}
+}
+
+// Close marks the ring dead and wakes a blocked consumer. Idempotent
+// and safe from either side.
+func (r *spscRing) Close() {
+	r.closeOnce.Do(func() {
+		r.closed.Store(true)
+		close(r.done)
+	})
+}
+
+// Closed reports whether the ring has been closed.
+func (r *spscRing) Closed() bool { return r.closed.Load() }

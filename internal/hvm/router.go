@@ -31,6 +31,10 @@ import (
 //	tier 2 (transport): everything else forwards — over the group's
 //	  asynchronous event channel by default, or over a synchronous
 //	  memory-polling channel while the group is promoted.
+//	tier 3 (exitless): a sustained forward rate dedicates the partner to
+//	  polling a pair of SPSC shared-memory rings, so steady-state
+//	  forwarding takes zero VM exits ("Look Mum, no VM Exits!");
+//	  hypercalls remain only for ring setup/teardown and kill recovery.
 //
 // Promotion is dynamic: the router tracks the group's forwarding rate in
 // virtual time and promotes a hot group to a SyncSyscallChannel mid-run
@@ -67,6 +71,23 @@ type SyscallRouter struct {
 	cleanRun int
 	lossSync bool
 
+	// Tier-3 exitless hooks and state (mu-guarded): ringPromote sets up
+	// an ExitlessChannel and its dedicated ROS poller, ringDemote tears
+	// them down. Nil hooks disable tier 3 entirely — the dark path never
+	// touches any of this state. ringHold latches after a fault-pressure
+	// demotion: re-promotion waits for CleanStreak clean tier-2 forwards
+	// (hypercall-mode recovery), and ringWasLossy makes that next
+	// promotion count as a re-promotion.
+	ringPromote  func(clk *cycles.Clock) (*ExitlessChannel, error)
+	ringDemote   func(clk *cycles.Clock, x *ExitlessChannel)
+	ring         *ExitlessChannel
+	ringRecent   []cycles.Cycles
+	lastRing     cycles.Cycles
+	ringLossRun  int
+	ringClean    int
+	ringHold     bool
+	ringWasLossy bool
+
 	// crossings counts tier-2 forwards (calls that actually crossed the
 	// boundary); atomic so the harness can read it mid-run.
 	crossings atomic.Uint64
@@ -92,6 +113,17 @@ type RouterPolicy struct {
 	// re-promote it to the cheaper-per-idle async channel.
 	LossStreak  int
 	CleanStreak int
+
+	// Tier-3 exitless policy: RingCalls forwards within RingWindow of
+	// virtual time promote the group to the polled SPSC rings
+	// (dedicating the partner to the poll loop); RingIdle of silence
+	// exhausts the poll budget and demotes back to tier 2;
+	// RingLossStreak consecutive lossy ring calls demote under fault
+	// pressure. Re-promotion after a fault demotion reuses CleanStreak.
+	RingCalls      int
+	RingWindow     cycles.Cycles
+	RingIdle       cycles.Cycles
+	RingLossStreak int
 }
 
 // DefaultRouterPolicy promotes after a burst of 32 forwards inside ~1ms of
@@ -106,6 +138,11 @@ func DefaultRouterPolicy() RouterPolicy {
 		DemoteIdle:    22_000_000, // 10 ms at 2.2 GHz
 		LossStreak:    3,
 		CleanStreak:   64,
+
+		RingCalls:      64,         // sustained, not just hot: 2x the sync burst
+		RingWindow:     13_200_000, // 6 ms at 2.2 GHz
+		RingIdle:       11_000_000, // 5 ms poll budget at 2.2 GHz
+		RingLossStreak: 2,
 	}
 }
 
@@ -125,6 +162,18 @@ func (p *RouterPolicy) fill() {
 	}
 	if p.CleanStreak <= 0 {
 		p.CleanStreak = d.CleanStreak
+	}
+	if p.RingCalls <= 0 {
+		p.RingCalls = d.RingCalls
+	}
+	if p.RingWindow <= 0 {
+		p.RingWindow = d.RingWindow
+	}
+	if p.RingIdle <= 0 {
+		p.RingIdle = d.RingIdle
+	}
+	if p.RingLossStreak <= 0 {
+		p.RingLossStreak = d.RingLossStreak
 	}
 }
 
@@ -180,6 +229,20 @@ func (r *SyscallRouter) SetPromotionHooks(
 	r.demote = demote
 }
 
+// SetExitlessHooks installs the callbacks that set up and tear down the
+// tier-3 exitless ring pair (and its dedicated ROS poller) on
+// promotion/demotion. Without hooks the router never reaches tier 3 and
+// the tier-2 paths are bit-for-bit what they were.
+func (r *SyscallRouter) SetExitlessHooks(
+	promote func(clk *cycles.Clock) (*ExitlessChannel, error),
+	demote func(clk *cycles.Clock, x *ExitlessChannel),
+) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ringPromote = promote
+	r.ringDemote = demote
+}
+
 // SetSyncChannel pins the router to an existing synchronous channel (the
 // static Options.SyncSyscalls configuration). A pinned channel is never
 // demoted unless demotion hooks are also installed.
@@ -195,6 +258,14 @@ func (r *SyscallRouter) Promoted() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.sync != nil
+}
+
+// RingPromoted reports whether the group currently forwards over the
+// tier-3 exitless rings.
+func (r *SyscallRouter) RingPromoted() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ring != nil
 }
 
 // Crossings reports how many routed calls actually crossed the boundary
@@ -321,12 +392,26 @@ func (r *SyscallRouter) resolvePath(path string) string {
 	return r.local.Cwd + "/" + path
 }
 
-// forward is tier 2: apply the promotion policy, then cross the boundary
-// over the synchronous channel if promoted, the event channel otherwise.
+// forward crosses the boundary over the cheapest promoted transport:
+// the tier-3 exitless rings when promoted, else tier 2 — the
+// synchronous channel if promoted, the event channel otherwise.
 func (r *SyscallRouter) forward(clk *cycles.Clock, ch *EventChannel, call linuxabi.Call, reqID uint64) (linuxabi.Result, error) {
+	m := r.hvm.metrics
+	if x := r.applyRingPolicy(clk); x != nil {
+		res, retx, err := x.invoke(clk, call, reqID)
+		if err == nil {
+			r.crossings.Add(1)
+			m.Counter("router.forward.ring").Inc()
+			r.noteRingTransport(clk, retx)
+			return res, nil
+		}
+		// The rings died mid-call (partner kill or shutdown): tear them
+		// down via the recovery hypercall and re-route this call over
+		// the hypercall-mode tier-2 transports.
+		r.ringDown(clk)
+	}
 	sc := r.applyPolicy(clk)
 	r.crossings.Add(1)
-	m := r.hvm.metrics
 	if sc != nil {
 		res, retx, err := sc.invoke(clk, call, reqID)
 		if err != nil {
@@ -334,6 +419,7 @@ func (r *SyscallRouter) forward(clk *cycles.Clock, ch *EventChannel, call linuxa
 		}
 		m.Counter("router.forward.sync").Inc()
 		r.noteTransport(clk, retx, true)
+		r.noteRingRecovery(retx)
 		return res, nil
 	}
 	if ch == nil {
@@ -346,7 +432,157 @@ func (r *SyscallRouter) forward(clk *cycles.Clock, ch *EventChannel, call linuxa
 	}
 	m.Counter("router.forward.async").Inc()
 	r.noteTransport(clk, env.Retransmits, false)
+	r.noteRingRecovery(env.Retransmits)
 	return rep.Res, nil
+}
+
+// applyRingPolicy runs the tier-3 promotion/demotion policy for one
+// forward and returns the ring channel to use (nil = stay on tier 2).
+// With no exitless hooks installed it returns immediately without
+// touching any state, keeping the dark path byte-identical.
+func (r *SyscallRouter) applyRingPolicy(clk *cycles.Clock) *ExitlessChannel {
+	r.mu.Lock()
+	if r.ringPromote == nil {
+		r.mu.Unlock()
+		return nil
+	}
+	now := clk.Now()
+
+	// Poll-budget exhaustion: an idle gap means the dedicated poller
+	// burned RingIdle cycles of its core finding nothing — give the
+	// partner back to tier 2.
+	if r.ring != nil && r.lastRing > 0 && now-r.lastRing >= r.policy.RingIdle {
+		x := r.ring
+		r.ring = nil
+		r.ringRecent = r.ringRecent[:0]
+		demote := r.ringDemote
+		r.mu.Unlock()
+		demote(clk, x)
+		r.hvm.metrics.Counter("router.tier3.demotions").Inc()
+		r.hvm.tracer.Instant(r.hrtTrack(), "router", "ring-demote", clk.Now())
+		r.hvm.recorder.Record(clk.Now(), telemetry.RecRingDemote, uint64(r.hrtCore), 0, 0, 0)
+		r.mu.Lock()
+	}
+
+	// Promote on a sustained forward rate. A recovery hold (fault
+	// pressure tore the rings down) blocks promotion until a clean
+	// tier-2 window clears it, and a reliability-demoted sync channel
+	// (lossSync) keeps its transport.
+	if r.ring == nil && !r.ringHold && !r.lossSync {
+		r.ringRecent = append(r.ringRecent, now)
+		if n := r.policy.RingCalls; len(r.ringRecent) > n {
+			r.ringRecent = r.ringRecent[len(r.ringRecent)-n:]
+		}
+		if len(r.ringRecent) == r.policy.RingCalls && now-r.ringRecent[0] <= r.policy.RingWindow {
+			promote := r.ringPromote
+			r.ringRecent = r.ringRecent[:0]
+			r.recent = r.recent[:0]
+			// The ring poller takes over the partner: a promoted sync
+			// channel gives its polling core back first.
+			var sc *SyncSyscallChannel
+			var scDemote func(*cycles.Clock, *SyncSyscallChannel)
+			if r.sync != nil && r.demote != nil {
+				sc, scDemote = r.sync, r.demote
+				r.sync = nil
+			}
+			r.mu.Unlock()
+			if sc != nil {
+				scDemote(clk, sc)
+				r.hvm.metrics.Counter("router.demotions").Inc()
+				r.hvm.tracer.Instant(r.hrtTrack(), "router", "channel-demote", clk.Now())
+				r.hvm.recorder.Record(clk.Now(), telemetry.RecDemote, uint64(r.hrtCore), 0, 0, 0)
+			}
+			x, err := promote(clk)
+			r.mu.Lock()
+			if err == nil && x != nil {
+				r.ring = x
+				r.ringLossRun = 0
+				if r.ringWasLossy {
+					r.ringWasLossy = false
+					r.hvm.metrics.Counter("router.tier3.repromotions").Inc()
+					r.hvm.tracer.Instant(r.hrtTrack(), "router", "ring-repromote", clk.Now())
+					r.hvm.recorder.Record(clk.Now(), telemetry.RecRingRepromote, uint64(r.hrtCore), 0, 0, 0)
+				} else {
+					r.hvm.metrics.Counter("router.tier3.promotions").Inc()
+					r.hvm.tracer.Instant(r.hrtTrack(), "router", "ring-promote", clk.Now())
+					r.hvm.recorder.Record(clk.Now(), telemetry.RecRingPromote, uint64(r.hrtCore), 0, 0, 0)
+				}
+			}
+		}
+	}
+	x := r.ring
+	if x != nil {
+		r.lastRing = now
+	}
+	r.mu.Unlock()
+	return x
+}
+
+// noteRingTransport feeds the tier-3 fault policy with one ring call's
+// transport quality: RingLossStreak consecutive lossy calls mean the
+// retransmission layer is carrying the rings, so fault pressure demotes
+// back to tier 2. A no-op while the fault plane is off.
+func (r *SyscallRouter) noteRingTransport(clk *cycles.Clock, retx int) {
+	if r.hvm.faults == nil {
+		return
+	}
+	r.mu.Lock()
+	if retx == 0 {
+		r.ringLossRun = 0
+		r.mu.Unlock()
+		return
+	}
+	r.ringLossRun++
+	if r.ringLossRun < r.policy.RingLossStreak {
+		r.mu.Unlock()
+		return
+	}
+	r.ringLossRun = 0
+	r.mu.Unlock()
+	r.ringDown(clk)
+}
+
+// ringDown tears down the tier-3 rings after fault pressure (a partner
+// kill or a loss streak): the recovery path is hypercall-mode — the
+// teardown hypercall now, tier-2 transports for subsequent forwards —
+// and re-promotion waits for a clean tier-2 window (noteRingRecovery).
+func (r *SyscallRouter) ringDown(clk *cycles.Clock) {
+	r.mu.Lock()
+	x := r.ring
+	r.ring = nil
+	r.ringRecent = r.ringRecent[:0]
+	r.ringHold = true
+	r.ringWasLossy = true
+	r.ringClean = 0
+	demote := r.ringDemote
+	r.mu.Unlock()
+	if x != nil && demote != nil {
+		demote(clk, x)
+	}
+	r.hvm.metrics.Counter("router.tier3.fault_demotions").Inc()
+	r.hvm.tracer.Instant(r.hrtTrack(), "router", "ring-demote-lossy", clk.Now())
+	r.hvm.recorder.Record(clk.Now(), telemetry.RecRingDemoteLossy, uint64(r.hrtCore), 0, 0, 0)
+}
+
+// noteRingRecovery counts clean tier-2 forwards while a recovery hold
+// is latched; CleanStreak of them in a row prove the transport healthy
+// again and release the hold, letting applyRingPolicy re-promote. A
+// no-op (no state touched) when exitless is off or no hold is latched.
+func (r *SyscallRouter) noteRingRecovery(retx int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ringPromote == nil || !r.ringHold {
+		return
+	}
+	if retx > 0 {
+		r.ringClean = 0
+		return
+	}
+	r.ringClean++
+	if r.ringClean >= r.policy.CleanStreak {
+		r.ringHold = false
+		r.ringClean = 0
+	}
 }
 
 // noteTransport feeds the fault policy with one forward's transport
@@ -512,15 +748,20 @@ func (r *SyscallRouter) InvalidateCwd() {
 	r.hvm.metrics.Counter("router.cache_invalidations").Inc()
 }
 
-// Shutdown closes a promoted channel (the group is tearing down) and
+// Shutdown closes any promoted channels (the group is tearing down) and
 // freezes the cache.
 func (r *SyscallRouter) Shutdown() {
 	r.mu.Lock()
 	sc := r.sync
 	r.sync = nil
+	x := r.ring
+	r.ring = nil
 	r.closed = true
 	r.mu.Unlock()
 	if sc != nil {
 		sc.Close()
+	}
+	if x != nil {
+		x.Close()
 	}
 }

@@ -99,7 +99,7 @@ func (s *SyncSyscallChannel) invoke(clk *cycles.Clock, call linuxabi.Call, reqID
 	seq := s.calls.Add(1)
 
 	start := clk.Now()
-	flow := s.id<<20 | seq
+	flow := flowID(s.id, seq)
 	sp := s.hvm.tracer.Begin(telemetry.Track{Core: int(s.hrtCore), Name: "hrt"},
 		"sync", "sync-syscall", start,
 		telemetry.Attr{Key: "num", Val: uint64(call.Num)},

@@ -25,6 +25,7 @@ import (
 	"multiverse/internal/bench"
 	"multiverse/internal/core"
 	"multiverse/internal/faults"
+	"multiverse/internal/profiling"
 	"multiverse/internal/scheme"
 	"multiverse/internal/telemetry"
 	"multiverse/internal/vcode"
@@ -53,7 +54,16 @@ func main() {
 	listen := flag.String("listen", "", "serve /metrics, /metrics.json, /healthz, /trace, and /flight on this address and keep serving after the run")
 	flight := flag.String("flight", "", "write the flight-recorder contents to this file at exit (auto-dumps also land here instead of stderr)")
 	sloReport := flag.Bool("slo", false, "print the per-group per-syscall SLO latency report to stderr afterwards")
+	cpuProfile := flag.String("cpuprofile", "", "write a host pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a host pprof heap profile at exit to this file")
+	blockProfile := flag.String("blockprofile", "", "write a host pprof blocking profile at exit to this file")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(profiling.Flags{CPU: *cpuProfile, Mem: *memProfile, Block: *blockProfile})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mvrun: %v\n", err)
+		os.Exit(1)
+	}
 
 	knobs := runKnobs{router: *router || *exitless, exitless: *exitless, merger: *merger, scheduler: *scheduler, hrtCores: *hrtCores, workers: *workers}
 	knobs.obs = obsKnobs{metricsJSON: *metricsJSON, listen: *listen, flight: *flight, slo: *sloReport}
@@ -63,8 +73,12 @@ func main() {
 		os.Exit(1)
 	}
 	knobs.faults = plan
-	if err := run(*world, *runtimeName, *expr, *repl, *benchName, *stats, knobs, *hotspots, *tracePath, *metrics, flag.Args()); err != nil {
+	runErr := run(*world, *runtimeName, *expr, *repl, *benchName, *stats, knobs, *hotspots, *tracePath, *metrics, flag.Args())
+	if err := stopProfiles(); err != nil {
 		fmt.Fprintf(os.Stderr, "mvrun: %v\n", err)
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "mvrun: %v\n", runErr)
 		os.Exit(1)
 	}
 }

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"multiverse/internal/bench"
 	"multiverse/internal/core"
 	"multiverse/internal/image"
+	"multiverse/internal/profiling"
 )
 
 func main() {
@@ -55,7 +57,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: mvtool build -app NAME [-overrides FILE] -o OUT.fat")
 	fmt.Fprintln(os.Stderr, "       mvtool inspect FILE.fat")
 	fmt.Fprintln(os.Stderr, "       mvtool trace [-top N] [-req ID] FILE.json")
-	fmt.Fprintln(os.Stderr, "       mvtool bench [-suite router|merger|scheduler|faults|obsv|exitless] [-json] [-o FILE]")
+	fmt.Fprintln(os.Stderr, "       mvtool bench [-suite router|merger|scheduler|faults|obsv|exitless|simspeed] [-json] [-o FILE] [-compare BENCH_pr8.json] [-cpuprofile FILE]")
 	fmt.Fprintln(os.Stderr, "       mvtool slo -in METRICS.json [-report] [-check SPEC.json]")
 	os.Exit(2)
 }
@@ -71,14 +73,48 @@ func usage() {
 // BENCH_pr7.json); otherwise it prints the table.
 func benchCmd(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	suite := fs.String("suite", "router", "suite: router (BENCH_pr2), merger (BENCH_pr3), scheduler (BENCH_pr4), faults (BENCH_pr5), obsv (BENCH_pr6), or exitless (BENCH_pr7)")
+	suite := fs.String("suite", "router", "suite: router (BENCH_pr2), merger (BENCH_pr3), scheduler (BENCH_pr4), faults (BENCH_pr5), obsv (BENCH_pr6), exitless (BENCH_pr7), or simspeed (BENCH_pr8)")
 	asJSON := fs.Bool("json", false, "emit the baseline JSON document")
 	out := fs.String("o", "", "write output to this file instead of stdout")
+	compare := fs.String("compare", "", "simspeed only: collect a fresh baseline and compare it against this pinned BENCH_pr8.json (cycles exact, wall ±tolerance)")
+	tol := fs.Float64("tol", 0.2, "wall-clock tolerance for -compare, as a ratio (0.2 = ±20%)")
+	cpuProfile := fs.String("cpuprofile", "", "write a host pprof CPU profile of the suite to this file")
+	memProfile := fs.String("memprofile", "", "write a host pprof heap profile at exit to this file")
+	blockProfile := fs.String("blockprofile", "", "write a host pprof blocking profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := profiling.Start(profiling.Flags{CPU: *cpuProfile, Mem: *memProfile, Block: *blockProfile})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "mvtool: %v\n", err)
+		}
+	}()
+	if *compare != "" {
+		if *suite != "simspeed" {
+			return fmt.Errorf("-compare applies to -suite simspeed only")
+		}
+		return compareSimspeed(*compare, *tol)
+	}
 	var blob []byte
 	switch {
+	case *suite == "simspeed" && *asJSON:
+		base, err := bench.CollectSimspeedBaseline()
+		if err != nil {
+			return err
+		}
+		if blob, err = base.MarshalIndent(); err != nil {
+			return err
+		}
+	case *suite == "simspeed":
+		t, err := bench.FigureSimspeed()
+		if err != nil {
+			return err
+		}
+		blob = []byte(t.String() + "\n")
 	case *suite == "router" && *asJSON:
 		base, err := bench.CollectRouterBaseline()
 		if err != nil {
@@ -164,13 +200,37 @@ func benchCmd(args []string) error {
 		}
 		blob = []byte(t.String() + "\n")
 	default:
-		return fmt.Errorf("unknown suite %q (want router, merger, scheduler, faults, obsv, or exitless)", *suite)
+		return fmt.Errorf("unknown suite %q (want router, merger, scheduler, faults, obsv, exitless, or simspeed)", *suite)
 	}
 	if *out != "" {
 		return os.WriteFile(*out, blob, 0o644)
 	}
-	_, err := os.Stdout.Write(blob)
+	_, err = os.Stdout.Write(blob)
 	return err
+}
+
+// compareSimspeed is the CI regression gate for the simspeed suite: the
+// deterministic virtual-cycle fields must match the pinned document
+// exactly, the wall-clock figures within the tolerance band.
+func compareSimspeed(pinnedPath string, tol float64) error {
+	data, err := os.ReadFile(pinnedPath)
+	if err != nil {
+		return err
+	}
+	var pinned bench.SimspeedBaseline
+	if err := json.Unmarshal(data, &pinned); err != nil {
+		return fmt.Errorf("parsing %s: %w", pinnedPath, err)
+	}
+	fresh, err := bench.CollectSimspeedBaseline()
+	if err != nil {
+		return err
+	}
+	if err := bench.CompareSimspeed(&pinned, fresh, tol); err != nil {
+		return err
+	}
+	fmt.Printf("simspeed ok: %d cycles exact, %.3g cyc/s host-parallel (pinned %.3g, ±%.0f%%), %.2fx vs pre-PR\n",
+		fresh.TotalCycles, fresh.Simspeed, pinned.Simspeed, tol*100, fresh.Speedup)
+	return nil
 }
 
 func build(args []string) error {

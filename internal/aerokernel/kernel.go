@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"multiverse/internal/cycles"
 	"multiverse/internal/faults"
@@ -104,9 +105,13 @@ type Kernel struct {
 	metrics  *telemetry.Registry
 	recorder *telemetry.Recorder
 
-	// Counters for the evaluation.
+	// Counters for the evaluation. forwardedSyscalls is on the syscall
+	// hot path, so it is an atomic with its metric handle resolved once
+	// (fwdSysCtr) rather than a k.mu critical section plus a registry
+	// lookup per call.
 	forwardedFaults   uint64
-	forwardedSyscalls uint64
+	forwardedSyscalls atomic.Uint64
+	fwdSysCtr         *telemetry.Counter
 
 	// faults is the armed fault-injection plane (nil = off), delivered
 	// through the boot protocol for HRT-panic injection.
@@ -141,6 +146,7 @@ func Boot(m *machine.Machine, info hvm.BootInfo) (*Kernel, error) {
 	if k.metrics == nil {
 		k.metrics = telemetry.NewRegistry()
 	}
+	k.fwdSysCtr = k.metrics.Counter("ak.forwarded_syscalls")
 	zone := m.ZoneOfCore(info.Core)
 	space, err := paging.NewAddressSpace(m.Phys, zone, "hrt")
 	if err != nil {
@@ -362,9 +368,15 @@ func (k *Kernel) ForwardedFaults() uint64 {
 
 // ForwardedSyscalls returns the number of system calls forwarded.
 func (k *Kernel) ForwardedSyscalls() uint64 {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.forwardedSyscalls
+	return k.forwardedSyscalls.Load()
+}
+
+// countForwardedSyscall bumps both views of the forwarded-syscall count:
+// the evaluation counter and the exposition-plane metric (whose handle
+// Boot resolved once).
+func (k *Kernel) countForwardedSyscall() {
+	k.forwardedSyscalls.Add(1)
+	k.fwdSysCtr.Inc()
 }
 
 // targetedShootdownMaxSlots is the delta size up to which a re-merge

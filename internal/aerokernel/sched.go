@@ -288,6 +288,59 @@ func (s *Scheduler) BurstEnd(c machine.CoreID, clk *cycles.Clock) {
 	s.k.m.Core(c).SetOccupant(0)
 }
 
+// FreeSnapshot reads each core's current freeAt stamp in one lock round
+// trip, filling out (which must be len(cores)). Together with
+// BurstStartAt/BurstEndAt/PublishFreeAt it lets a launch executor that
+// owns a batch of bursts simulate the whole schedule against local state
+// instead of paying one lock round trip per event.
+func (s *Scheduler) FreeSnapshot(cores []machine.CoreID, out []cycles.Cycles) {
+	s.mu.Lock()
+	for i, c := range cores {
+		if cs := s.state[c]; cs != nil {
+			out[i] = cs.freeAt
+		} else {
+			out[i] = 0
+		}
+	}
+	s.mu.Unlock()
+}
+
+// PublishFreeAt folds locally simulated release stamps back into the
+// per-core state (monotone max) in one lock round trip.
+func (s *Scheduler) PublishFreeAt(cores []machine.CoreID, frees []cycles.Cycles) {
+	s.mu.Lock()
+	for i, c := range cores {
+		if cs := s.state[c]; cs != nil && cs.freeAt < frees[i] {
+			cs.freeAt = frees[i]
+		}
+	}
+	s.mu.Unlock()
+}
+
+// BurstStartAt is BurstStart against a caller-tracked free stamp: the
+// same serialize-or-halt-wake arithmetic, no scheduler lock. Valid only
+// while the caller owns the core's burst schedule (nothing else starts
+// or ends bursts on it) and publishes the final stamps via PublishFreeAt.
+func (s *Scheduler) BurstStartAt(c machine.CoreID, clk *cycles.Clock, tid int, free cycles.Cycles) {
+	ready := clk.Now()
+	if free > ready {
+		clk.SyncTo(free)
+	} else if ready > free+s.spinWindow {
+		s.k.m.Core(c).SetHalted(true)
+		s.k.m.KickCore(clk, c)
+		clk.Advance(s.k.cost.IdleHaltWake)
+		s.haltCtr.Inc()
+	}
+	s.k.m.Core(c).SetOccupant(tid)
+}
+
+// BurstEndAt releases the core at the bursting clock's current time,
+// returning the release stamp for the caller's local free tracking.
+func (s *Scheduler) BurstEndAt(c machine.CoreID, clk *cycles.Clock) cycles.Cycles {
+	s.k.m.Core(c).SetOccupant(0)
+	return clk.Now()
+}
+
 // ChargeEnqueue charges n deque pushes to clk (the launching context pays
 // for populating the per-worker deques).
 func (s *Scheduler) ChargeEnqueue(clk *cycles.Clock, n int) {

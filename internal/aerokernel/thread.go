@@ -430,10 +430,7 @@ func (t *Thread) Syscall(call linuxabi.Call) linuxabi.Result {
 			return linuxabi.Result{Ret: ^uint64(0), Err: linuxabi.EINTR}
 		}
 		if crossed {
-			k.mu.Lock()
-			k.forwardedSyscalls++
-			k.mu.Unlock()
-			k.metrics.Counter("ak.forwarded_syscalls").Inc()
+			k.countForwardedSyscall()
 		}
 		reply = hvm.Reply{Res: res}
 		switch call.Num {
@@ -445,10 +442,7 @@ func (t *Thread) Syscall(call linuxabi.Call) linuxabi.Result {
 		return reply.Res
 	}
 
-	k.mu.Lock()
-	k.forwardedSyscalls++
-	k.mu.Unlock()
-	k.metrics.Counter("ak.forwarded_syscalls").Inc()
+	k.countForwardedSyscall()
 
 	t.mu.Lock()
 	svc := t.syncSvc
@@ -465,7 +459,11 @@ func (t *Thread) Syscall(call linuxabi.Call) linuxabi.Result {
 		if ch == nil {
 			return linuxabi.Result{Ret: ^uint64(0), Err: linuxabi.ENOSYS}
 		}
-		r, err := ch.Forward(t.Clock, &hvm.Envelope{Kind: hvm.EvSyscall, Call: call, ReqID: reqID})
+		env := ch.NewEnvelope()
+		env.Kind = hvm.EvSyscall
+		env.Call = call
+		env.ReqID = reqID
+		r, err := ch.Forward(t.Clock, env)
 		if err != nil {
 			return linuxabi.Result{Ret: ^uint64(0), Err: linuxabi.EINTR}
 		}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// simspeedBaselinePath locates BENCH_pr8.json at the repository root.
+func simspeedBaselinePath() string {
+	return filepath.Join("..", "..", "BENCH_pr8.json")
+}
+
+// TestSimspeedBaseline pins the simspeed composite's deterministic fields
+// against BENCH_pr8.json: per-unit virtual cycles and forwarded-syscall
+// counts exact, total cycles exact, and the host-parallel passes
+// byte-identical to serial (CollectSimspeedBaseline enforces the
+// cross-check internally). Wall-clock fields are NOT checked here — the
+// tier-1 suite runs under -race and on arbitrary hosts, where wall time
+// is meaningless; the CI simspeed job checks them with
+// `mvtool bench -suite simspeed -compare BENCH_pr8.json`.
+// Regenerate with MV_UPDATE_BASELINE=1 after an intentional cost-model
+// change.
+func TestSimspeedBaseline(t *testing.T) {
+	got, err := CollectSimspeedBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if os.Getenv("MV_UPDATE_BASELINE") != "" {
+		blob, err := got.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(simspeedBaselinePath(), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("baseline updated: %s (simspeed %.3g, %.2fx vs pre-PR)",
+			simspeedBaselinePath(), got.Simspeed, got.Speedup)
+		return
+	}
+
+	want, err := os.ReadFile(simspeedBaselinePath())
+	if err != nil {
+		t.Fatalf("reading baseline (regenerate with MV_UPDATE_BASELINE=1): %v", err)
+	}
+	var pinned SimspeedBaseline
+	if err := json.Unmarshal(want, &pinned); err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalCycles != pinned.TotalCycles {
+		t.Errorf("total cycles = %d, pinned %d", got.TotalCycles, pinned.TotalCycles)
+	}
+	if len(got.Units) != len(pinned.Units) {
+		t.Fatalf("%d units, pinned %d", len(got.Units), len(pinned.Units))
+	}
+	for i, u := range got.Units {
+		if u != pinned.Units[i] {
+			t.Errorf("unit %s = %+v, pinned %+v", u.Name, u, pinned.Units[i])
+		}
+	}
+	if !got.HostParallelMatch {
+		t.Error("host-parallel pass diverged from serial")
+	}
+}
+
+// BenchmarkSimspeedSerial runs the composite one unit after another; the
+// CI bench artifact tracks its wall time across commits with benchstat.
+func BenchmarkSimspeedSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := runSimspeedSerial(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimspeedParallel runs each composite unit on its own host
+// goroutine — the independent-execution-group mode the pinned simspeed
+// figure is measured in.
+func BenchmarkSimspeedParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := runSimspeedParallel(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

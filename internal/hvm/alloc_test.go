@@ -1,0 +1,143 @@
+package hvm
+
+import (
+	"sync"
+	"testing"
+
+	"multiverse/internal/cycles"
+	"multiverse/internal/faults"
+	"multiverse/internal/image"
+	"multiverse/internal/linuxabi"
+)
+
+// The exitless ring and the sync channel are the tightest loops the
+// forwarding planes have; the raw-speed pass made their steady states
+// allocation-free (pooled reply channels, value-only ring frames, cached
+// metric handles). These tests pin that property.
+
+func TestSPSCRingRoundTripAllocationFree(t *testing.T) {
+	r := newSPSCRing(ringCapacity)
+	f := ringFrame{seq: 1, reqID: 7, call: linuxabi.Call{Num: linuxabi.SysGetpid}}
+	// One warm lap so any lazily-initialized state exists.
+	if !r.Push(f) {
+		t.Fatal("warm push failed")
+	}
+	if _, ok := r.Pop(); !ok {
+		t.Fatal("warm pop failed")
+	}
+
+	if n := testing.AllocsPerRun(500, func() {
+		if !r.Push(f) {
+			t.Fatal("push failed")
+		}
+		if _, ok := r.Pop(); !ok {
+			t.Fatal("pop failed")
+		}
+	}); n != 0 {
+		t.Errorf("ring post/poll allocates %.1f per round trip, want 0", n)
+	}
+}
+
+func TestSyncInvokeSteadyStateAllocationFree(t *testing.T) {
+	_, h := newHVM(t)
+	clk := cycles.NewClock(0)
+	sink := &fakeSink{clk: cycles.NewClock(0)}
+	h.RegisterBootHandler(func(BootInfo) (HRTSink, error) { return sink, nil })
+	_ = h.InstallImage(clk, &image.Image{Name: "nk"})
+	_ = h.BootHRT(clk)
+
+	s, err := h.SetupSync(clk, 0x7fff_0000, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	pollClk := cycles.NewClock(clk.Now())
+	go func() {
+		for s.Poll(pollClk, func(fn uint64, args []uint64) uint64 { return fn }) {
+		}
+	}()
+
+	// Warm: the first invocation allocates the pooled reply channel.
+	for i := 0; i < 4; i++ {
+		if _, err := s.Invoke(clk, 42); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if n := testing.AllocsPerRun(500, func() {
+		if _, err := s.Invoke(clk, 42); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("sync invoke allocates %.1f per round trip, want 0", n)
+	}
+}
+
+// TestRequeueStormBoundedAllocs drives a respawn storm: the same eight
+// envelopes are received (never completed) and requeued over and over,
+// as a crash-looping partner would leave them. Each Requeue must reuse
+// its staging slices — cost per respawn is a small constant, independent
+// of how long the storm has been running.
+func TestRequeueStormBoundedAllocs(t *testing.T) {
+	h := newFaultedHVM(t, faults.Plan{Seed: 9}) // armed, all rates zero
+	c := h.NewEventChannel(1, 0)
+	const depth = 8
+
+	var wg sync.WaitGroup
+	for i := 0; i < depth; i++ {
+		wg.Add(1)
+		go func(arg uint64) {
+			defer wg.Done()
+			clk := cycles.NewClock(0)
+			r, err := c.Forward(clk, &Envelope{Kind: EvSyscall,
+				Call: linuxabi.Call{Num: linuxabi.SysGetpid, Args: [6]uint64{arg}}})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if r.Res.Ret != arg {
+				t.Errorf("reply = %d, want %d", r.Res.Ret, arg)
+			}
+		}(uint64(i))
+	}
+
+	svc := cycles.NewClock(0)
+	recvAll := func() {
+		for i := 0; i < depth; i++ {
+			if env := c.Recv(svc); env == nil {
+				t.Fatal("channel closed mid-storm")
+			}
+		}
+	}
+	recvAll() // all eight now in flight, partner "dies"
+
+	storm := func() {
+		if n := len(c.Requeue(svc.Now())); n != depth {
+			t.Fatalf("requeued %d, want %d", n, depth)
+		}
+		recvAll()
+	}
+	storm() // warm the scratch slices
+
+	n := testing.AllocsPerRun(100, storm)
+	// A respawn cycle pays a handful of fixed allocations (the Replayed
+	// result slice, sort machinery) but nothing proportional to storm
+	// length; before the scratch slices it was a fresh queue per respawn.
+	if n > 8 {
+		t.Errorf("respawn cycle allocates %.1f, want a small constant (<= 8)", n)
+	}
+
+	// Let the storm end: serve the final deliveries for real.
+	if got := len(c.Requeue(svc.Now())); got != depth {
+		t.Fatalf("final requeue = %d, want %d", got, depth)
+	}
+	for i := 0; i < depth; i++ {
+		env := c.Recv(svc)
+		if env == nil {
+			t.Fatal("channel closed before completion")
+		}
+		c.Complete(svc, env, Reply{Res: linuxabi.Result{Ret: env.Call.Args[0]}})
+	}
+	wg.Wait()
+	c.Close()
+}

@@ -30,7 +30,9 @@ const (
 	numEventKinds
 )
 
-var eventNames = map[EventKind]string{
+// eventNames is indexed by EventKind — the String() hot path is an array
+// load, not a map lookup.
+var eventNames = [numEventKinds]string{
 	EvSyscall:    "syscall",
 	EvPageFault:  "page-fault",
 	EvThreadExit: "thread-exit",
@@ -38,10 +40,35 @@ var eventNames = map[EventKind]string{
 
 // String names the event kind.
 func (k EventKind) String() string {
-	if n, ok := eventNames[k]; ok {
-		return n
+	if k > 0 && int(k) < len(eventNames) {
+		return eventNames[k]
 	}
 	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Precomputed span names keep the per-forward tracing calls concat-free
+// (the arguments are evaluated even when tracing is off).
+var forwardSpanNames, serviceSpanNames [numEventKinds]string
+
+func init() {
+	for k := EventKind(1); k < numEventKinds; k++ {
+		forwardSpanNames[k] = "forward:" + k.String()
+		serviceSpanNames[k] = "service:" + k.String()
+	}
+}
+
+func forwardSpanName(k EventKind) string {
+	if k > 0 && k < numEventKinds {
+		return forwardSpanNames[k]
+	}
+	return "forward:" + k.String()
+}
+
+func serviceSpanName(k EventKind) string {
+	if k > 0 && k < numEventKinds {
+		return serviceSpanNames[k]
+	}
+	return "service:" + k.String()
 }
 
 // Envelope is one request crossing an event channel from HRT to ROS.
@@ -80,6 +107,10 @@ type Envelope struct {
 	ReqID uint64
 
 	reply chan Reply
+	// pooled marks an envelope acquired from its channel's free list, so
+	// only those are recycled (caller-constructed envelopes are left
+	// alone).
+	pooled bool
 
 	// flow is the deterministic cross-track link id stitching the HRT
 	// forward span to the ROS service span; span is the open service
@@ -108,6 +139,8 @@ type EventChannel struct {
 	id      uint64
 	hrtCore machine.CoreID
 	rosCore machine.CoreID
+	// svcName is the partner-side trace track name, formatted once.
+	svcName string
 
 	mu      sync.Mutex
 	pending chan *Envelope
@@ -132,6 +165,23 @@ type EventChannel struct {
 	completed map[uint64]bool
 	inflight  map[uint64]*Envelope
 	redeliver []*Envelope
+	// replayScratch is Requeue's reusable staging slice: respawn storms
+	// rebuild the redelivery queue without allocating a fresh slice per
+	// respawn.
+	replayScratch []*Envelope
+
+	// Clean-path envelope recycling: one Forward is outstanding per
+	// channel in the steady state, so a one-slot free list (with the
+	// envelope's reply channel riding along) makes the round trip
+	// allocation-free. Fault-armed forwards never recycle — inflight and
+	// redeliver can hold references past Forward's return.
+	fmu     sync.Mutex
+	freeEnv *Envelope
+
+	// Cached per-kind metric handles, resolved once at channel creation
+	// instead of a registry lookup (and two string concats) per Forward.
+	fwdCtr [numEventKinds]*telemetry.Counter
+	fwdLat [numEventKinds]*telemetry.Histogram
 }
 
 // NewEventChannel creates the channel for an execution group whose HRT
@@ -144,6 +194,7 @@ func (h *HVM) NewEventChannel(hrtCore, rosCore machine.CoreID) *EventChannel {
 		rosCore: rosCore,
 		pending: make(chan *Envelope, 1),
 	}
+	c.svcName = fmt.Sprintf("ros:svc:%d", c.id)
 	if h.faults != nil {
 		// Duplicate deliveries and partner-death windows can park several
 		// envelopes at once; a deeper queue keeps the sender from blocking
@@ -152,7 +203,40 @@ func (h *HVM) NewEventChannel(hrtCore, rosCore machine.CoreID) *EventChannel {
 		c.completed = make(map[uint64]bool)
 		c.inflight = make(map[uint64]*Envelope)
 	}
+	for k := EventKind(1); k < numEventKinds; k++ {
+		c.fwdCtr[k] = h.metrics.Counter("forward." + k.String())
+		c.fwdLat[k] = h.metrics.LatencyHistogram("forward." + k.String() + ".latency")
+	}
 	return c
+}
+
+// NewEnvelope returns a zeroed envelope for the next Forward on this
+// channel, recycling the clean-path scratch envelope (and its reply
+// channel) when one is free.
+func (c *EventChannel) NewEnvelope() *Envelope {
+	c.fmu.Lock()
+	env := c.freeEnv
+	c.freeEnv = nil
+	c.fmu.Unlock()
+	if env == nil {
+		return &Envelope{pooled: true}
+	}
+	reply := env.reply
+	*env = Envelope{reply: reply, pooled: true}
+	return env
+}
+
+// releaseEnv returns a pooled envelope to the free list once its round
+// trip has fully completed.
+func (c *EventChannel) releaseEnv(env *Envelope) {
+	if !env.pooled {
+		return
+	}
+	c.fmu.Lock()
+	if c.freeEnv == nil {
+		c.freeEnv = env
+	}
+	c.fmu.Unlock()
 }
 
 // ID returns the channel's deterministic id (fault-injection site key).
@@ -167,7 +251,7 @@ func (c *EventChannel) hrtTrack() telemetry.Track {
 // channel. Naming it per channel keeps each partner's span stack private,
 // so parent/child inference never depends on goroutine interleaving.
 func (c *EventChannel) svcTrack() telemetry.Track {
-	return telemetry.Track{Core: int(c.rosCore), Name: fmt.Sprintf("ros:svc:%d", c.id)}
+	return telemetry.Track{Core: int(c.rosCore), Name: c.svcName}
 }
 
 // Forward sends an envelope from the HRT side and blocks until the ROS
@@ -193,15 +277,23 @@ func (c *EventChannel) Forward(clk *cycles.Clock, env *Envelope) (Reply, error) 
 
 	tr := c.hvm.tracer
 	start := clk.Now()
-	sp := tr.Begin(c.hrtTrack(), "evtchan", "forward:"+env.Kind.String(), start,
-		telemetry.Attr{Key: "req", Val: env.ReqID})
-	sp.LinkOut(env.flow)
-	env.reply = make(chan Reply, 1)
+	// Attr-carrying span starts are guarded: building the variadic attr
+	// slice costs a heap allocation even when tracing is off.
+	var sp *telemetry.Span
+	if tr.Enabled() {
+		sp = tr.Begin(c.hrtTrack(), "evtchan", forwardSpanName(env.Kind), start,
+			telemetry.Attr{Key: "req", Val: env.ReqID})
+		sp.LinkOut(env.flow)
+	}
+	if env.reply == nil {
+		env.reply = make(chan Reply, 1)
+	}
 	c.hvm.recorder.Record(start, telemetry.RecDoorbell, c.id, env.ReqID, seq, uint64(env.Kind))
 
 	var r Reply
-	if fi := c.hvm.faults; fi != nil {
-		r = c.sendFaulted(clk, env, fi)
+	clean := c.hvm.faults == nil
+	if !clean {
+		r = c.sendFaulted(clk, env, c.hvm.faults)
 	} else {
 		leg := tr.Begin(c.hrtTrack(), "evtchan", "request-leg", clk.Now())
 		clk.Advance(cost.EventChannelPost)
@@ -219,9 +311,20 @@ func (c *EventChannel) Forward(clk *cycles.Clock, env *Envelope) (Reply, error) 
 	inj.EndAt(clk.Now())
 	sp.EndAt(clk.Now())
 
-	m := c.hvm.metrics
-	m.Counter("forward." + env.Kind.String()).Inc()
-	m.LatencyHistogram("forward." + env.Kind.String() + ".latency").Observe(clk.Now() - start)
+	kind := env.Kind
+	if clean {
+		// The partner's Complete has run (it released the reply), so the
+		// envelope's round trip is over and it can be recycled.
+		c.releaseEnv(env)
+	}
+	if kind > 0 && kind < numEventKinds {
+		c.fwdCtr[kind].Inc()
+		c.fwdLat[kind].Observe(clk.Now() - start)
+	} else {
+		m := c.hvm.metrics
+		m.Counter("forward." + kind.String()).Inc()
+		m.LatencyHistogram("forward." + kind.String() + ".latency").Observe(clk.Now() - start)
+	}
 	return r, nil
 }
 
@@ -323,9 +426,11 @@ func (c *EventChannel) Recv(clk *cycles.Clock) *Envelope {
 		return nil
 	}
 	clk.SyncTo(env.Arrival)
-	env.span = c.hvm.tracer.Begin(c.svcTrack(), "evtchan", "service:"+env.Kind.String(), env.Arrival,
-		telemetry.Attr{Key: "req", Val: env.ReqID})
-	env.span.LinkIn(env.flow)
+	if tr := c.hvm.tracer; tr.Enabled() {
+		env.span = tr.Begin(c.svcTrack(), "evtchan", serviceSpanName(env.Kind), env.Arrival,
+			telemetry.Attr{Key: "req", Val: env.ReqID})
+		env.span.LinkIn(env.flow)
+	}
 	c.hvm.recorder.Record(env.Arrival, telemetry.RecDeliver, c.id, env.ReqID, env.Seq, 0)
 	clk.Advance(c.hvm.cost.ContextSwitch) // partner wakes from its wait
 	clk.Advance(c.hvm.cost.EventChannelPost)
@@ -363,9 +468,11 @@ func (c *EventChannel) recvFaulted(clk *cycles.Clock, fi *faults.Injector) *Enve
 		}
 		c.inflight[env.Seq] = env
 		c.rmu.Unlock()
-		env.span = c.hvm.tracer.Begin(c.svcTrack(), "evtchan", "service:"+env.Kind.String(), env.Arrival,
-			telemetry.Attr{Key: "req", Val: env.ReqID})
-		env.span.LinkIn(env.flow)
+		if tr := c.hvm.tracer; tr.Enabled() {
+			env.span = tr.Begin(c.svcTrack(), "evtchan", serviceSpanName(env.Kind), env.Arrival,
+				telemetry.Attr{Key: "req", Val: env.ReqID})
+			env.span.LinkIn(env.flow)
+		}
 		c.hvm.recorder.Record(env.Arrival, telemetry.RecDeliver, c.id, env.ReqID, env.Seq, 0)
 		clk.Advance(c.hvm.cost.ContextSwitch)
 		clk.Advance(c.hvm.cost.EventChannelPost)
@@ -437,15 +544,23 @@ func (c *EventChannel) Requeue(at cycles.Cycles) []Replayed {
 		c.rmu.Unlock()
 		return nil
 	}
-	replay := make([]*Envelope, 0, len(c.inflight))
+	// Stage the replay set in the reusable scratch slice, then append the
+	// existing queue behind it and swap the two slices: a respawn storm
+	// recycles the same two backing arrays instead of allocating a fresh
+	// queue per respawn. The inflight map is cleared, not re-made, for the
+	// same reason.
+	replay := c.replayScratch[:0]
 	for _, env := range c.inflight {
 		replay = append(replay, env)
 	}
-	c.inflight = make(map[uint64]*Envelope)
+	clear(c.inflight)
 	sort.Slice(replay, func(i, j int) bool { return replay[i].Seq < replay[j].Seq })
-	c.redeliver = append(replay, c.redeliver...)
-	out := make([]Replayed, len(replay))
-	for i, env := range replay {
+	nreplay := len(replay)
+	replay = append(replay, c.redeliver...)
+	c.replayScratch = c.redeliver[:0]
+	c.redeliver = replay
+	out := make([]Replayed, nreplay)
+	for i, env := range replay[:nreplay] {
 		out[i] = Replayed{Seq: env.Seq, ReqID: env.ReqID, Flow: env.flow}
 	}
 	c.rmu.Unlock()
@@ -490,9 +605,16 @@ type SyncChannel struct {
 	mu     sync.Mutex
 	serve  chan syncReq
 	closed bool
+	// replyFree recycles the one-slot reply channel between invocations
+	// (one call is outstanding per channel in the steady state).
+	replyFree chan syncRep
 	// calls is atomic, like EventChannel.forwarded: the caller invokes
 	// while the evaluation harness reads mid-run.
 	calls atomic.Uint64
+
+	// Metric handles resolved once at setup, not per invocation.
+	invokeCtr *telemetry.Counter
+	invokeLat *telemetry.Histogram
 }
 
 type syncReq struct {
@@ -524,6 +646,8 @@ func (h *HVM) SetupSync(clk *cycles.Clock, va uint64, rosCore, hrtCore machine.C
 		hrtCore:    hrtCore,
 		sameSocket: h.machine.SameSocket(rosCore, hrtCore),
 		serve:      make(chan syncReq),
+		invokeCtr:  h.metrics.Counter("sync.invokes"),
+		invokeLat:  h.metrics.LatencyHistogram("sync.invoke.latency"),
 	}, nil
 }
 
@@ -545,27 +669,40 @@ func (s *SyncChannel) Invoke(clk *cycles.Clock, fn uint64, args ...uint64) (uint
 		s.mu.Unlock()
 		return 0, fmt.Errorf("hvm: sync channel closed")
 	}
+	rc := s.replyFree
+	s.replyFree = nil
 	s.mu.Unlock()
+	if rc == nil {
+		rc = make(chan syncRep, 1)
+	}
 	seq := s.calls.Add(1)
 
 	start := clk.Now()
 	flow := flowID(s.id, seq)
-	sp := s.hvm.tracer.Begin(telemetry.Track{Core: int(s.rosCore), Name: "ros:main"},
-		"sync", "sync-invoke", start, telemetry.Attr{Key: "fn", Val: fn})
-	sp.LinkOut(flow)
+	var sp *telemetry.Span
+	if tr := s.hvm.tracer; tr.Enabled() {
+		sp = tr.Begin(telemetry.Track{Core: int(s.rosCore), Name: "ros:main"},
+			"sync", "sync-invoke", start, telemetry.Attr{Key: "fn", Val: fn})
+		sp.LinkOut(flow)
+	}
 
 	// Request leg: half the fixed protocol overhead plus one cacheline
 	// transfer to the polling core. If no poller is waiting yet, the
 	// request simply sits in the line until one arrives.
 	clk.Advance(cost.SyncProtocolOverhead / 2)
-	req := syncReq{fn: fn, args: args, stamp: clk.Now() + line, flow: flow, reply: make(chan syncRep, 1)}
+	req := syncReq{fn: fn, args: args, stamp: clk.Now() + line, flow: flow, reply: rc}
 	s.serve <- req
 	rep := <-req.reply
 	clk.SyncTo(rep.stamp + line)
 	clk.Advance(cost.SyncProtocolOverhead - cost.SyncProtocolOverhead/2)
 	sp.EndAt(clk.Now())
-	s.hvm.metrics.Counter("sync.invokes").Inc()
-	s.hvm.metrics.LatencyHistogram("sync.invoke.latency").Observe(clk.Now() - start)
+	s.mu.Lock()
+	if s.replyFree == nil {
+		s.replyFree = rc
+	}
+	s.mu.Unlock()
+	s.invokeCtr.Inc()
+	s.invokeLat.Observe(clk.Now() - start)
 	return rep.ret, nil
 }
 
@@ -578,9 +715,12 @@ func (s *SyncChannel) Poll(clk *cycles.Clock, fns func(fn uint64, args []uint64)
 		return false
 	}
 	clk.SyncTo(req.stamp)
-	sp := s.hvm.tracer.Begin(telemetry.Track{Core: int(s.hrtCore), Name: "hrt"},
-		"sync", "sync-poll", req.stamp, telemetry.Attr{Key: "fn", Val: req.fn})
-	sp.LinkIn(req.flow)
+	var sp *telemetry.Span
+	if tr := s.hvm.tracer; tr.Enabled() {
+		sp = tr.Begin(telemetry.Track{Core: int(s.hrtCore), Name: "hrt"},
+			"sync", "sync-poll", req.stamp, telemetry.Attr{Key: "fn", Val: req.fn})
+		sp.LinkIn(req.flow)
+	}
 	ret := fns(req.fn, req.args)
 	sp.EndAt(clk.Now())
 	req.reply <- syncRep{ret: ret, stamp: clk.Now()}

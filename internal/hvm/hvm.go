@@ -135,8 +135,11 @@ type HVM struct {
 	rosSignalClock *cycles.Clock
 
 	// Exit statistics per kind, for the "thinner virtualization layer"
-	// analysis.
-	exits map[string]uint64
+	// analysis. exitCtrs caches the matching "exits.<kind>" metric handle
+	// so the hot exit kinds skip the registry lookup (and its string
+	// concat) per exit.
+	exits    map[string]uint64
+	exitCtrs map[string]*telemetry.Counter
 
 	// Telemetry: tracer may be nil (tracing off); metrics is always
 	// non-nil. Channel ids make flow links deterministic.
@@ -189,6 +192,7 @@ func New(m *machine.Machine, cfg Config) (*HVM, error) {
 		rosCores: append([]machine.CoreID(nil), cfg.ROSCores...),
 		hrtCores: append([]machine.CoreID(nil), cfg.HRTCores...),
 		exits:    make(map[string]uint64),
+		exitCtrs: make(map[string]*telemetry.Counter),
 		tracer:   cfg.Tracer,
 		metrics:  cfg.Metrics,
 		recorder: cfg.Recorder,
@@ -263,8 +267,15 @@ func (h *HVM) RegisterBootHandler(bh BootHandler) {
 func (h *HVM) countExit(kind string) {
 	h.mu.Lock()
 	h.exits[kind]++
+	ctr := h.exitCtrs[kind]
 	h.mu.Unlock()
-	h.metrics.Counter("exits." + kind).Inc()
+	if ctr == nil {
+		ctr = h.metrics.Counter("exits." + kind)
+		h.mu.Lock()
+		h.exitCtrs[kind] = ctr
+		h.mu.Unlock()
+	}
+	ctr.Inc()
 }
 
 // ExitCount returns the number of VM exits recorded for a kind.

@@ -425,12 +425,18 @@ func (r *SyscallRouter) forward(clk *cycles.Clock, ch *EventChannel, call linuxa
 	if ch == nil {
 		return linuxabi.Result{Ret: ^uint64(0), Err: linuxabi.ENOSYS}, nil
 	}
-	env := &Envelope{Kind: EvSyscall, Call: call, ReqID: reqID}
+	env := ch.NewEnvelope()
+	env.Kind = EvSyscall
+	env.Call = call
+	env.ReqID = reqID
 	rep, err := ch.Forward(clk, env)
 	if err != nil {
 		return linuxabi.Result{}, err
 	}
 	m.Counter("router.forward.async").Inc()
+	// Reading env after Forward is safe: the dispatcher is the channel's
+	// only envelope producer, so the recycled envelope cannot be reused
+	// before the next Dispatch on this thread.
 	r.noteTransport(clk, env.Retransmits, false)
 	r.noteRingRecovery(env.Retransmits)
 	return rep.Res, nil

@@ -20,6 +20,7 @@ import (
 	"multiverse/internal/core"
 	"multiverse/internal/cycles"
 	"multiverse/internal/linuxabi"
+	"multiverse/internal/machine"
 	"multiverse/internal/scheme"
 )
 
@@ -87,6 +88,45 @@ type task struct {
 	stamp cycles.Cycles
 }
 
+// batchEnv wraps a worker Env to defer Compute charges: tight per-element
+// kernels (dot products, AXPYs) charge a few cycles per index, and paying
+// two atomic adds per element dominates the host profile. Charges
+// accumulate in a plain field and flush as one Compute at chunk end — and
+// before anything that could observe the clock — so virtual time at every
+// observation point is bit-identical to the unbatched schedule.
+type batchEnv struct {
+	core.Env
+	pending cycles.Cycles
+}
+
+func (b *batchEnv) flush() {
+	if b.pending > 0 {
+		b.Env.Compute(b.pending)
+		b.pending = 0
+	}
+}
+
+func (b *batchEnv) Compute(c cycles.Cycles) { b.pending += c }
+
+func (b *batchEnv) Clock() *cycles.Clock { b.flush(); return b.Env.Clock() }
+
+func (b *batchEnv) Syscall(call linuxabi.Call) linuxabi.Result {
+	b.flush()
+	return b.Env.Syscall(call)
+}
+
+func (b *batchEnv) VDSO(num linuxabi.Sysno) (uint64, linuxabi.Errno) {
+	b.flush()
+	return b.Env.VDSO(num)
+}
+
+func (b *batchEnv) Touch(addr uint64, write bool) error {
+	b.flush()
+	return b.Env.Touch(addr, write)
+}
+
+func (b *batchEnv) CheckTimer() bool { b.flush(); return b.Env.CheckTimer() }
+
 // worker is one runtime thread.
 type worker struct {
 	id   int
@@ -110,6 +150,11 @@ type Runtime struct {
 	// work-stealing executor (steal.go) instead of the mailbox pool.
 	sched    *aerokernel.Scheduler
 	sworkers []*stealWorker
+	// Per-launch scratch for the batched executor: worker core ids and the
+	// locally evolved per-core free stamps (indexed by worker, workers on
+	// the same core share a value). Allocated once on first launch.
+	launchCores []machine.CoreID
+	launchFrees []cycles.Cycles
 
 	// Launches counts index launches (for reporting).
 	Launches int
@@ -153,11 +198,13 @@ func New(env core.Env, nworkers int) (*Runtime, error) {
 		join, err := env.PthreadCreate(func(wenv core.Env) {
 			w.env = wenv
 			ready <- w
+			benv := &batchEnv{Env: wenv}
 			for t := range w.mail {
 				wenv.Clock().SyncTo(t.stamp)
 				for idx := t.lo; idx < t.hi; idx++ {
-					t.fn(wenv, idx)
+					t.fn(benv, idx)
 				}
+				benv.flush()
 				w.done.post(wenv, rt.coster)
 			}
 		})

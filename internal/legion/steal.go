@@ -61,6 +61,7 @@ func (d *deque) stealTop() chunk  { c := d.chunks[d.top]; d.top++; return c }
 type stealWorker struct {
 	id      int
 	env     core.Env
+	benv    *batchEnv // Compute-batching view of env for chunk bodies
 	core    machine.CoreID
 	tid     int // AeroKernel thread id, for core-occupancy bookkeeping
 	release func()
@@ -83,7 +84,7 @@ func (rt *Runtime) spawnStealWorkers(host core.SchedulerHost, nworkers int) erro
 			rt.sworkers = nil
 			return err
 		}
-		w := &stealWorker{id: i, env: wenv, core: coreID, release: release}
+		w := &stealWorker{id: i, env: wenv, benv: &batchEnv{Env: wenv}, core: coreID, release: release}
 		if ht, ok := wenv.(hrtThreader); ok {
 			w.tid = ht.HRTThreadForBench().ID
 		}
@@ -102,6 +103,18 @@ func (rt *Runtime) spawnStealWorkers(host core.SchedulerHost, nworkers int) erro
 // free time through the scheduler, so same-core workers never overlap in
 // virtual time, and the whole schedule depends only on clock arithmetic —
 // host goroutine interleaving cannot touch it.
+//
+// The executor owns every burst on the worker cores for the duration of a
+// launch, so the per-core free stamps are snapshot once, evolved locally
+// (BurstStartAt/BurstEndAt), and published once at the end — zero
+// scheduler lock round trips per event instead of the ~p+2 the unbatched
+// loop paid. On top of that, after the chosen worker finishes a chunk it
+// keeps draining in the same scan whenever it provably remains the
+// argmin: every other worker's ready time is monotone during the launch,
+// so "my new ready time beats the previous scan's runner-up (ties to the
+// lower index)" guarantees a fresh scan would pick me again. Chunk order,
+// steal decisions, per-chunk queue-delay observations, and halt/wake
+// accounting are bit-identical to the one-event-per-scan loop.
 //
 // Exactly one of fn/red is non-nil; red accumulates each chunk into its
 // own slot (slots[chunk.slot]), keeping reductions independent of which
@@ -125,44 +138,84 @@ func (rt *Runtime) stealLaunch(n int, fn func(core.Env, int), red func(core.Env,
 		w.env.Clock().SyncTo(stamp)
 	}
 
-	for remaining := len(chunks); remaining > 0; remaining-- {
-		best := -1
-		var bestAt cycles.Cycles
+	if rt.launchCores == nil {
+		rt.launchCores = make([]machine.CoreID, p)
+		rt.launchFrees = make([]cycles.Cycles, p)
+		for i, w := range ws {
+			rt.launchCores[i] = w.core
+		}
+	}
+	frees := rt.launchFrees
+	rt.sched.FreeSnapshot(rt.launchCores, frees)
+
+	steals := 0
+	remaining := len(chunks)
+	for remaining > 0 {
+		best, second := -1, -1
+		var bestAt, secondAt cycles.Cycles
 		for i, w := range ws {
 			at := w.env.Clock().Now()
-			if free := rt.sched.CoreFreeAt(w.core); free > at {
+			if free := frees[i]; free > at {
 				at = free
 			}
 			if best < 0 || at < bestAt {
+				second, secondAt = best, bestAt
 				best, bestAt = i, at
+			} else if second < 0 || at < secondAt {
+				second, secondAt = i, at
 			}
 		}
 		w := ws[best]
-		var c chunk
-		if w.deque.size() > 0 {
-			c = w.deque.popBottom()
-		} else {
-			v := rt.victimFor(best)
-			c = v.deque.stealTop()
-			rt.sched.ChargeSteal(w.env.Clock(), v.core != w.core)
-			rt.mu.Lock()
-			rt.Steals++
-			rt.mu.Unlock()
-		}
-		rt.sched.BurstStart(w.core, w.env.Clock(), w.tid)
-		rt.sched.ObserveQueueDelay(w.env.Clock().Now() - stamp)
-		if red != nil {
-			acc := 0.0
-			for idx := c.lo; idx < c.hi; idx++ {
-				acc += red(w.env, idx)
+		for {
+			var c chunk
+			if w.deque.size() > 0 {
+				c = w.deque.popBottom()
+			} else {
+				v := rt.victimFor(best)
+				c = v.deque.stealTop()
+				rt.sched.ChargeSteal(w.env.Clock(), v.core != w.core)
+				steals++
 			}
-			slots[c.slot] = acc
-		} else {
-			for idx := c.lo; idx < c.hi; idx++ {
-				fn(w.env, idx)
+			rt.sched.BurstStartAt(w.core, w.env.Clock(), w.tid, frees[best])
+			rt.sched.ObserveQueueDelay(w.env.Clock().Now() - stamp)
+			if red != nil {
+				acc := 0.0
+				for idx := c.lo; idx < c.hi; idx++ {
+					acc += red(w.benv, idx)
+				}
+				slots[c.slot] = acc
+			} else {
+				for idx := c.lo; idx < c.hi; idx++ {
+					fn(w.benv, idx)
+				}
+			}
+			w.benv.flush()
+			end := rt.sched.BurstEndAt(w.core, w.env.Clock())
+			for j, other := range ws {
+				if other.core == w.core && frees[j] < end {
+					frees[j] = end
+				}
+			}
+			remaining--
+			if remaining == 0 {
+				break
+			}
+			// Drain check: the whole point of batching. end is both w's
+			// clock and its core's free stamp, so end is w's next ready
+			// time.
+			if second >= 0 && end > secondAt {
+				break
+			}
+			if second >= 0 && end == secondAt && best > second {
+				break
 			}
 		}
-		rt.sched.BurstEnd(w.core, w.env.Clock())
+	}
+	rt.sched.PublishFreeAt(rt.launchCores, frees)
+	if steals > 0 {
+		rt.mu.Lock()
+		rt.Steals += steals
+		rt.mu.Unlock()
 	}
 
 	// Completion barrier: the master observes one wake+wait pair per

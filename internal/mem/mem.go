@@ -11,6 +11,7 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 )
@@ -49,13 +50,19 @@ type Zone struct {
 func (z Zone) End() Frame { return z.Start + Frame(z.Count) }
 
 // PhysMem is the machine's physical memory: a frame allocator over a set of
-// NUMA zones plus lazily materialized frame contents.
+// NUMA zones plus lazily materialized frame contents. Per-frame state lives
+// in dense slices indexed by frame number — page-table walks and protocol
+// pages read and write words through here, so the per-access cost is a
+// bounds check and a slice load rather than a map probe.
 type PhysMem struct {
 	mu    sync.Mutex
 	zones []Zone
 	free  map[NUMAZone][]Frame
-	used  map[Frame]string // frame -> owner tag, for accounting and leak checks
-	data  map[Frame][]byte // materialized contents (page tables, shared pages)
+	limit Frame    // one past the highest frame of any zone
+	owner []string // owner tag per allocated frame ("" = free)
+	inUse []bool
+	pages [][]byte // materialized contents (page tables, shared pages)
+	nUsed int
 }
 
 // New builds physical memory with the given zones. Zones must not overlap;
@@ -64,8 +71,6 @@ type PhysMem struct {
 func New(zones ...Zone) *PhysMem {
 	pm := &PhysMem{
 		free: make(map[NUMAZone][]Frame),
-		used: make(map[Frame]string),
-		data: make(map[Frame][]byte),
 	}
 	for _, z := range zones {
 		if z.Count == 0 {
@@ -82,7 +87,13 @@ func New(zones ...Zone) *PhysMem {
 			frames = append(frames, f)
 		}
 		pm.free[z.ID] = frames
+		if end := z.End(); end > pm.limit {
+			pm.limit = end
+		}
 	}
+	pm.owner = make([]string, pm.limit)
+	pm.inUse = make([]bool, pm.limit)
+	pm.pages = make([][]byte, pm.limit)
 	return pm
 }
 
@@ -111,7 +122,9 @@ func (pm *PhysMem) Alloc(zone NUMAZone, owner string) (Frame, error) {
 	}
 	f := frames[len(frames)-1]
 	pm.free[zone] = frames[:len(frames)-1]
-	pm.used[f] = owner
+	pm.owner[f] = owner
+	pm.inUse[f] = true
+	pm.nUsed++
 	return f, nil
 }
 
@@ -133,11 +146,13 @@ func (pm *PhysMem) AllocN(zone NUMAZone, n int, owner string) ([]Frame, error) {
 func (pm *PhysMem) Free(f Frame) error {
 	pm.mu.Lock()
 	defer pm.mu.Unlock()
-	if _, ok := pm.used[f]; !ok {
+	if f >= pm.limit || !pm.inUse[f] {
 		return fmt.Errorf("mem: double free of frame %#x", uint64(f))
 	}
-	delete(pm.used, f)
-	delete(pm.data, f)
+	pm.inUse[f] = false
+	pm.owner[f] = ""
+	pm.pages[f] = nil
+	pm.nUsed--
 	z, ok := pm.zoneOf(f)
 	if !ok {
 		return fmt.Errorf("mem: frame %#x outside all zones", uint64(f))
@@ -158,15 +173,17 @@ func (pm *PhysMem) FreeAll(frames []Frame) {
 func (pm *PhysMem) Owner(f Frame) (string, bool) {
 	pm.mu.Lock()
 	defer pm.mu.Unlock()
-	o, ok := pm.used[f]
-	return o, ok
+	if f >= pm.limit || !pm.inUse[f] {
+		return "", false
+	}
+	return pm.owner[f], true
 }
 
 // InUse returns the number of allocated frames.
 func (pm *PhysMem) InUse() int {
 	pm.mu.Lock()
 	defer pm.mu.Unlock()
-	return len(pm.used)
+	return pm.nUsed
 }
 
 // FreeCount returns the number of free frames in the zone.
@@ -188,13 +205,13 @@ func (pm *PhysMem) Page(f Frame) ([]byte, error) {
 }
 
 func (pm *PhysMem) pageLocked(f Frame) ([]byte, error) {
-	if _, ok := pm.used[f]; !ok {
+	if f >= pm.limit || !pm.inUse[f] {
 		return nil, fmt.Errorf("mem: access to unallocated frame %#x", uint64(f))
 	}
-	p, ok := pm.data[f]
-	if !ok {
+	p := pm.pages[f]
+	if p == nil {
 		p = make([]byte, PageSize)
-		pm.data[f] = p
+		pm.pages[f] = p
 	}
 	return p, nil
 }
@@ -208,11 +225,7 @@ func (pm *PhysMem) ReadU64(pa uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	var v uint64
-	for i := 7; i >= 0; i-- {
-		v = v<<8 | uint64(p[off+i])
-	}
-	return v, nil
+	return binary.LittleEndian.Uint64(p[off:]), nil
 }
 
 // WriteU64 writes a 64-bit little-endian word at a physical address.
@@ -223,9 +236,7 @@ func (pm *PhysMem) WriteU64(pa uint64, v uint64) error {
 	if err != nil {
 		return err
 	}
-	for i := 0; i < 8; i++ {
-		p[off+i] = byte(v >> (8 * i))
-	}
+	binary.LittleEndian.PutUint64(p[off:], v)
 	return nil
 }
 

@@ -307,9 +307,34 @@ func (as *AddressSpace) ClearLowerHalf() error {
 // arrangement for an HRT that supports it (section 4.4: "the physical
 // address space is identity-mapped into the higher half").
 func (as *AddressSpace) IdentityMapHigherHalf(frames uint64) error {
+	// The mapping covers every physical frame, so this loop runs tens of
+	// thousands of times per HRT boot. Consecutive pages share one leaf
+	// table for 512 entries: walk the upper levels once per 2 MiB region
+	// and stream the leaf PTEs, building exactly the tables a per-page
+	// Map loop would.
+	var (
+		pt      mem.Frame
+		ptValid bool
+		ptFor   uint64 // va >> 21 of the cached leaf table's region
+	)
 	for f := mem.Frame(0); f < mem.Frame(frames); f++ {
 		va := HigherHalfMin + f.Addr()
-		if err := as.Map(va, f, PteWrite); err != nil {
+		if region := va >> 21; !ptValid || region != ptFor {
+			pdpt, err := as.next(as.root, pml4Index(va), true)
+			if err != nil {
+				return fmt.Errorf("paging: identity map frame %#x: %w", uint64(f), err)
+			}
+			pd, err := as.next(pdpt, pdptIndex(va), true)
+			if err != nil {
+				return fmt.Errorf("paging: identity map frame %#x: %w", uint64(f), err)
+			}
+			pt, err = as.next(pd, pdIndex(va), true)
+			if err != nil {
+				return fmt.Errorf("paging: identity map frame %#x: %w", uint64(f), err)
+			}
+			ptFor, ptValid = region, true
+		}
+		if err := as.writeEntry(pt, ptIndex(va), f.Addr()|PteWrite|PtePresent); err != nil {
 			return fmt.Errorf("paging: identity map frame %#x: %w", uint64(f), err)
 		}
 	}

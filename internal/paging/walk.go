@@ -47,17 +47,37 @@ type tlbKey struct {
 	base uint64
 }
 
-// TLB is a per-core translation lookaside buffer. Capacity is bounded;
-// eviction is FIFO, which keeps the simulation deterministic. Entries are
-// tagged with an address-space identifier (a PCID stand-in): lookups and
-// fills use the current tag, so translations from different address spaces
-// coexist and a CR3 reload need not flush.
+// tlbWays is the associativity of the fixed-array TLB.
+const tlbWays = 8
+
+// tlbEntry is one way of one set. An entry is live iff gen equals the
+// TLB's current generation — FlushAll is a generation bump, never a
+// reallocation or a sweep.
+type tlbEntry struct {
+	key tlbKey
+	pte uint64
+	gen uint64
+}
+
+// TLB is a per-core translation lookaside buffer: a fixed set-associative
+// array (tlbWays ways, capacity/tlbWays sets rounded down to a power of
+// two), indexed by the page number's low bits as hardware TLBs are.
+// Eviction is FIFO per set via a round-robin cursor, which keeps the
+// simulation deterministic. Entries are tagged with an address-space
+// identifier (a PCID stand-in): lookups and fills use the current tag, so
+// translations from different address spaces coexist and a CR3 reload
+// need not flush. The whole structure is allocated once at construction;
+// lookups, fills, and flushes never allocate.
 type TLB struct {
 	mu      sync.Mutex
 	cap     int
-	tag     uint64 // current address-space tag (0 until SetTag)
-	entries map[tlbKey]uint64 // tagged page base -> leaf PTE
-	order   []tlbKey
+	sets    int
+	mask    uint64     // sets - 1
+	tag     uint64     // current address-space tag (0 until SetTag)
+	gen     uint64     // current generation; entries from older gens are dead
+	entries []tlbEntry // sets × tlbWays, set-major
+	next    []uint8    // per-set round-robin eviction cursor
+	live    int
 	hits    uint64
 	misses  uint64
 	flushes uint64
@@ -65,7 +85,36 @@ type TLB struct {
 
 // NewTLB returns a TLB holding up to capacity translations.
 func NewTLB(capacity int) *TLB {
-	return &TLB{cap: capacity, entries: make(map[tlbKey]uint64)}
+	if capacity < 1 {
+		capacity = 1
+	}
+	ways := tlbWays
+	if capacity < ways {
+		ways = capacity
+	}
+	sets := 1
+	for sets*2*ways <= capacity {
+		sets *= 2
+	}
+	t := &TLB{
+		cap:     sets * ways,
+		sets:    sets,
+		mask:    uint64(sets - 1),
+		gen:     1,
+		entries: make([]tlbEntry, sets*ways),
+		next:    make([]uint8, sets),
+	}
+	return t
+}
+
+// ways is the associativity actually in use (cap/sets; differs from
+// tlbWays only for tiny capacities).
+func (t *TLB) ways() int { return t.cap / t.sets }
+
+// setFor indexes a set by the page number's low bits, mixed with the tag
+// so distinct address spaces spread differently.
+func (t *TLB) setFor(k tlbKey) int {
+	return int(((k.base >> 12) ^ (k.tag >> 12)) & t.mask)
 }
 
 // SetTag switches the TLB to a new address-space tag without invalidating
@@ -79,39 +128,58 @@ func (t *TLB) SetTag(tag uint64) {
 func (t *TLB) lookup(base uint64) (uint64, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	e, ok := t.entries[tlbKey{t.tag, base}]
-	if ok {
-		t.hits++
-	} else {
-		t.misses++
+	k := tlbKey{t.tag, base}
+	w := t.ways()
+	set := t.setFor(k) * w
+	for i := set; i < set+w; i++ {
+		if e := &t.entries[i]; e.gen == t.gen && e.key == k {
+			t.hits++
+			return e.pte, true
+		}
 	}
-	return e, ok
+	t.misses++
+	return 0, false
 }
 
 func (t *TLB) insert(base, pte uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	k := tlbKey{t.tag, base}
-	if _, ok := t.entries[k]; ok {
-		t.entries[k] = pte
-		return
+	w := t.ways()
+	si := t.setFor(k)
+	set := si * w
+	freeSlot := -1
+	for i := set; i < set+w; i++ {
+		e := &t.entries[i]
+		if e.gen != t.gen {
+			if freeSlot < 0 {
+				freeSlot = i
+			}
+			continue
+		}
+		if e.key == k {
+			e.pte = pte
+			return
+		}
 	}
-	if len(t.order) >= t.cap {
-		oldest := t.order[0]
-		t.order = t.order[1:]
-		delete(t.entries, oldest)
+	if freeSlot < 0 {
+		// Set full: FIFO eviction at the set's round-robin cursor.
+		freeSlot = set + int(t.next[si])
+		t.next[si] = uint8((int(t.next[si]) + 1) % w)
+		t.live--
 	}
-	t.entries[k] = pte
-	t.order = append(t.order, k)
+	t.entries[freeSlot] = tlbEntry{key: k, pte: pte, gen: t.gen}
+	t.live++
 }
 
 // FlushAll empties the TLB across all tags (full invalidation, e.g. an
-// untagged CR3 reload or a broadcast shootdown).
+// untagged CR3 reload or a broadcast shootdown). It is a generation bump:
+// O(1), no sweep, no reallocation.
 func (t *TLB) FlushAll() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.entries = make(map[tlbKey]uint64)
-	t.order = t.order[:0]
+	t.gen++
+	t.live = 0
 	t.flushes++
 }
 
@@ -120,14 +188,13 @@ func (t *TLB) FlushVA(va uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	k := tlbKey{t.tag, PageBase(va)}
-	if _, ok := t.entries[k]; !ok {
-		return
-	}
-	delete(t.entries, k)
-	for i, b := range t.order {
-		if b == k {
-			t.order = append(t.order[:i], t.order[i+1:]...)
-			break
+	w := t.ways()
+	set := t.setFor(k) * w
+	for i := set; i < set+w; i++ {
+		if e := &t.entries[i]; e.gen == t.gen && e.key == k {
+			e.gen = 0
+			t.live--
+			return
 		}
 	}
 }
@@ -135,28 +202,33 @@ func (t *TLB) FlushVA(va uint64) {
 // FlushSlots invalidates, across all tags, every resident translation whose
 // virtual address falls in one of the given PML4 slots — the targeted
 // shootdown a delta merge issues instead of a full flush. It returns the
-// number of entries invalidated (each costs one invlpg).
+// number of entries invalidated (each costs one invlpg). The wanted slots
+// form a 512-bit stack mask, so the scan allocates nothing.
 func (t *TLB) FlushSlots(slots []int) int {
 	if len(slots) == 0 {
 		return 0
 	}
-	want := make(map[int]bool, len(slots))
+	var want [8]uint64 // one bit per PML4 slot
 	for _, s := range slots {
-		want[s] = true
+		if s >= 0 && s < EntriesPerTable {
+			want[s>>6] |= 1 << (uint(s) & 63)
+		}
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	n := 0
-	kept := t.order[:0]
-	for _, k := range t.order {
-		if want[PML4Index(k.base)] {
-			delete(t.entries, k)
-			n++
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.gen != t.gen {
 			continue
 		}
-		kept = append(kept, k)
+		s := PML4Index(e.key.base)
+		if want[s>>6]&(1<<(uint(s)&63)) != 0 {
+			e.gen = 0
+			t.live--
+			n++
+		}
 	}
-	t.order = kept
 	return n
 }
 
@@ -171,7 +243,7 @@ func (t *TLB) Stats() (hits, misses, flushes uint64) {
 func (t *TLB) Len() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.entries)
+	return t.live
 }
 
 // MMU bundles the translation state of one core: the active address space,

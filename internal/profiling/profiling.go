@@ -1,0 +1,84 @@
+// Package profiling wires the standard pprof host profiles into the
+// command-line tools. The profiles measure the simulator as a program —
+// host CPU, host allocations, host blocking — which is the feedback loop
+// behind the raw-speed work: every optimization in the hot paths started
+// as a peak in one of these profiles.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags is the trio of profile destinations a command exposes. Empty
+// strings disable the corresponding profile.
+type Flags struct {
+	CPU   string // -cpuprofile: pprof CPU profile
+	Mem   string // -memprofile: heap allocation profile at exit
+	Block string // -blockprofile: goroutine blocking profile at exit
+}
+
+// Enabled reports whether any profile was requested.
+func (f Flags) Enabled() bool { return f.CPU != "" || f.Mem != "" || f.Block != "" }
+
+// Start begins the requested profiles and returns a stop function that
+// flushes them to disk. The stop function must run before the process
+// exits (callers defer it around the measured region).
+func Start(f Flags) (func() error, error) {
+	var cpuFile *os.File
+	if f.CPU != "" {
+		fd, err := os.Create(f.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(fd); err != nil {
+			fd.Close()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+		cpuFile = fd
+	}
+	if f.Block != "" {
+		// Rate 1 records every blocking event; the tools run short,
+		// bounded workloads where full fidelity beats sampling.
+		runtime.SetBlockProfileRate(1)
+	}
+	stop := func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if f.Mem != "" {
+			// A GC first so the heap profile reflects live objects, not
+			// collection timing.
+			runtime.GC()
+			if err := writeProfile("allocs", f.Mem); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if f.Block != "" {
+			runtime.SetBlockProfileRate(0)
+			if err := writeProfile("block", f.Block); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	return stop, nil
+}
+
+func writeProfile(name, path string) error {
+	fd, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	defer fd.Close()
+	if err := pprof.Lookup(name).WriteTo(fd, 0); err != nil {
+		return fmt.Errorf("profiling: write %s profile: %w", name, err)
+	}
+	return nil
+}

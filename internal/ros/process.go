@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"multiverse/internal/cycles"
 	"multiverse/internal/linuxabi"
@@ -141,6 +142,14 @@ type Process struct {
 	pml4Gen [paging.LowerHalfEntries]uint64
 
 	stats Stats
+
+	// Hot accounting counters: the runtime under test bumps these on
+	// every compute charge and context switch, so they live off p.mu as
+	// atomics; Stats and getrusage fold them into the snapshot.
+	userCycles  atomic.Uint64
+	sysCycles   atomic.Uint64
+	voluntaryCS atomic.Uint64
+	involCS     atomic.Uint64
 }
 
 // FaultRecord is one entry of the page-fault trace.
@@ -343,35 +352,37 @@ func (p *Process) Stats() Stats {
 	for k, v := range p.stats.Syscalls {
 		out.Syscalls[k] = v
 	}
+	p.foldHotStats(&out)
 	return out
 }
 
 // ChargeUser adds user-mode compute time to the accounting; the runtime
 // under test calls this as it works.
 func (p *Process) ChargeUser(c cycles.Cycles) {
-	p.mu.Lock()
-	p.stats.UserCycles += c
-	p.mu.Unlock()
+	p.userCycles.Add(uint64(c))
 }
 
 func (p *Process) chargeSys(c cycles.Cycles) {
-	p.mu.Lock()
-	p.stats.SysCycles += c
-	p.mu.Unlock()
+	p.sysCycles.Add(uint64(c))
 }
 
 // CountVoluntaryCS records a voluntary context switch (blocking).
 func (p *Process) CountVoluntaryCS() {
-	p.mu.Lock()
-	p.stats.VoluntaryCS++
-	p.mu.Unlock()
+	p.voluntaryCS.Add(1)
 }
 
 // countInvoluntaryCS records a preemption (timer-driven).
 func (p *Process) countInvoluntaryCS() {
-	p.mu.Lock()
-	p.stats.InvoluntaryCS++
-	p.mu.Unlock()
+	p.involCS.Add(1)
+}
+
+// foldHotStats merges the atomic accounting counters into a stats
+// snapshot.
+func (p *Process) foldHotStats(st *Stats) {
+	st.UserCycles += cycles.Cycles(p.userCycles.Load())
+	st.SysCycles += cycles.Cycles(p.sysCycles.Load())
+	st.VoluntaryCS += p.voluntaryCS.Load()
+	st.InvoluntaryCS += p.involCS.Load()
 }
 
 // RegisterHandler associates handler code (a Go closure) with a handler

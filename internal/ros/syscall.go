@@ -643,6 +643,7 @@ func (p *Process) sysGetrusage(t *Thread, call linuxabi.Call) linuxabi.Result {
 	p.mu.Lock()
 	st := p.stats
 	p.mu.Unlock()
+	p.foldHotStats(&st)
 	usec := func(c cycles.Cycles) linuxabi.Timeval {
 		us := int64(c.Microseconds())
 		return linuxabi.Timeval{Sec: us / 1_000_000, Usec: us % 1_000_000}

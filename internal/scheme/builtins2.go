@@ -15,8 +15,7 @@ import (
 func installExtendedBuiltins(in *Interp) {
 	def := func(name string, fn func(*Interp, []*Obj) (*Obj, error)) {
 		b := in.alloc(KBuiltin)
-		b.Name = name
-		b.Fn = fn
+		b.ext = &objExt{Name: name, Fn: fn}
 		in.global.Define(in.Intern(name), b)
 	}
 

@@ -2,11 +2,73 @@ package scheme
 
 import "fmt"
 
-// Eval evaluates expr in env with proper tail calls: tail positions update
-// expr/env and loop rather than recursing, so iterative Scheme (named
-// let, do loops, tail recursion) runs in constant Go stack — the
-// tail-call elimination Racket guarantees.
+// Eval evaluates expr in env. It brackets evalCore with the frame-
+// recycling sweep: frames this evaluation created (let frames, parameter
+// frames) that did not escape into a closure go back on the free list
+// when the evaluation finishes. The returned value cannot reference a
+// released frame — only closures hold frames, and closure creation marks
+// its whole environment chain escaped.
 func (in *Interp) Eval(expr *Obj, env *Frame) (*Obj, error) {
+	base := len(in.owned)
+	v, err := in.evalCore(expr, env, base)
+	if len(in.owned) > base {
+		in.sweepOwned(base)
+	}
+	return v, err
+}
+
+// sweepOwned releases every owned frame above base. By the time it runs,
+// those frames are off every live environment chain: callers' chains
+// cannot reach callee-created frames (chains only link upward), and any
+// frame captured by a closure was marked escaped, which releaseFrame
+// respects.
+func (in *Interp) sweepOwned(base int) {
+	for i := base; i < len(in.owned); i++ {
+		in.releaseFrame(in.owned[i])
+		in.owned[i] = nil
+	}
+	in.owned = in.owned[:base]
+}
+
+// sweepTail runs at a tail-call transition into next: owned frames that
+// are not on next's chain are already dead — recycling them here, rather
+// than at Eval exit, is what lets tail-recursive loops run in constant
+// frame space instead of accumulating one dead frame per iteration.
+func (in *Interp) sweepTail(base int, next *Frame) {
+	owned := in.owned
+	keep := base
+	for i := base; i < len(owned); i++ {
+		f := owned[i]
+		if !f.escaped {
+			onChain := false
+			for c := next; c != nil; c = c.parent {
+				if c == f {
+					onChain = true
+					break
+				}
+			}
+			if onChain {
+				owned[keep] = f
+				keep++
+				continue
+			}
+			in.releaseFrame(f)
+		}
+		// Escaped frames drop out of owned: they can never be recycled,
+		// so tracking them further is pure overhead.
+	}
+	for i := keep; i < len(owned); i++ {
+		owned[i] = nil
+	}
+	in.owned = owned[:keep]
+}
+
+// evalCore is the evaluator loop, with proper tail calls: tail positions
+// update expr/env and loop rather than recursing, so iterative Scheme
+// (named let, do loops, tail recursion) runs in constant Go stack — the
+// tail-call elimination Racket guarantees. base is the caller's owned-
+// frame watermark, used by tail-transition sweeps.
+func (in *Interp) evalCore(expr *Obj, env *Frame, base int) (*Obj, error) {
 	for {
 		in.tick()
 		switch expr.Kind {
@@ -14,6 +76,16 @@ func (in *Interp) Eval(expr *Obj, env *Frame) (*Obj, error) {
 			v, ok := env.Lookup(expr)
 			if !ok {
 				return nil, evalError("unbound variable %s", expr.Str)
+			}
+			// A closure referenced in value position can flow anywhere —
+			// returned, stored, passed — so its environment chain must
+			// survive the evaluation that built it. This is the one
+			// producer of closure values besides makeClosure (which marks
+			// at creation): combination heads bypass this case via the
+			// fast path below and stay unmarked, which is what lets
+			// named-let loop frames recycle.
+			if v.Kind == KClosure && v.ext.Env != nil {
+				markEscaped(v.ext.Env)
 			}
 			return v, nil
 		case KPair:
@@ -23,34 +95,36 @@ func (in *Interp) Eval(expr *Obj, env *Frame) (*Obj, error) {
 		}
 
 		head := expr.Car
-		if head.Kind == KSymbol {
-			special := string(head.Str)
-			switch special {
-			case "quote":
+		if head.Kind == KSymbol && head.special != spNone {
+			switch head.special {
+			case spQuote:
 				return expr.Cdr.Car, nil
 
-			case "if":
-				args, ok := ListToSlice(expr.Cdr)
-				if !ok || len(args) < 2 || len(args) > 3 {
+			case spIf:
+				// (if test then [else]) — a proper list of 2 or 3 forms.
+				cd := expr.Cdr
+				if cd.Kind != KPair || cd.Cdr.Kind != KPair ||
+					!(cd.Cdr.Cdr.Kind == KNil ||
+						(cd.Cdr.Cdr.Kind == KPair && cd.Cdr.Cdr.Cdr.Kind == KNil)) {
 					return nil, evalError("if: malformed")
 				}
-				c, err := in.Eval(args[0], env)
+				c, err := in.Eval(cd.Car, env)
 				if err != nil {
 					return nil, err
 				}
 				if Truthy(c) {
-					expr = args[1]
-				} else if len(args) == 3 {
-					expr = args[2]
+					expr = cd.Cdr.Car
+				} else if cd.Cdr.Cdr.Kind == KPair {
+					expr = cd.Cdr.Cdr.Car
 				} else {
 					return Unspecified, nil
 				}
 				continue
 
-			case "define":
+			case spDefine:
 				return in.evalDefine(expr.Cdr, env)
 
-			case "set!":
+			case spSet:
 				args, ok := ListToSlice(expr.Cdr)
 				if !ok || len(args) != 2 || args[0].Kind != KSymbol {
 					return nil, evalError("set!: malformed")
@@ -64,31 +138,42 @@ func (in *Interp) Eval(expr *Obj, env *Frame) (*Obj, error) {
 				}
 				return Unspecified, nil
 
-			case "lambda":
+			case spLambda:
 				return in.makeClosure(expr.Cdr, env)
 
-			case "begin":
-				body, ok := ListToSlice(expr.Cdr)
-				if !ok {
-					return nil, evalError("begin: malformed")
-				}
-				if len(body) == 0 {
+			case spBegin:
+				cur := expr.Cdr
+				if cur.Kind == KNil {
 					return Unspecified, nil
 				}
-				for _, e := range body[:len(body)-1] {
-					if _, err := in.Eval(e, env); err != nil {
+				for cur.Kind == KPair && cur.Cdr.Kind == KPair {
+					if _, err := in.Eval(cur.Car, env); err != nil {
 						return nil, err
 					}
+					cur = cur.Cdr
 				}
-				expr = body[len(body)-1]
+				if cur.Kind != KPair || cur.Cdr.Kind != KNil {
+					return nil, evalError("begin: malformed")
+				}
+				expr = cur.Car
 				continue
 
-			case "let":
-				body, le, err := in.evalLet(expr.Cdr, env)
+			case spLet, spLetStar, spLetrec:
+				var body *Obj
+				var le *Frame
+				var err error
+				switch head.special {
+				case spLet:
+					body, le, err = in.evalLet(expr.Cdr, env)
+				case spLetStar:
+					body, le, err = in.evalLetStar(expr.Cdr, env)
+				default:
+					body, le, err = in.evalLetrec(expr.Cdr, env)
+				}
 				if err != nil {
 					return nil, err
 				}
-				tail, err := in.evalSeq(body, le)
+				tail, err := in.evalBodyList(body, le)
 				if err != nil {
 					return nil, err
 				}
@@ -98,37 +183,7 @@ func (in *Interp) Eval(expr *Obj, env *Frame) (*Obj, error) {
 				expr, env = tail, le
 				continue
 
-			case "let*":
-				body, le, err := in.evalLetStar(expr.Cdr, env)
-				if err != nil {
-					return nil, err
-				}
-				tail, err := in.evalSeq(body, le)
-				if err != nil {
-					return nil, err
-				}
-				if tail == nil {
-					return Unspecified, nil
-				}
-				expr, env = tail, le
-				continue
-
-			case "letrec", "letrec*":
-				body, le, err := in.evalLetrec(expr.Cdr, env)
-				if err != nil {
-					return nil, err
-				}
-				tail, err := in.evalSeq(body, le)
-				if err != nil {
-					return nil, err
-				}
-				if tail == nil {
-					return Unspecified, nil
-				}
-				expr, env = tail, le
-				continue
-
-			case "cond":
+			case spCond:
 				ne, done, v, err := in.evalCond(expr.Cdr, env)
 				if err != nil {
 					return nil, err
@@ -139,7 +194,7 @@ func (in *Interp) Eval(expr *Obj, env *Frame) (*Obj, error) {
 				expr = ne
 				continue
 
-			case "case":
+			case spCase:
 				ne, done, v, err := in.evalCase(expr.Cdr, env)
 				if err != nil {
 					return nil, err
@@ -150,106 +205,136 @@ func (in *Interp) Eval(expr *Obj, env *Frame) (*Obj, error) {
 				expr = ne
 				continue
 
-			case "and":
-				args, _ := ListToSlice(expr.Cdr)
-				if len(args) == 0 {
+			case spAnd:
+				cur := expr.Cdr
+				if cur.Kind != KPair {
 					return True, nil
 				}
-				for _, e := range args[:len(args)-1] {
-					v, err := in.Eval(e, env)
+				for cur.Cdr.Kind == KPair {
+					v, err := in.Eval(cur.Car, env)
 					if err != nil {
 						return nil, err
 					}
 					if !Truthy(v) {
 						return v, nil
 					}
+					cur = cur.Cdr
 				}
-				expr = args[len(args)-1]
+				expr = cur.Car
 				continue
 
-			case "or":
-				args, _ := ListToSlice(expr.Cdr)
-				if len(args) == 0 {
+			case spOr:
+				cur := expr.Cdr
+				if cur.Kind != KPair {
 					return False, nil
 				}
-				for _, e := range args[:len(args)-1] {
-					v, err := in.Eval(e, env)
+				for cur.Cdr.Kind == KPair {
+					v, err := in.Eval(cur.Car, env)
 					if err != nil {
 						return nil, err
 					}
 					if Truthy(v) {
 						return v, nil
 					}
+					cur = cur.Cdr
 				}
-				expr = args[len(args)-1]
+				expr = cur.Car
 				continue
 
-			case "when", "unless":
-				args, ok := ListToSlice(expr.Cdr)
-				if !ok || len(args) < 1 {
-					return nil, evalError("%s: malformed", special)
+			case spWhen, spUnless:
+				cur := expr.Cdr
+				if cur.Kind != KPair {
+					return nil, evalError("%s: malformed", head.Str)
 				}
-				c, err := in.Eval(args[0], env)
+				c, err := in.Eval(cur.Car, env)
 				if err != nil {
 					return nil, err
 				}
 				hit := Truthy(c)
-				if special == "unless" {
+				if head.special == spUnless {
 					hit = !hit
 				}
-				if !hit || len(args) == 1 {
+				if !hit || cur.Cdr.Kind != KPair {
 					return Unspecified, nil
 				}
-				for _, e := range args[1 : len(args)-1] {
-					if _, err := in.Eval(e, env); err != nil {
+				cur = cur.Cdr
+				for cur.Cdr.Kind == KPair {
+					if _, err := in.Eval(cur.Car, env); err != nil {
 						return nil, err
 					}
+					cur = cur.Cdr
 				}
-				expr = args[len(args)-1]
+				expr = cur.Car
 				continue
 
-			case "do":
+			case spDo:
 				v, err := in.evalDo(expr.Cdr, env)
 				return v, err
 
-			case "quasiquote":
+			case spQuasiquote:
 				return in.evalQuasi(expr.Cdr.Car, env, 1)
 			}
 		}
 
-		// Combination: evaluate operator and operands, then apply.
-		fn, err := in.Eval(head, env)
-		if err != nil {
-			return nil, err
+		// Combination: evaluate operator and operands, then apply. The
+		// operands ride the interpreter's operand stack: pushed here,
+		// passed down as a sub-slice, and popped before leaving — callees
+		// never retain the slice, so argument lists cost no allocation.
+		// Head position: a symbol head is resolved inline — same tick,
+		// same charge, but without the KSymbol value-position escape
+		// marking, since evalCore consumes fn immediately and never
+		// retains it. Calling a named-let loop therefore does not pin its
+		// frames.
+		var fn *Obj
+		if head.Kind == KSymbol {
+			in.tick()
+			v, ok := env.Lookup(head)
+			if !ok {
+				return nil, evalError("unbound variable %s", head.Str)
+			}
+			fn = v
+		} else {
+			v, err := in.Eval(head, env)
+			if err != nil {
+				return nil, err
+			}
+			fn = v
 		}
-		var args []*Obj
+		abase := len(in.argStack)
 		for cur := expr.Cdr; cur.Kind == KPair; cur = cur.Cdr {
 			a, err := in.Eval(cur.Car, env)
 			if err != nil {
+				in.argStack = in.argStack[:abase]
 				return nil, err
 			}
-			args = append(args, a)
+			in.argStack = append(in.argStack, a)
 		}
+		args := in.argStack[abase:]
 
 		switch fn.Kind {
 		case KBuiltin:
-			return fn.Fn(in, args)
+			v, err := fn.ext.Fn(in, args)
+			in.argStack = in.argStack[:abase]
+			return v, err
 		case KClosure:
 			frame, err := in.bindParams(fn, args)
+			in.argStack = in.argStack[:abase]
 			if err != nil {
 				return nil, err
 			}
-			if len(fn.Body) == 0 {
+			if len(fn.ext.Body) == 0 {
 				return Unspecified, nil
 			}
-			for _, e := range fn.Body[:len(fn.Body)-1] {
+			for _, e := range fn.ext.Body[:len(fn.ext.Body)-1] {
 				if _, err := in.Eval(e, frame); err != nil {
 					return nil, err
 				}
 			}
-			expr, env = fn.Body[len(fn.Body)-1], frame
+			in.sweepTail(base, frame)
+			expr, env = fn.ext.Body[len(fn.ext.Body)-1], frame
 			continue
 		default:
+			in.argStack = in.argStack[:abase]
 			return nil, evalError("not a procedure: %s", WriteString(fn))
 		}
 	}
@@ -261,20 +346,24 @@ func (in *Interp) Apply(fn *Obj, args []*Obj) (*Obj, error) {
 	switch fn.Kind {
 	case KBuiltin:
 		in.tick()
-		return fn.Fn(in, args)
+		return fn.ext.Fn(in, args)
 	case KClosure:
+		base := len(in.owned)
 		frame, err := in.bindParams(fn, args)
 		if err != nil {
+			in.sweepOwned(base)
 			return nil, err
 		}
 		var out *Obj = Unspecified
-		for _, e := range fn.Body {
+		for _, e := range fn.ext.Body {
 			v, err := in.Eval(e, frame)
 			if err != nil {
+				in.sweepOwned(base)
 				return nil, err
 			}
 			out = v
 		}
+		in.sweepOwned(base)
 		return out, nil
 	default:
 		return nil, evalError("apply: not a procedure: %s", WriteString(fn))
@@ -282,18 +371,19 @@ func (in *Interp) Apply(fn *Obj, args []*Obj) (*Obj, error) {
 }
 
 func (in *Interp) bindParams(fn *Obj, args []*Obj) (*Frame, error) {
-	frame := NewFrame(fn.Env)
-	if fn.Rest == nil && len(args) != len(fn.Params) {
-		return nil, evalError("arity: want %d args, got %d", len(fn.Params), len(args))
+	frame := in.newFrame(fn.ext.Env)
+	in.owned = append(in.owned, frame)
+	if fn.ext.Rest == nil && len(args) != len(fn.ext.Params) {
+		return nil, evalError("arity: want %d args, got %d", len(fn.ext.Params), len(args))
 	}
-	if fn.Rest != nil && len(args) < len(fn.Params) {
-		return nil, evalError("arity: want at least %d args, got %d", len(fn.Params), len(args))
+	if fn.ext.Rest != nil && len(args) < len(fn.ext.Params) {
+		return nil, evalError("arity: want at least %d args, got %d", len(fn.ext.Params), len(args))
 	}
-	for i, p := range fn.Params {
+	for i, p := range fn.ext.Params {
 		frame.Define(p, args[i])
 	}
-	if fn.Rest != nil {
-		frame.Define(fn.Rest, in.List(args[len(fn.Params):]...))
+	if fn.ext.Rest != nil {
+		frame.Define(fn.ext.Rest, in.List(args[len(fn.ext.Params):]...))
 	}
 	return frame, nil
 }
@@ -312,10 +402,8 @@ func (in *Interp) makeClosure(form *Obj, env *Frame) (*Obj, error) {
 		return nil, evalError("lambda: malformed body")
 	}
 	c := in.alloc(KClosure)
-	c.Params = params
-	c.Rest = rest
-	c.Body = body
-	c.Env = env
+	c.ext = &objExt{Params: params, Rest: rest, Body: body, Env: env}
+	markEscaped(env)
 	return c, nil
 }
 
@@ -373,7 +461,7 @@ func (in *Interp) evalDefine(form *Obj, env *Frame) (*Obj, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.Name = string(name.Str)
+		c.ext.Name = name.ext.Name
 		env.Define(name, c)
 		return Unspecified, nil
 	default:
@@ -381,24 +469,34 @@ func (in *Interp) evalDefine(form *Obj, env *Frame) (*Obj, error) {
 	}
 }
 
-// evalSeq evaluates all but the last expression of a body, returning the
-// last as the caller's new tail expression (nil for an empty body). It
-// never allocates: multi-expression bodies need no begin-wrapping.
-func (in *Interp) evalSeq(body []*Obj, env *Frame) (*Obj, error) {
-	if len(body) == 0 {
+// evalBodyList evaluates all but the last expression of a body (a pair
+// chain), returning the last as the caller's new tail expression (nil for
+// an empty body). It never allocates: multi-expression bodies need no
+// begin-wrapping and no slice conversion.
+func (in *Interp) evalBodyList(body *Obj, env *Frame) (*Obj, error) {
+	if body.Kind != KPair {
 		return nil, nil
 	}
-	for _, e := range body[:len(body)-1] {
-		if _, err := in.Eval(e, env); err != nil {
+	for body.Cdr.Kind == KPair {
+		if _, err := in.Eval(body.Car, env); err != nil {
 			return nil, err
 		}
+		body = body.Cdr
 	}
-	return body[len(body)-1], nil
+	return body.Car, nil
 }
 
-// evalLet handles plain and named let, returning the body and the new
-// environment.
-func (in *Interp) evalLet(form *Obj, env *Frame) ([]*Obj, *Frame, error) {
+// checkBinding validates one (symbol init) binding form.
+func checkBinding(b *Obj) error {
+	if b.Kind != KPair || b.Car.Kind != KSymbol || b.Cdr.Kind != KPair {
+		return evalError("let: malformed binding %s", WriteString(b))
+	}
+	return nil
+}
+
+// evalLet handles plain and named let, returning the body (a pair chain)
+// and the new environment.
+func (in *Interp) evalLet(form *Obj, env *Frame) (*Obj, *Frame, error) {
 	if form.Kind != KPair {
 		return nil, nil, evalError("let: malformed")
 	}
@@ -410,114 +508,144 @@ func (in *Interp) evalLet(form *Obj, env *Frame) ([]*Obj, *Frame, error) {
 			return nil, nil, evalError("named let: malformed")
 		}
 		binds, body := rest.Car, rest.Cdr
-		params, inits, err := in.parseBindings(binds)
-		if err != nil {
-			return nil, nil, err
-		}
-		loopEnv := NewFrame(env)
+		// loopEnv is owned and recyclable, not escaped: the loop closure
+		// below is deliberately unmarked. It can only leak out of the
+		// loop by being referenced in value position (the KSymbol case
+		// marks then) or by being captured inside a lambda whose chain
+		// passes through loopEnv (makeClosure marks then) — head-position
+		// loop calls pin nothing, so iterative loops recycle every frame.
 		// Named-let loop procedures are compiled to jumps by real
 		// runtimes (Racket never materializes them), so this one is not
-		// a heap allocation: loops stay allocation-free.
-		c := &Obj{Kind: KClosure}
-		c.Params = params
-		c.Body, _ = ListToSlice(body)
-		c.Env = loopEnv
-		c.Name = string(name.Str)
-		loopEnv.Define(name, c)
-		args := make([]*Obj, len(inits))
-		for i, e := range inits {
-			v, err := in.Eval(e, env)
-			if err != nil {
+		// a heap allocation: loops stay allocation-free. The closure Obj
+		// itself recycles with its frame (Frame.loopc), so a loop entry
+		// reuses a dead loop's closure and backing arrays.
+		var c *Obj
+		if n := len(in.freeClosures); n > 0 {
+			c = in.freeClosures[n-1]
+			in.freeClosures[n-1] = nil
+			in.freeClosures = in.freeClosures[:n-1]
+			ce := c.ext
+			ce.Params = ce.Params[:0]
+			ce.Body = ce.Body[:0]
+			ce.Rest = nil
+		} else {
+			c = &Obj{Kind: KClosure, ext: &objExt{}}
+		}
+		ce := c.ext
+		cur := binds
+		for ; cur.Kind == KPair; cur = cur.Cdr {
+			if err := checkBinding(cur.Car); err != nil {
 				return nil, nil, err
 			}
-			args[i] = v
+			ce.Params = append(ce.Params, cur.Car.Car)
 		}
-		frame, err := in.bindParams(c, args)
+		if cur.Kind != KNil {
+			return nil, nil, evalError("let: improper binding list")
+		}
+		for b := body; b.Kind == KPair; b = b.Cdr {
+			ce.Body = append(ce.Body, b.Car)
+		}
+		loopEnv := in.newFrame(env)
+		in.owned = append(in.owned, loopEnv)
+		ce.Env = loopEnv
+		ce.Name = name.ext.Name
+		loopEnv.Define(name, c)
+		loopEnv.loopc = c
+		// Initial loop arguments ride the operand stack, like any other
+		// application's.
+		abase := len(in.argStack)
+		for b := binds; b.Kind == KPair; b = b.Cdr {
+			v, err := in.Eval(b.Car.Cdr.Car, env)
+			if err != nil {
+				in.argStack = in.argStack[:abase]
+				return nil, nil, err
+			}
+			in.argStack = append(in.argStack, v)
+		}
+		frame, err := in.bindParams(c, in.argStack[abase:])
+		in.argStack = in.argStack[:abase]
 		if err != nil {
 			return nil, nil, err
 		}
-		return c.Body, frame, nil
+		return body, frame, nil
 	}
 
-	binds, body := form.Car, form.Cdr
-	params, inits, err := in.parseBindings(binds)
-	if err != nil {
-		return nil, nil, err
-	}
-	frame := NewFrame(env)
-	for i, p := range params {
-		v, err := in.Eval(inits[i], env)
-		if err != nil {
-			return nil, nil, err
-		}
-		frame.Define(p, v)
-	}
-	bodyList, _ := ListToSlice(body)
-	return bodyList, frame, nil
-}
-
-func (in *Interp) evalLetStar(form *Obj, env *Frame) ([]*Obj, *Frame, error) {
-	if form.Kind != KPair {
-		return nil, nil, evalError("let*: malformed")
-	}
-	params, inits, err := in.parseBindings(form.Car)
-	if err != nil {
-		return nil, nil, err
-	}
-	frame := env
-	for i, p := range params {
-		frame = NewFrame(frame)
-		v, err := in.Eval(inits[i], frame)
-		if err != nil {
-			return nil, nil, err
-		}
-		frame.Define(p, v)
-	}
-	if frame == env {
-		frame = NewFrame(env)
-	}
-	bodyList, _ := ListToSlice(form.Cdr)
-	return bodyList, frame, nil
-}
-
-func (in *Interp) evalLetrec(form *Obj, env *Frame) ([]*Obj, *Frame, error) {
-	if form.Kind != KPair {
-		return nil, nil, evalError("letrec: malformed")
-	}
-	params, inits, err := in.parseBindings(form.Car)
-	if err != nil {
-		return nil, nil, err
-	}
-	frame := NewFrame(env)
-	for _, p := range params {
-		frame.Define(p, Unspecified)
-	}
-	for i, p := range params {
-		v, err := in.Eval(inits[i], frame)
-		if err != nil {
-			return nil, nil, err
-		}
-		frame.Define(p, v)
-	}
-	bodyList, _ := ListToSlice(form.Cdr)
-	return bodyList, frame, nil
-}
-
-func (in *Interp) parseBindings(binds *Obj) (params []*Obj, inits []*Obj, err error) {
-	cur := binds
-	for cur.Kind == KPair {
+	// Plain let: inits evaluate in the outer env, bindings land directly
+	// in the fresh frame — no params/inits slices.
+	frame := in.newFrame(env)
+	in.owned = append(in.owned, frame)
+	cur := form.Car
+	for ; cur.Kind == KPair; cur = cur.Cdr {
 		b := cur.Car
-		if b.Kind != KPair || b.Car.Kind != KSymbol || b.Cdr.Kind != KPair {
-			return nil, nil, evalError("let: malformed binding %s", WriteString(b))
+		if err := checkBinding(b); err != nil {
+			return nil, nil, err
 		}
-		params = append(params, b.Car)
-		inits = append(inits, b.Cdr.Car)
-		cur = cur.Cdr
+		v, err := in.Eval(b.Cdr.Car, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		frame.Define(b.Car, v)
 	}
 	if cur.Kind != KNil {
 		return nil, nil, evalError("let: improper binding list")
 	}
-	return params, inits, nil
+	return form.Cdr, frame, nil
+}
+
+func (in *Interp) evalLetStar(form *Obj, env *Frame) (*Obj, *Frame, error) {
+	if form.Kind != KPair {
+		return nil, nil, evalError("let*: malformed")
+	}
+	frame := env
+	cur := form.Car
+	for ; cur.Kind == KPair; cur = cur.Cdr {
+		b := cur.Car
+		if err := checkBinding(b); err != nil {
+			return nil, nil, err
+		}
+		frame = in.newFrame(frame)
+		in.owned = append(in.owned, frame)
+		v, err := in.Eval(b.Cdr.Car, frame)
+		if err != nil {
+			return nil, nil, err
+		}
+		frame.Define(b.Car, v)
+	}
+	if cur.Kind != KNil {
+		return nil, nil, evalError("let: improper binding list")
+	}
+	if frame == env {
+		frame = in.newFrame(env)
+		in.owned = append(in.owned, frame)
+	}
+	return form.Cdr, frame, nil
+}
+
+func (in *Interp) evalLetrec(form *Obj, env *Frame) (*Obj, *Frame, error) {
+	if form.Kind != KPair {
+		return nil, nil, evalError("letrec: malformed")
+	}
+	frame := in.newFrame(env)
+	in.owned = append(in.owned, frame)
+	cur := form.Car
+	for ; cur.Kind == KPair; cur = cur.Cdr {
+		if err := checkBinding(cur.Car); err != nil {
+			return nil, nil, err
+		}
+		frame.Define(cur.Car.Car, Unspecified)
+	}
+	if cur.Kind != KNil {
+		return nil, nil, evalError("let: improper binding list")
+	}
+	for cur = form.Car; cur.Kind == KPair; cur = cur.Cdr {
+		b := cur.Car
+		v, err := in.Eval(b.Cdr.Car, frame)
+		if err != nil {
+			return nil, nil, err
+		}
+		frame.Define(b.Car, v)
+	}
+	return form.Cdr, frame, nil
 }
 
 // evalCond returns either a tail expression or a final value.
@@ -610,9 +738,13 @@ func (in *Interp) evalDo(form *Obj, env *Frame) (*Obj, error) {
 	if form.Kind != KPair || form.Cdr.Kind != KPair {
 		return nil, evalError("do: malformed")
 	}
+	// do-loop frames are managed locally rather than through the owned
+	// stack: the loop wholly controls both the current and next frame, so
+	// it can recycle the old one at each step swap (releaseFrame skips
+	// any frame a closure captured).
 	var names []*Obj
 	var steps []*Obj
-	frame := NewFrame(env)
+	frame := in.newFrame(env)
 	for cur := form.Car; cur.Kind == KPair; cur = cur.Cdr {
 		spec, _ := ListToSlice(cur.Car)
 		if len(spec) < 2 || spec[0].Kind != KSymbol {
@@ -649,6 +781,7 @@ func (in *Interp) evalDo(form *Obj, env *Frame) (*Obj, error) {
 					return nil, err
 				}
 			}
+			in.releaseFrame(frame)
 			return out, nil
 		}
 		for _, e := range body {
@@ -656,14 +789,16 @@ func (in *Interp) evalDo(form *Obj, env *Frame) (*Obj, error) {
 				return nil, err
 			}
 		}
-		next := NewFrame(env)
+		next := in.newFrame(env)
 		for i, n := range names {
 			v, err := in.Eval(steps[i], frame)
 			if err != nil {
+				in.releaseFrame(next)
 				return nil, err
 			}
 			next.Define(n, v)
 		}
+		in.releaseFrame(frame)
 		frame = next
 	}
 }

@@ -89,6 +89,7 @@ const (
 type segment struct {
 	base      uint64
 	cells     []*Obj
+	arena     []Obj // Go-side cell storage, one block per segment
 	protected bool
 	old       bool       // promoted by a previous collection
 	backend   memBackend // the backend that mapped this segment
@@ -174,7 +175,16 @@ func (g *GC) alloc() *Obj {
 		s = ns
 	}
 	addr := s.base + uint64(len(s.cells))*cellBytes
-	o := &Obj{Addr: addr, seg: s}
+	// Cells come from a per-segment arena: one Go allocation per segment
+	// instead of one per cell. The arena is sized up front and indexed by
+	// cell count, so cell pointers never move. Lazy — segments that never
+	// become the active nursery (most of the initial heap) pay nothing.
+	if s.arena == nil {
+		s.arena = make([]Obj, segCells)
+	}
+	o := &s.arena[len(s.cells)]
+	o.Addr = addr
+	o.seg = s
 	s.cells = append(s.cells, o)
 	g.allocBytes += cellBytes
 
@@ -328,14 +338,14 @@ func (g *GC) collect(minor bool) {
 					mark(e)
 				}
 			case KClosure:
-				for _, p := range o.Params {
+				for _, p := range o.ext.Params {
 					mark(p)
 				}
-				mark(o.Rest)
-				for _, b := range o.Body {
+				mark(o.ext.Rest)
+				for _, b := range o.ext.Body {
 					mark(b)
 				}
-				markFrame(o.Env)
+				markFrame(o.ext.Env)
 			}
 			return
 		}
@@ -343,10 +353,10 @@ func (g *GC) collect(minor bool) {
 	markFrame = func(f *Frame) {
 		for ; f != nil && !frameSeen[f]; f = f.parent {
 			frameSeen[f] = true
-			for k, v := range f.vars {
+			f.each(func(k, v *Obj) {
 				mark(k)
 				mark(v)
-			}
+			})
 		}
 	}
 	for _, r := range g.roots {

@@ -37,6 +37,26 @@ type Interp struct {
 	// stdout buffering (a line-buffered stdio FILE).
 	outBuf []byte
 
+	// argStack is the evaluator's operand stack: combination arguments
+	// are pushed here and passed down as sub-slices, so argument lists
+	// cost no allocation. Callees never retain the slice (builtins copy,
+	// closures bind into frames), so stack discipline is safe.
+	argStack []*Obj
+
+	// Frame recycling. owned is a stack of frames created by in-flight
+	// evaluations (let frames, parameter frames): each Eval records the
+	// stack depth on entry and, on exit, returns every frame it pushed to
+	// freeFrames — unless the frame escaped into a closure. Tail calls
+	// sweep eagerly (see sweepTail) so loops run in constant frame space.
+	owned      []*Frame
+	freeFrames []*Frame
+
+	// freeClosures recycles named-let loop closures, whose lifetime is
+	// tied to their loop frame (see Frame.loopc): one loop entry reuses
+	// the closure — and its Params/Body backing arrays — of a finished
+	// loop instead of allocating fresh ones.
+	freeClosures []*Obj
+
 	// Cooperative threading: the engine checks the interval timer every
 	// timerCheckEvery reductions; when it fires, the scheduler's tick
 	// runs (and occasionally polls, as Racket's scheduler does).
@@ -71,6 +91,7 @@ func NewInterp(osenv OS) (*Interp, error) {
 		pollEvery: 4,
 	}
 	in.global = NewFrame(nil)
+	in.global.root = true
 
 	// libc-style process setup chatter before the heap exists.
 	brk := in.os.Syscall(linuxabi.Call{Num: linuxabi.SysBrk, Args: [6]uint64{0}})
@@ -190,6 +211,8 @@ func (in *Interp) Intern(name string) *Obj {
 	}
 	s := in.alloc(KSymbol)
 	s.Str = []byte(name)
+	s.ext = &objExt{Name: name} // string form, so users of the name allocate no conversion
+	s.special = specialCodes[name]
 	in.syms[name] = s
 	in.gc.addRoot(s) // interned symbols are immortal
 	return s

@@ -42,8 +42,7 @@ func installPlaceBuiltins(in *Interp) {
 	}
 	def := func(name string, fn func(*Interp, []*Obj) (*Obj, error)) {
 		b := in.alloc(KBuiltin)
-		b.Name = name
-		b.Fn = fn
+		b.ext = &objExt{Name: name, Fn: fn}
 		in.global.Define(in.Intern(name), b)
 	}
 
@@ -96,8 +95,8 @@ func installPlaceBuiltins(in *Interp) {
 // when the OS offers them.
 func installHRTBuiltins(in *Interp, ak AKCaller) {
 	b := in.alloc(KBuiltin)
-	b.Name = "aerokernel-call"
-	b.Fn = func(in *Interp, a []*Obj) (*Obj, error) {
+	b.ext = &objExt{Name: "aerokernel-call"}
+	b.ext.Fn = func(in *Interp, a []*Obj) (*Obj, error) {
 		if len(a) < 1 || a[0].Kind != KString {
 			return nil, evalError("aerokernel-call: want a symbol name string")
 		}
@@ -118,8 +117,8 @@ func installHRTBuiltins(in *Interp, ak AKCaller) {
 	in.global.Define(in.Intern("aerokernel-call"), b)
 
 	p := in.alloc(KBuiltin)
-	p.Name = "running-as-hrt?"
-	p.Fn = func(in *Interp, a []*Obj) (*Obj, error) { return True, nil }
+	p.ext = &objExt{Name: "running-as-hrt?"}
+	p.ext.Fn = func(in *Interp, a []*Obj) (*Obj, error) { return True, nil }
 	in.global.Define(in.Intern("running-as-hrt?"), p)
 }
 
@@ -127,7 +126,7 @@ func installHRTBuiltins(in *Interp, ak AKCaller) {
 // probe portably.
 func installUserBuiltinFallbacks(in *Interp) {
 	p := in.alloc(KBuiltin)
-	p.Name = "running-as-hrt?"
-	p.Fn = func(in *Interp, a []*Obj) (*Obj, error) { return False, nil }
+	p.ext = &objExt{Name: "running-as-hrt?"}
+	p.ext.Fn = func(in *Interp, a []*Obj) (*Obj, error) { return False, nil }
 	in.global.Define(in.Intern("running-as-hrt?"), p)
 }

@@ -52,19 +52,87 @@ type Obj struct {
 	Cdr   *Obj
 	Vec   []*Obj
 
+	// ext carries the fields only procedures and interned symbols use.
+	// Those kinds are rare next to the pairs, floats, and strings that
+	// churn through the heap, and every heap cell is an Obj in a
+	// per-segment arena — so keeping Obj lean is what the arena
+	// allocation, its zeroing, and the host collector's scans pay for.
+	// Splitting these seven fields off nearly halves the struct.
+	ext *objExt
+
+	Addr uint64 // simulated heap address (0 for immediates)
+	seg  *segment
+
+	// special is the evaluator's dispatch code for special-form symbols
+	// (spIf, spLet, ...), stamped at intern time so the hot loop
+	// dispatches on one byte instead of converting and comparing the
+	// symbol name on every combination.
+	special uint8
+
+}
+
+// objExt is the side car of closures (Params..Env), builtins (Name, Fn),
+// and interned symbols (Name, cell). Creation sites attach it; every
+// consumer dispatches on Kind first, and all three kinds are built
+// exclusively through paths that set ext, so consumers never see it nil.
+type objExt struct {
 	// Closure fields.
 	Params []*Obj // parameter symbols
 	Rest   *Obj   // rest parameter symbol or nil
 	Body   []*Obj
 	Env    *Frame
 
-	// Builtin fields.
+	// Builtin (and display) name.
 	Name string
 	Fn   func(in *Interp, args []*Obj) (*Obj, error)
 
-	Addr uint64 // simulated heap address (0 for immediates)
-	seg  *segment
-	mark bool
+	// cell caches a symbol's global binding slot (see gcell). Symbols
+	// are interned per-Interp, so the cache cannot cross interpreters.
+	cell *gcell
+}
+
+// Special-form codes. spNone marks ordinary symbols.
+const (
+	spNone uint8 = iota
+	spQuote
+	spIf
+	spDefine
+	spSet
+	spLambda
+	spBegin
+	spLet
+	spLetStar
+	spLetrec
+	spCond
+	spCase
+	spAnd
+	spOr
+	spWhen
+	spUnless
+	spDo
+	spQuasiquote
+)
+
+// specialCodes maps special-form names to their dispatch codes.
+var specialCodes = map[string]uint8{
+	"quote":      spQuote,
+	"if":         spIf,
+	"define":     spDefine,
+	"set!":       spSet,
+	"lambda":     spLambda,
+	"begin":      spBegin,
+	"let":        spLet,
+	"let*":       spLetStar,
+	"letrec":     spLetrec,
+	"letrec*":    spLetrec,
+	"cond":       spCond,
+	"case":       spCase,
+	"and":        spAnd,
+	"or":         spOr,
+	"when":       spWhen,
+	"unless":     spUnless,
+	"do":         spDo,
+	"quasiquote": spQuasiquote,
 }
 
 // Preallocated immediates.
@@ -98,41 +166,189 @@ func AsFloat(o *Obj) float64 {
 	return o.Float
 }
 
+// frameInline is how many bindings a frame holds inline. Nearly every
+// frame (lambda application, let, loop bodies) binds a handful of
+// symbols; only wide frames — effectively just the global environment —
+// spill into a map.
+const frameInline = 8
+
 // Frame is one lexical environment frame. Frames are heap-allocated
 // conceptually but represented natively; the GC treats the frame chain as
-// roots through the interpreter's thread state.
+// roots through the interpreter's thread state. Bindings live in a fixed
+// inline array scanned by symbol identity — symbols are interned, so a
+// pointer compare replaces the map hash the hot path used to pay — with a
+// spill map for frames wider than frameInline.
 type Frame struct {
-	vars   map[*Obj]*Obj // symbol -> value
+	keys   [frameInline]*Obj
+	vals   [frameInline]*Obj
+	n      int
+	big    map[*Obj]*gcell // spill for wide frames (the global env)
 	parent *Frame
+
+	// escaped pins the frame against recycling: it is set the moment the
+	// frame becomes reachable from a closure (the only way a frame can
+	// outlive the evaluation that created it). See Interp.newFrame.
+	escaped bool
+
+	// root marks the interpreter's global frame — the one wide frame
+	// whose spilled bindings are worth caching on the symbols themselves
+	// (Obj.cell). Recycled and user frames are never root, so a stale
+	// symbol cache can never alias a reused frame.
+	root bool
+
+	// loopc ties a named-let loop closure's lifetime to this frame: the
+	// closure is reachable only through this frame's binding of the loop
+	// name, and every path that could leak it out (value-position lookup,
+	// capture by makeClosure) marks the frame escaped first. So when the
+	// frame comes back unescaped, the closure is provably dead and goes
+	// back on the interpreter's closure free list with it.
+	loopc *Obj
 }
 
-// NewFrame makes a child frame.
+// gcell is one spilled binding slot. The indirection gives a binding a
+// stable identity across set!/define, so a symbol can cache a pointer to
+// its global cell and hot global lookups skip the map hash entirely.
+type gcell struct{ v *Obj }
+
+// NewFrame makes a child frame. No map is allocated: small frames are one
+// allocation total.
 func NewFrame(parent *Frame) *Frame {
-	return &Frame{vars: make(map[*Obj]*Obj, 8), parent: parent}
+	return &Frame{parent: parent}
+}
+
+// markEscaped pins f and every ancestor against recycling. Called when a
+// frame is stored into a closure's Env: from then on its lifetime is the
+// closure's, not the evaluation's. The walk stops at the first frame
+// already marked — escaped implies all ancestors escaped, since this is
+// the only place the flag is set and it always walks the full chain.
+func markEscaped(f *Frame) {
+	for ; f != nil && !f.escaped; f = f.parent {
+		f.escaped = true
+	}
+}
+
+// newFrame returns a child frame, reusing one from the free list when
+// possible. Recycling is invisible to Scheme code and to the simulated
+// GC: the collector discovers frames only through closure environments,
+// and a frame that was ever captured by a closure is marked escaped and
+// never released (see markEscaped / releaseFrame). Stale key/val
+// pointers in a reused frame are unreachable — n==0 gates every scan.
+func (in *Interp) newFrame(parent *Frame) *Frame {
+	if n := len(in.freeFrames); n > 0 {
+		f := in.freeFrames[n-1]
+		in.freeFrames[n-1] = nil
+		in.freeFrames = in.freeFrames[:n-1]
+		f.n = 0
+		f.big = nil
+		f.parent = parent
+		f.escaped = false
+		return f
+	}
+	return &Frame{parent: parent}
+}
+
+// releaseFrame returns f to the free list unless it escaped into a
+// closure. Callers guarantee f is off every live environment chain.
+func (in *Interp) releaseFrame(f *Frame) {
+	if f == nil || f.escaped {
+		return
+	}
+	if c := f.loopc; c != nil {
+		f.loopc = nil
+		in.freeClosures = append(in.freeClosures, c)
+	}
+	in.freeFrames = append(in.freeFrames, f)
 }
 
 // Lookup resolves a symbol through the frame chain.
 func (f *Frame) Lookup(sym *Obj) (*Obj, bool) {
 	for fr := f; fr != nil; fr = fr.parent {
-		if v, ok := fr.vars[sym]; ok {
-			return v, true
+		for i := 0; i < fr.n; i++ {
+			if fr.keys[i] == sym {
+				return fr.vals[i], true
+			}
+		}
+		if fr.big != nil {
+			if fr.root && sym.ext.cell != nil {
+				return sym.ext.cell.v, true
+			}
+			if c, ok := fr.big[sym]; ok {
+				if fr.root {
+					sym.ext.cell = c
+				}
+				return c.v, true
+			}
 		}
 	}
 	return nil, false
 }
 
 // Define binds a symbol in this frame.
-func (f *Frame) Define(sym *Obj, v *Obj) { f.vars[sym] = v }
+func (f *Frame) Define(sym *Obj, v *Obj) {
+	for i := 0; i < f.n; i++ {
+		if f.keys[i] == sym {
+			f.vals[i] = v
+			return
+		}
+	}
+	if f.big != nil {
+		if c, ok := f.big[sym]; ok {
+			c.v = v
+			return
+		}
+		c := &gcell{v: v}
+		f.big[sym] = c
+		if f.root {
+			sym.ext.cell = c
+		}
+		return
+	}
+	if f.n < frameInline {
+		f.keys[f.n] = sym
+		f.vals[f.n] = v
+		f.n++
+		return
+	}
+	f.big = make(map[*Obj]*gcell, 4*frameInline)
+	c := &gcell{v: v}
+	f.big[sym] = c
+	if f.root {
+		sym.ext.cell = c
+	}
+}
 
 // Set assigns an existing binding, reporting whether it was found.
 func (f *Frame) Set(sym *Obj, v *Obj) bool {
 	for fr := f; fr != nil; fr = fr.parent {
-		if _, ok := fr.vars[sym]; ok {
-			fr.vars[sym] = v
-			return true
+		for i := 0; i < fr.n; i++ {
+			if fr.keys[i] == sym {
+				fr.vals[i] = v
+				return true
+			}
+		}
+		if fr.big != nil {
+			if fr.root && sym.ext.cell != nil {
+				sym.ext.cell.v = v
+				return true
+			}
+			if c, ok := fr.big[sym]; ok {
+				c.v = v
+				return true
+			}
 		}
 	}
 	return false
+}
+
+// each visits every binding in this frame (not the chain) — the GC's
+// frame marking uses it.
+func (f *Frame) each(fn func(sym, v *Obj)) {
+	for i := 0; i < f.n; i++ {
+		fn(f.keys[i], f.vals[i])
+	}
+	for k, c := range f.big {
+		fn(k, c.v)
+	}
 }
 
 // ListToSlice converts a proper list to a slice; ok is false for improper
@@ -239,7 +455,7 @@ func writeObj(b *strings.Builder, o *Obj, write bool, seen map[*Obj]bool) {
 	case KClosure:
 		b.WriteString("#<procedure>")
 	case KBuiltin:
-		fmt.Fprintf(b, "#<procedure:%s>", o.Name)
+		fmt.Fprintf(b, "#<procedure:%s>", o.ext.Name)
 	case KUnspecified:
 		b.WriteString("#<void>")
 	case KEOF:

@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate: 2, 8, 9, 10, 11, 12, 13, primitives, hpcg, incremental, router, merger, scheduler, faults, obsv, exitless, ablations, all")
+	figure := flag.String("figure", "all", "which figure to regenerate: 2, 8, 9, 10, 11, 12, 13, primitives, hpcg, incremental, router, merger, scheduler, faults, obsv, exitless, density, ablations, all")
 	runs := flag.Int("runs", 10, "measurement repetitions for latency figures (the paper averages 10 runs)")
 	flag.Parse()
 
@@ -44,6 +44,7 @@ func main() {
 		{"faults", bench.FigureFaults},
 		{"obsv", bench.FigureObsv},
 		{"exitless", bench.FigureExitless},
+		{"density", bench.FigureDensity},
 		{"ablations", nil}, // expanded below
 	}
 

@@ -24,6 +24,7 @@ import (
 
 	"multiverse/internal/bench"
 	"multiverse/internal/core"
+	"multiverse/internal/cycles"
 	"multiverse/internal/faults"
 	"multiverse/internal/profiling"
 	"multiverse/internal/scheme"
@@ -48,6 +49,10 @@ func main() {
 	hotspots := flag.Bool("hotspots", false, "print the legacy-interface hotspot report (multiverse world only)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in Perfetto)")
 	metrics := flag.Bool("metrics", false, "dump the run's metrics registry to stderr afterwards")
+	groups := flag.Int("groups", 0, "spawn N concurrent execution groups as a density workload before the program runs (multiverse world only; ignored with -bench)")
+	warmPool := flag.Int("warm-pool", 0, "keep up to M pre-booted AeroKernel contexts for warm group spawns (multiverse world only)")
+	maxGroups := flag.Int("max-groups", 0, "admission control: reject spawns beyond N live groups with ErrAdmissionRejected (0 = uncapped)")
+	tenantBudget := flag.String("tenant-budget", "", "per-group boundary budget as <membytes>:<cycles>, e.g. 1048576:5000000 (either side 0 = unbounded)")
 	faultsArg := flag.String("faults", "", "arm random fault injection as <seed>:<rate>, e.g. 42:0.01 (multiverse world only)")
 	faultSpec := flag.String("fault-spec", "", "arm a scripted fault scenario from this JSON file (multiverse world only)")
 	metricsJSON := flag.String("metrics-json", "", "write the run's metrics registry to this file as sorted JSON")
@@ -73,6 +78,13 @@ func main() {
 		os.Exit(1)
 	}
 	knobs.faults = plan
+	knobs.groups, knobs.warmPool, knobs.maxGroups = *groups, *warmPool, *maxGroups
+	budget, err := parseTenantBudget(*tenantBudget)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mvrun: %v\n", err)
+		os.Exit(1)
+	}
+	knobs.budget = budget
 	runErr := run(*world, *runtimeName, *expr, *repl, *benchName, *stats, knobs, *hotspots, *tracePath, *metrics, flag.Args())
 	if err := stopProfiles(); err != nil {
 		fmt.Fprintf(os.Stderr, "mvrun: %v\n", err)
@@ -105,7 +117,24 @@ type runKnobs struct {
 	hrtCores  int
 	workers   int
 	faults    *faults.Plan
+	groups    int
+	warmPool  int
+	maxGroups int
+	budget    *core.TenantBudget
 	obs       obsKnobs
+}
+
+// parseTenantBudget parses -tenant-budget <membytes>:<cycles>. Either
+// side may be 0 (that bound disabled).
+func parseTenantBudget(s string) (*core.TenantBudget, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var mem, cyc uint64
+	if _, err := fmt.Sscanf(s, "%d:%d", &mem, &cyc); err != nil {
+		return nil, fmt.Errorf("bad -tenant-budget %q (want <membytes>:<cycles>): %w", s, err)
+	}
+	return &core.TenantBudget{MemBytes: mem, Cycles: cycles.Cycles(cyc)}, nil
 }
 
 // obsKnobs bundles the exposition-plane switches.
@@ -255,9 +284,13 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 		Router: router, Exitless: knobs.exitless, Merger: merger,
 		Scheduler: knobs.scheduler, HRTCoreCount: knobs.hrtCores,
 		Faults: knobs.faults,
+		WarmPool: knobs.warmPool, MaxGroups: knobs.maxGroups, TenantBudget: knobs.budget,
 	}
 	if knobs.faults != nil && w != core.WorldHRT {
 		return fmt.Errorf("fault injection targets the hybrid boundary; it requires -world multiverse")
+	}
+	if (knobs.groups > 0 || knobs.warmPool > 0 || knobs.maxGroups > 0 || knobs.budget != nil) && w != core.WorldHRT {
+		return fmt.Errorf("-groups/-warm-pool/-max-groups/-tenant-budget configure the multi-tenant hybrid host; they require -world multiverse")
 	}
 
 	if benchName == "hpcg" {
@@ -314,6 +347,15 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 	sys, err := bench.NewSystemForWorldCfg(w, fs, "mvrun", cfg)
 	if err != nil {
 		return err
+	}
+	if knobs.groups > 0 {
+		// The density workload runs before the program: N tenants spawn
+		// concurrently, sit live together (so the peak gauge reflects true
+		// density), issue forwarded calls, and join — then the program gets
+		// the same system, warm pool included.
+		if err := bench.DensityWorkload(sys, knobs.groups); err != nil {
+			return err
+		}
 	}
 	if repl {
 		stdin, rerr := io.ReadAll(os.Stdin)
@@ -406,6 +448,20 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 				m.Counter("merger.shootdown.targeted").Value(),
 				m.Counter("merger.shootdown.broadcast").Value(),
 				m.Counter("fault.local").Value())
+		}
+		if knobs.groups > 0 || knobs.warmPool > 0 || knobs.maxGroups > 0 || knobs.budget != nil {
+			m := sys.Metrics()
+			fmt.Fprintf(os.Stderr, "[%s] density: spawned=%d live=%d peak=%d warm=%d hits=%d misses=%d returns=%d drops=%d adm-rejected=%d budget-rejected=%d\n",
+				w, m.Counter("density.groups.spawned").Value(),
+				m.Gauge("density.groups.live").Value(),
+				m.Gauge("density.groups.peak").Value(),
+				m.Gauge("density.warm.size").Value(),
+				m.Counter("density.warm.hits").Value(),
+				m.Counter("density.warm.misses").Value(),
+				m.Counter("density.warm.returns").Value(),
+				m.Counter("density.warm.drops").Value(),
+				m.Counter("density.admission.rejected").Value(),
+				m.Counter("density.budget.rejected").Value())
 		}
 		if knobs.faults != nil {
 			m := sys.Metrics()

@@ -43,10 +43,16 @@ type Kernel struct {
 	cores []machine.CoreID
 	img   *image.Image
 
+	// threads and nextTid are off the kernel mutex: thread creation and
+	// retirement are per-spawn hot-path operations at density scale, and
+	// neither needs to see the rest of the kernel state. k.mu still
+	// guards current (bounded by core count) and the cold boot/merge
+	// state below.
+	nextTid atomic.Int64
+	threads sync.Map // int tid -> *Thread
+
 	mu       sync.Mutex
 	space    *paging.AddressSpace
-	nextTid  int
-	threads  map[int]*Thread
 	current  map[machine.CoreID]*Thread
 	symbols  []image.Symbol
 	funcs    map[uint64]AKFunc // by symbol address
@@ -96,7 +102,7 @@ type Kernel struct {
 	faultMu map[machine.CoreID]*sync.Mutex
 
 	events chan *hvm.HRTRequest
-	halted bool
+	halted atomic.Bool
 
 	// Telemetry handed over by the HVM at boot (hvm.BootInfo). tracer may
 	// be nil (tracing off); metrics is never nil after Boot; recorder is
@@ -130,8 +136,6 @@ func Boot(m *machine.Machine, info hvm.BootInfo) (*Kernel, error) {
 		cost:      m.Cost,
 		cores:     append([]machine.CoreID(nil), info.HRTCores...),
 		img:       info.Image,
-		nextTid:   1,
-		threads:   make(map[int]*Thread),
 		current:   make(map[machine.CoreID]*Thread),
 		funcs:     make(map[uint64]AKFunc),
 		nextFunc:  funcBase,
@@ -208,13 +212,14 @@ func (k *Kernel) Inject(req *hvm.HRTRequest) {
 
 // Halt stops the event loop (HRT shutdown/reboot path).
 func (k *Kernel) Halt() {
-	k.mu.Lock()
-	if !k.halted {
-		k.halted = true
+	if k.halted.CompareAndSwap(false, true) {
 		close(k.events)
 	}
-	k.mu.Unlock()
 }
+
+// Halted reports whether the kernel has been halted. The warm-pool claim
+// path checks it so a recycled context is never attached to a dead kernel.
+func (k *Kernel) Halted() bool { return k.halted.Load() }
 
 // eventLoop is the boot-core idle loop: "the boot process brings the
 // AeroKernel up into an event loop that waits for HRT thread creation

@@ -152,10 +152,11 @@ func (t *Thread) syscallRouter() *hvm.SyscallRouter {
 }
 
 func (k *Kernel) newThread(core machine.CoreID, parent *Thread) *Thread {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	// Off the kernel mutex: at density scale every spawn creates a
+	// thread, and ID allocation plus registry insert need none of the
+	// state k.mu guards.
 	t := &Thread{
-		ID:     k.nextTid,
+		ID:     int(k.nextTid.Add(1)),
 		Core:   core,
 		Clock:  cycles.NewClock(0),
 		Stack:  machine.NewStack(64 * 1024),
@@ -164,14 +165,13 @@ func (k *Kernel) newThread(core machine.CoreID, parent *Thread) *Thread {
 		kern:   k,
 		done:   make(chan struct{}),
 	}
-	k.nextTid++
-	k.threads[t.ID] = t
+	k.threads.Store(t.ID, t)
 	return t
 }
 
 func (k *Kernel) retire(t *Thread) {
+	k.threads.Delete(t.ID)
 	k.mu.Lock()
-	delete(k.threads, t.ID)
 	if k.current[t.Core] == t {
 		delete(k.current, t.Core)
 	}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// densityBaselinePath locates BENCH_pr9.json at the repository root.
+func densityBaselinePath() string {
+	return filepath.Join("..", "..", "BENCH_pr9.json")
+}
+
+// TestDensityBaseline pins the density suite against BENCH_pr9.json.
+// Every field of the document is deterministic (virtual cycles, counts,
+// quantile bucket edges — no wall clock anywhere), so the comparison is
+// exact; CI additionally byte-compares the regenerated file with cmp.
+// Regenerate with MV_UPDATE_BASELINE=1 after an intentional cost-model
+// or protocol change.
+func TestDensityBaseline(t *testing.T) {
+	got, err := CollectDensityBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if os.Getenv("MV_UPDATE_BASELINE") != "" {
+		blob, err := got.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(densityBaselinePath(), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("baseline updated: %s (warm speedup %.2fx, dense p999 ratio %.2fx)",
+			densityBaselinePath(), got.WarmSpeedup, got.DenseP999Ratio)
+		return
+	}
+
+	want, err := os.ReadFile(densityBaselinePath())
+	if err != nil {
+		t.Fatalf("reading baseline (regenerate with MV_UPDATE_BASELINE=1): %v", err)
+	}
+	var pinned DensityBaseline
+	if err := json.Unmarshal(want, &pinned); err != nil {
+		t.Fatal(err)
+	}
+	if err := CompareDensity(&pinned, got); err != nil {
+		t.Error(err)
+	}
+
+	// The ISSUE's acceptance criteria, asserted on the fresh collection
+	// so a bad regeneration cannot pin a regression.
+	if got.DensePeakLive < 1000 {
+		t.Errorf("dense peak live = %d, want >= 1000", got.DensePeakLive)
+	}
+	if got.WarmSpeedup < 10 {
+		t.Errorf("warm speedup = %.2fx, want >= 10x", got.WarmSpeedup)
+	}
+	if got.DenseP999Ratio > 2 {
+		t.Errorf("dense p999 ratio vs single group = %.2fx, want <= 2x", got.DenseP999Ratio)
+	}
+	if got.DenseGroupsLeaked != 0 {
+		t.Errorf("groups leaked after joins = %d, want 0", got.DenseGroupsLeaked)
+	}
+	if !got.DenseRepeatMatch {
+		t.Error("dense repeat run diverged")
+	}
+}

@@ -106,6 +106,15 @@ type RunConfig struct {
 	// Faults arms the deterministic fault-injection plane
 	// (core.Options.Faults); only meaningful in WorldHRT.
 	Faults *faults.Plan
+	// WarmPool bounds the warm AeroKernel context pool
+	// (core.Options.WarmPool); 0 keeps the cold-boot-only spawn path.
+	WarmPool int
+	// MaxGroups caps concurrently live execution groups
+	// (core.Options.MaxGroups); 0 = uncapped.
+	MaxGroups int
+	// TenantBudget arms per-group boundary budgets
+	// (core.Options.TenantBudget); nil = off.
+	TenantBudget *core.TenantBudget
 	// Tracer records virtual-time spans for the run (nil = tracing off).
 	Tracer *telemetry.Tracer
 	// Metrics receives the run's counters; one is created when nil.
@@ -154,6 +163,7 @@ func NewSystemForWorldCfg(world core.World, fs *vfs.FS, name string, cfg RunConf
 		Router: cfg.Router, RouterPolicy: cfg.RouterPolicy, Exitless: cfg.Exitless,
 		Merger: cfg.Merger, Scheduler: cfg.Scheduler,
 		Faults: cfg.Faults,
+		WarmPool: cfg.WarmPool, MaxGroups: cfg.MaxGroups, TenantBudget: cfg.TenantBudget,
 	}
 	switch world {
 	case core.WorldNative:

@@ -91,6 +91,28 @@ type ExecutionGroup struct {
 	gen      atomic.Uint64
 	degraded atomic.Bool
 	fbMu     sync.Mutex
+
+	// akStack is the ROS-side stack backing the HRT thread — what the
+	// warm pool recycles at exit (tenancy.go). Written once before the
+	// partner starts serving.
+	akStack *machine.Stack
+
+	// retired marks the group removed from the System registry (first
+	// successful join wins); boundarySpent/memReserved are the tenant-
+	// budget accumulators, touched only when Options.TenantBudget is set.
+	retired       atomic.Bool
+	boundarySpent atomic.Uint64
+	memReserved   atomic.Uint64
+}
+
+// retire removes a joined (or failed) group from the registry — the fix
+// for the unbounded growth of System.groups: exited groups used to stay
+// registered forever. The first retire wins; a lookup after that is a
+// double join, which fails exactly as for pthreads.
+func (g *ExecutionGroup) retire() {
+	if g.retired.CompareAndSwap(false, true) {
+		g.sys.groups.delete(g.id)
+	}
 }
 
 // partnerRef returns the current partner thread (the watchdog may have
@@ -131,6 +153,10 @@ func (s *System) spawnGroupFrom(creator *cycles.Clock, creatorT *aerokernel.Thre
 	if s.AK == nil {
 		return nil, fmt.Errorf("multiverse: runtime not initialized (no AeroKernel)")
 	}
+	if max := s.Opts.MaxGroups; max > 0 && int(s.liveGroups.Load()) >= max {
+		s.density.admRejected.Inc()
+		return nil, ErrAdmissionRejected
+	}
 	rosCore := s.Kernel.BootCore()
 	hrtCore := s.Opts.HRTCores[0]
 	var queue *aerokernel.QueueEntry
@@ -146,11 +172,12 @@ func (s *System) spawnGroupFrom(creator *cycles.Clock, creatorT *aerokernel.Thre
 		created:  make(chan struct{}),
 		finished: make(chan struct{}),
 	}
-	s.mu.Lock()
-	g.id = s.nextGroupID
-	s.nextGroupID++
-	s.groups[g.id] = g
-	s.mu.Unlock()
+	g.id = s.nextGroupID.Add(1)
+	s.groups.store(g.id, g)
+	s.noteGroupLive()
+	if fi := s.faults; fi != nil && fi.Scoped() && fi.GroupInScope(g.id) {
+		fi.AllowSite("chan", g.channel.ID())
+	}
 
 	// Optional low-latency path: a dedicated ROS thread polls a
 	// post-merger synchronous channel and services the HRT thread's
@@ -162,6 +189,8 @@ func (s *System) spawnGroupFrom(creator *cycles.Clock, creatorT *aerokernel.Thre
 			if sched != nil {
 				sched.CancelEntry(queue)
 			}
+			s.noteGroupDead()
+			g.retire()
 			return nil, serr
 		}
 		g.syncSvc = svc
@@ -254,49 +283,98 @@ func (s *System) spawnGroupFrom(creator *cycles.Clock, creatorT *aerokernel.Thre
 		}
 	}
 
-	partner := s.Proc.NewThread(rosCore)
-	g.setPartner(partner)
-	partner.Start(creator, func(pt *ros.Thread) {
-		// The partner allocates the ROS-side stack for the HRT thread
-		// and mirrors its own GDT/TLS state into the superposition.
-		stack := machine.NewStack(256 * 1024)
-		spec := &spawnSpec{
-			fn:   fn,
-			core: hrtCore,
-			super: aerokernel.Superposition{
-				GDT:    s.Kernel.ProcessGDT(),
-				FSBase: pt.FSBase,
-			},
-			channel: g.channel,
-			stack:   stack,
-			syncSvc: g.syncSvc,
-			router:  g.router,
-			queue:   queue,
-			group:   g,
+	if slot := s.takeWarmSlot(); slot != nil {
+		// Warm reuse (the paper's HRT-reboot fast path, per-group): the
+		// parked context already paid its clone() and its async creation
+		// round trip when it was first cold-booted, so a warm spawn only
+		// pays the reuse switch plus the AeroKernel thread creation. The
+		// deterministic reset is explicit: the stack pointer rebases
+		// (Reset), the clock rebases to the claimant (CreateThread syncs
+		// it), and CreateThread re-applies the GDT/FSBase superposition —
+		// the slot carries no address-space deltas because group-private
+		// state died with the old group's channel/ring teardown.
+		pt := s.Proc.NewThread(rosCore)
+		g.setPartner(pt)
+		creator.Advance(s.Machine.Cost.WarmPoolReuse)
+		slot.stack.Reset()
+		ht := s.AK.CreateThread(creator, hrtCore, aerokernel.Superposition{
+			GDT:    s.Kernel.ProcessGDT(),
+			FSBase: pt.FSBase,
+		}, g.channel, slot.stack)
+		pt.Clock.SyncTo(creator.Now())
+		if g.syncSvc != nil {
+			ht.SetSyncSyscalls(g.syncSvc)
 		}
-		s.mu.Lock()
-		id := s.nextSpawnID
-		s.nextSpawnID++
-		s.pendingSpawns[id] = spec
-		s.mu.Unlock()
-
-		ret, err := s.HVM.AsyncCall(pt.Clock, s.createThreadAddr, id)
-		if err != nil || ret == ^uint64(0) {
-			close(g.created)
-			g.channel.Close()
-			return
+		if g.router != nil {
+			ht.SetRouter(g.router)
 		}
+		if queue != nil {
+			ht.AttachQueueEntry(queue)
+		}
+		g.hrt = ht
+		g.akStack = slot.stack
+		s.allowFaultThread(g, ht)
 		close(g.created)
-		g.serve(pt)
-	})
+		ht.Start(func(ht *aerokernel.Thread) uint64 {
+			return g.runHRT(ht, fn)
+		})
+		// The recycled service context restarts without a fresh clone()
+		// — the nil creator charges nothing, exactly like a watchdog
+		// respawn resuming an existing group.
+		pt.Start(nil, g.serve)
+	} else {
+		// Cold boot: Figure 7's full protocol. The stack is allocated
+		// here (host-side, no virtual cost) so the group can remember it
+		// for warm-pool parking at exit.
+		stack := machine.NewStack(256 * 1024)
+		g.akStack = stack
+		partner := s.Proc.NewThread(rosCore)
+		g.setPartner(partner)
+		partner.Start(creator, func(pt *ros.Thread) {
+			// The partner owns the ROS-side stack for the HRT thread
+			// and mirrors its own GDT/TLS state into the superposition.
+			spec := &spawnSpec{
+				fn:   fn,
+				core: hrtCore,
+				super: aerokernel.Superposition{
+					GDT:    s.Kernel.ProcessGDT(),
+					FSBase: pt.FSBase,
+				},
+				channel: g.channel,
+				stack:   stack,
+				syncSvc: g.syncSvc,
+				router:  g.router,
+				queue:   queue,
+				group:   g,
+			}
+			id := s.nextSpawnID.Add(1) - 1
+			s.pendingSpawns.store(id, spec)
+
+			ret, err := s.HVM.AsyncCall(pt.Clock, s.createThreadAddr, id)
+			if err != nil || ret == ^uint64(0) {
+				// The AeroKernel may never have consumed the spec (halted
+				// kernel, failed injection): drop it so failed spawns do
+				// not leak pending entries.
+				s.pendingSpawns.delete(id)
+				close(g.created)
+				g.channel.Close()
+				return
+			}
+			close(g.created)
+			g.serve(pt)
+		})
+	}
 
 	<-g.created
 	if g.hrt == nil {
 		// The HRT thread never started; release its run-queue slot so
-		// threads queued behind it do not wait forever.
+		// threads queued behind it do not wait forever, and unregister
+		// the stillborn group so failures do not grow the registry.
 		if sched != nil {
 			sched.CancelEntry(queue)
 		}
+		s.noteGroupDead()
+		g.retire()
 		return nil, fmt.Errorf("multiverse: HRT thread creation failed")
 	}
 	if s.faults != nil {
@@ -493,6 +571,11 @@ func (g *ExecutionGroup) cleanup(pt *ros.Thread) {
 		g.syncSvc.Close() // the polling thread's Serve returns false
 	}
 	g.channel.Close()
+	g.sys.noteGroupDead()
+	// Park the context for warm reuse before finished closes, so a
+	// spawn sequenced after this group's join deterministically sees the
+	// slot. Parking charges no virtual cycles (tenancy.go).
+	g.parkWarmSlot()
 	g.finalTime.Store(uint64(pt.Clock.Now()))
 	g.dead.Store(true) // dead before finished: the watchdog checks it on wake
 	close(g.finished)
@@ -546,6 +629,7 @@ func (g *ExecutionGroup) WaitExit(clk *cycles.Clock) (uint64, error) {
 	if err := g.awaitDone(); err != nil {
 		return 0, err
 	}
+	g.retire()
 	clk.SyncTo(cycles.Cycles(g.finalTime.Load()))
 	return g.exitCode.Load(), nil
 }
@@ -562,6 +646,7 @@ func (g *ExecutionGroup) Join(joiner *ros.Thread) (uint64, error) {
 	if err := g.awaitDone(); err != nil {
 		return 0, err
 	}
+	g.retire()
 	joiner.Clock.SyncTo(cycles.Cycles(g.finalTime.Load()))
 	return g.exitCode.Load(), nil
 }
@@ -611,9 +696,20 @@ func (e *hrtEnv) Compute(c cycles.Cycles) {
 }
 
 func (e *hrtEnv) Syscall(call linuxabi.Call) linuxabi.Result {
+	if b := e.sys.Opts.TenantBudget; b != nil {
+		// Admission at the boundary: an over-budget tenant is turned away
+		// before the call crosses, at zero virtual cost, with a
+		// deterministic errno (tenancy.go).
+		if rej, rejected := e.group.admitSyscall(b, call.Args[1], call.Num == linuxabi.SysMmap); rejected {
+			return rej
+		}
+	}
 	start := e.t.Clock.Now()
 	res := e.t.Syscall(call)
 	lat := e.t.Clock.Now() - start
+	if e.sys.Opts.TenantBudget != nil {
+		e.group.chargeBudget(lat)
+	}
 	e.sys.recordHotspot(call.Num, false, lat)
 	// Per-group, per-syscall-kind SLO distribution. Wall-only cost: the
 	// histogram observes the already-computed virtual latency and never

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"multiverse/internal/aerokernel"
@@ -98,6 +99,19 @@ type Options struct {
 	// NoRecorder disables the flight recorder entirely (the observability
 	// bench's dark baseline; also useful to measure the ring's wall cost).
 	NoRecorder bool
+	// MaxGroups caps the number of concurrently live execution groups; a
+	// spawn past the cap fails with ErrAdmissionRejected. 0 (the default)
+	// means unlimited.
+	MaxGroups int
+	// WarmPool bounds the pool of pre-booted AeroKernel contexts that
+	// SpawnGroup draws from and group exit returns to: warm spawns skip
+	// the partner clone() and the async creation round trip, paying
+	// WarmPoolReuse + AKThreadCreate instead. 0 (the default) disables
+	// the pool and preserves the cold-boot spawn path byte for byte.
+	WarmPool int
+	// TenantBudget arms per-group admission budgets enforced at the
+	// forwarding boundary; nil (the default) disables them.
+	TenantBudget *TenantBudget
 }
 
 func (o *Options) fill() {
@@ -130,16 +144,28 @@ type System struct {
 	Fat       *image.Image
 	Overrides *OverrideSet
 
-	mu            sync.Mutex
-	fnRegistry    map[uint64]func(Env) uint64
-	nextFnID      uint64
-	pendingSpawns map[uint64]*spawnSpec
-	nextSpawnID   uint64
-	groups        map[uint64]*ExecutionGroup
-	nextGroupID   uint64
-	exitPending   chan uint64 // group ids whose HRT thread exited
-	exitHooks     []func()
-	hotspots      *HotspotProfile
+	// The hot registries are sharded (shard.go): group registration,
+	// spawn handoff, and join lookup from a thousand concurrent tenants
+	// must not serialize on one lock. The ID counters are atomics for the
+	// same reason. s.mu now guards only the cold paths (exit hooks, the
+	// hotspot profile).
+	fnRegistry    shardedMap[func(Env) uint64]
+	nextFnID      atomic.Uint64
+	pendingSpawns shardedMap[*spawnSpec]
+	nextSpawnID   atomic.Uint64
+	groups        shardedMap[*ExecutionGroup]
+	nextGroupID   atomic.Uint64
+
+	mu          sync.Mutex
+	exitPending chan uint64 // group ids whose HRT thread exited
+	exitHooks   []func()
+	hotspots    *HotspotProfile
+
+	// Multi-tenancy state (tenancy.go): the live-group count admission
+	// control checks, the warm spawn pool, and the density instruments.
+	liveGroups atomic.Int64
+	pool       *warmPool
+	density    *densityStats
 
 	tracer   *telemetry.Tracer
 	metrics  *telemetry.Registry
@@ -164,21 +190,24 @@ func NewSystem(fat *image.Image, opts Options) (*System, error) {
 	}
 
 	s := &System{
-		Opts:          opts,
-		Machine:       m,
-		Fat:           fat,
-		fnRegistry:    make(map[uint64]func(Env) uint64),
-		nextFnID:      0x7000_0000_0000,
-		pendingSpawns: make(map[uint64]*spawnSpec),
-		groups:        make(map[uint64]*ExecutionGroup),
-		nextGroupID:   1,
-		exitPending:   make(chan uint64, 64),
-		tracer:        opts.Tracer,
-		metrics:       opts.Metrics,
-		recorder:      opts.Recorder,
+		Opts:        opts,
+		Machine:     m,
+		Fat:         fat,
+		exitPending: make(chan uint64, 64),
+		tracer:      opts.Tracer,
+		metrics:     opts.Metrics,
+		recorder:    opts.Recorder,
 	}
+	// Fabricated function pointers start in the canonical text-ish range;
+	// group ids start at 1 (0 is "no group"). The counters are atomics:
+	// registerFn/spawn allocate with a fetch-add, no lock.
+	s.nextFnID.Store(0x7000_0000_0000)
 	if s.metrics == nil {
 		s.metrics = telemetry.NewRegistry()
+	}
+	s.density = newDensityStats(s.metrics)
+	if opts.WarmPool > 0 {
+		s.pool = newWarmPool(opts.WarmPool)
 	}
 	if s.recorder == nil && !opts.NoRecorder {
 		s.recorder = telemetry.NewRecorder(telemetry.DefaultRecorderSize)
@@ -389,10 +418,7 @@ func (s *System) hrtExitSignal(sig int) {
 	for {
 		select {
 		case gid := <-s.exitPending:
-			s.mu.Lock()
-			g := s.groups[gid]
-			s.mu.Unlock()
-			if g != nil {
+			if g, ok := s.groups.load(gid); ok {
 				g.exitRequested.Store(true)
 			}
 		default:
@@ -405,18 +431,14 @@ func (s *System) hrtExitSignal(sig int) {
 // registerFn stores an application closure under a fabricated function
 // pointer (the address the runtime would pass to pthread_create).
 func (s *System) registerFn(fn func(Env) uint64) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	id := s.nextFnID
-	s.nextFnID += 16
-	s.fnRegistry[id] = fn
+	id := s.nextFnID.Add(16) - 16
+	s.fnRegistry.store(id, fn)
 	return id
 }
 
 func (s *System) lookupFn(id uint64) func(Env) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.fnRegistry[id]
+	fn, _ := s.fnRegistry.load(id)
+	return fn
 }
 
 // linkAKFunctions binds the AeroKernel-side implementations Multiverse
@@ -435,10 +457,7 @@ func (s *System) linkAKFunctions() {
 		if len(args) < 1 {
 			return ^uint64(0)
 		}
-		s.mu.Lock()
-		spec := s.pendingSpawns[args[0]]
-		delete(s.pendingSpawns, args[0])
-		s.mu.Unlock()
+		spec, _ := s.pendingSpawns.loadAndDelete(args[0])
 		if spec == nil {
 			return ^uint64(0)
 		}
@@ -453,6 +472,7 @@ func (s *System) linkAKFunctions() {
 			ht.AttachQueueEntry(spec.queue)
 		}
 		spec.group.hrt = ht
+		s.allowFaultThread(spec.group, ht)
 		ht.Start(func(ht *aerokernel.Thread) uint64 {
 			return spec.group.runHRT(ht, spec.fn)
 		})
@@ -484,16 +504,15 @@ func (s *System) linkAKFunctions() {
 		if len(args) < 1 {
 			return ^uint64(0)
 		}
-		s.mu.Lock()
-		g := s.groups[args[0]]
-		s.mu.Unlock()
-		if g == nil {
+		g, ok := s.groups.load(args[0])
+		if !ok {
 			return ^uint64(0)
 		}
 		code, err := g.WaitExit(t.Clock)
 		if err != nil {
 			return ^uint64(0)
 		}
+		g.retire()
 		return code
 	})
 
@@ -572,18 +591,25 @@ func (s *System) RelinkAfterReboot() {
 }
 
 // Groups returns the live execution groups (diagnostics). Torn-down
-// groups stay registered (joiners must still find them); they do not
-// count as live.
+// groups stay registered until joined (late joiners must still find
+// them); they do not count as live.
 func (s *System) Groups() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
-	for _, g := range s.groups {
+	s.groups.rangeAll(func(_ uint64, g *ExecutionGroup) {
 		if !g.dead.Load() {
 			n++
 		}
-	}
+	})
 	return n
+}
+
+// allowFaultThread adds an HRT thread's panic-roll site to the scoped
+// fault allowlist when the owning group is an injection target
+// (faults.Plan.Groups).
+func (s *System) allowFaultThread(g *ExecutionGroup, ht *aerokernel.Thread) {
+	if fi := s.faults; fi != nil && fi.Scoped() && fi.GroupInScope(g.id) {
+		fi.AllowSite("thread", uint64(ht.ID))
+	}
 }
 
 // ExitProcess runs the hooked process exit: the exit_group system call

@@ -1,0 +1,101 @@
+package core
+
+import "sync"
+
+// The System's hot registries — groups, pending spawns, registered
+// functions — used to live behind the one System mutex. With a handful of
+// execution groups that was invisible; with a thousand tenants spawning,
+// dispatching, and joining concurrently, every registration and every
+// nk_thread_join lookup serialized on the same lock. shardedMap is the
+// replacement: a power-of-two array of independently locked uint64-keyed
+// maps, so two groups touching different shards never contend.
+
+// shardCount is the number of shards (power of two so the selector is a
+// mask). 64 shards keep the per-shard collision rate negligible at the
+// 1k-group density target while costing ~3 KiB per registry when idle.
+const shardCount = 64
+
+// mapShard is one lock + map pair.
+type mapShard[V any] struct {
+	mu sync.Mutex
+	m  map[uint64]V
+}
+
+// shardedMap is a uint64-keyed map sharded by a multiplicative hash of
+// the key. The zero value is ready to use.
+type shardedMap[V any] struct {
+	shards [shardCount]mapShard[V]
+}
+
+// shardOf selects the shard for a key. Keys are IDs handed out in fixed
+// strides (group ids +1, function ids +16), so the raw low bits would
+// cluster; the Fibonacci multiplier spreads any stride uniformly and the
+// top bits select the shard.
+func shardOf(key uint64) int {
+	return int((key * 0x9e37_79b9_7f4a_7c15) >> (64 - 6)) // log2(shardCount) = 6
+}
+
+// store inserts or replaces the value for key.
+func (s *shardedMap[V]) store(key uint64, v V) {
+	sh := &s.shards[shardOf(key)]
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[uint64]V)
+	}
+	sh.m[key] = v
+	sh.mu.Unlock()
+}
+
+// load returns the value for key, if present.
+func (s *shardedMap[V]) load(key uint64) (V, bool) {
+	sh := &s.shards[shardOf(key)]
+	sh.mu.Lock()
+	v, ok := sh.m[key]
+	sh.mu.Unlock()
+	return v, ok
+}
+
+// loadAndDelete removes key, returning what was stored under it.
+func (s *shardedMap[V]) loadAndDelete(key uint64) (V, bool) {
+	sh := &s.shards[shardOf(key)]
+	sh.mu.Lock()
+	v, ok := sh.m[key]
+	if ok {
+		delete(sh.m, key)
+	}
+	sh.mu.Unlock()
+	return v, ok
+}
+
+// delete removes key if present.
+func (s *shardedMap[V]) delete(key uint64) {
+	sh := &s.shards[shardOf(key)]
+	sh.mu.Lock()
+	delete(sh.m, key)
+	sh.mu.Unlock()
+}
+
+// rangeAll calls fn for every entry, one shard at a time. fn must not
+// call back into the same shardedMap. Iteration order is unspecified.
+func (s *shardedMap[V]) rangeAll(fn func(key uint64, v V)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, v := range sh.m {
+			fn(k, v)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// size returns the total number of entries across all shards.
+func (s *shardedMap[V]) size() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}

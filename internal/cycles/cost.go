@@ -55,6 +55,7 @@ type CostModel struct {
 	ContextSwitch    Cycles // ROS scheduler switch between threads
 	ROSThreadCreate  Cycles // clone() + runqueue insertion
 	ROSThreadJoin    Cycles // futex-based join
+	WarmPoolReuse    Cycles // claiming a parked warm context: runqueue relink + stack rebase, no clone()
 	ROSSignalDeliver Cycles // kernel builds a user signal frame
 	ROSSignalReturn  Cycles // rt_sigreturn path
 
@@ -138,6 +139,7 @@ func DefaultCostModel() *CostModel {
 		ContextSwitch:    2600,
 		ROSThreadCreate:  35000,
 		ROSThreadJoin:    9000,
+		WarmPoolReuse:    2600, // ContextSwitch-class: no clone(), just relink + rebase
 		ROSSignalDeliver: 3000,
 		ROSSignalReturn:  2200,
 

@@ -131,6 +131,14 @@ type Plan struct {
 	// Spec is the scripted scenario (ordered, fire-once injections); it
 	// composes with the rate-based plan.
 	Spec []Injection `json:"spec,omitempty"`
+
+	// Groups scopes the whole plan to the listed execution-group IDs (the
+	// multi-tenant isolation contract): when non-empty, rolls — rate-based
+	// AND scripted — only fire at sites core has allowlisted for an
+	// in-scope group (its event channel, its HRT threads). Every other
+	// tenant runs byte-identical to an unfaulted run. Empty means
+	// system-wide, the pre-tenancy behavior.
+	Groups []uint64 `json:"groups,omitempty"`
 }
 
 func (p *Plan) fill() {
@@ -185,8 +193,20 @@ type Injector struct {
 	metrics  *telemetry.Registry
 	recorder *telemetry.Recorder
 
-	mu   sync.Mutex
-	spec []specEntry
+	// scoped is set when the plan names Groups; allowed is then the site
+	// allowlist core populates as in-scope groups register their channels
+	// and threads. Sites not on the list never roll.
+	scoped bool
+
+	mu      sync.Mutex
+	spec    []specEntry
+	allowed map[faultSite]bool
+}
+
+// faultSite identifies one injection site for scope filtering.
+type faultSite struct {
+	class string // "chan" or "thread", as in siteClass
+	id    uint64
 }
 
 // SetRecorder attaches the flight recorder; every fired roll is then
@@ -203,7 +223,7 @@ func (i *Injector) SetRecorder(rec *telemetry.Recorder) {
 // (nil is tolerated: decisions still fire, uncounted).
 func New(plan Plan, m *telemetry.Registry) (*Injector, error) {
 	plan.fill()
-	inj := &Injector{plan: plan, metrics: m}
+	inj := &Injector{plan: plan, metrics: m, scoped: len(plan.Groups) > 0}
 	for _, s := range plan.Spec {
 		k, err := KindFromString(s.Kind)
 		if err != nil {
@@ -232,6 +252,11 @@ func siteClass(k Kind) string {
 // decision depends only on program structure — never on host scheduling.
 func (i *Injector) Roll(k Kind, id, seq uint64, attempt int, now cycles.Cycles) bool {
 	if i == nil {
+		return false
+	}
+	if i.scoped && !i.siteAllowed(siteClass(k), id) {
+		// Scoped plan, out-of-scope site: absolute isolation — neither
+		// rates nor scripted entries may touch another tenant.
 		return false
 	}
 	if i.specFire(k, id, now) {
@@ -271,6 +296,44 @@ func (i *Injector) specFire(k Kind, id uint64, now cycles.Cycles) bool {
 		return true
 	}
 	return false
+}
+
+// Scoped reports whether the plan is restricted to named groups.
+func (i *Injector) Scoped() bool { return i != nil && i.scoped }
+
+// GroupInScope reports whether gid is one of the plan's named groups.
+func (i *Injector) GroupInScope(gid uint64) bool {
+	if i == nil {
+		return false
+	}
+	for _, g := range i.plan.Groups {
+		if g == gid {
+			return true
+		}
+	}
+	return false
+}
+
+// AllowSite allowlists one injection site ("chan" or "thread" class plus
+// its id) for a scoped plan. core calls this as in-scope groups register
+// their channels and HRT threads; it is a no-op on unscoped plans.
+func (i *Injector) AllowSite(class string, id uint64) {
+	if i == nil || !i.scoped {
+		return
+	}
+	i.mu.Lock()
+	if i.allowed == nil {
+		i.allowed = make(map[faultSite]bool)
+	}
+	i.allowed[faultSite{class, id}] = true
+	i.mu.Unlock()
+}
+
+func (i *Injector) siteAllowed(class string, id uint64) bool {
+	i.mu.Lock()
+	ok := i.allowed[faultSite{class, id}]
+	i.mu.Unlock()
+	return ok
 }
 
 func (i *Injector) count(k Kind) {

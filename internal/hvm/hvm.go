@@ -13,6 +13,7 @@ package hvm
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"multiverse/internal/cycles"
 	"multiverse/internal/faults"
@@ -135,11 +136,11 @@ type HVM struct {
 	rosSignalClock *cycles.Clock
 
 	// Exit statistics per kind, for the "thinner virtualization layer"
-	// analysis. exitCtrs caches the matching "exits.<kind>" metric handle
-	// so the hot exit kinds skip the registry lookup (and its string
-	// concat) per exit.
-	exits    map[string]uint64
-	exitCtrs map[string]*telemetry.Counter
+	// analysis. Every VM exit from every group lands here, so at density
+	// scale the per-kind stats are lock-free: a sync.Map of exitStat
+	// entries whose count is an atomic and whose "exits.<kind>" metric
+	// handle is resolved once, at first exit of that kind.
+	exits sync.Map // string kind -> *exitStat
 
 	// Telemetry: tracer may be nil (tracing off); metrics is always
 	// non-nil. Channel ids make flow links deterministic.
@@ -191,8 +192,6 @@ func New(m *machine.Machine, cfg Config) (*HVM, error) {
 		cost:     m.Cost,
 		rosCores: append([]machine.CoreID(nil), cfg.ROSCores...),
 		hrtCores: append([]machine.CoreID(nil), cfg.HRTCores...),
-		exits:    make(map[string]uint64),
-		exitCtrs: make(map[string]*telemetry.Counter),
 		tracer:   cfg.Tracer,
 		metrics:  cfg.Metrics,
 		recorder: cfg.Recorder,
@@ -260,29 +259,35 @@ func (h *HVM) RegisterBootHandler(bh BootHandler) {
 	h.bootHandler = bh
 }
 
-// countExit records one VM exit, both in the per-kind map (ExitCount)
+// exitStat is one exit kind's lock-free record: its count and its
+// pre-resolved metrics counter.
+type exitStat struct {
+	n   atomic.Uint64
+	ctr *telemetry.Counter
+}
+
+// countExit records one VM exit, both in the per-kind stats (ExitCount)
 // and as an "exits.<kind>" metrics counter so a run's exposition plane
 // can prove transport-level claims — in particular that the tier-3
 // exitless steady state really takes zero exits (exits.ring stays 0).
+// The path is lock-free after a kind's first exit: it used to take the
+// HVM mutex per exit, which serialized every group in the system.
 func (h *HVM) countExit(kind string) {
-	h.mu.Lock()
-	h.exits[kind]++
-	ctr := h.exitCtrs[kind]
-	h.mu.Unlock()
-	if ctr == nil {
-		ctr = h.metrics.Counter("exits." + kind)
-		h.mu.Lock()
-		h.exitCtrs[kind] = ctr
-		h.mu.Unlock()
+	v, ok := h.exits.Load(kind)
+	if !ok {
+		v, _ = h.exits.LoadOrStore(kind, &exitStat{ctr: h.metrics.Counter("exits." + kind)})
 	}
-	ctr.Inc()
+	st := v.(*exitStat)
+	st.n.Add(1)
+	st.ctr.Inc()
 }
 
 // ExitCount returns the number of VM exits recorded for a kind.
 func (h *HVM) ExitCount(kind string) uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.exits[kind]
+	if v, ok := h.exits.Load(kind); ok {
+		return v.(*exitStat).n.Load()
+	}
+	return 0
 }
 
 // hypercall charges one guest->VMM->guest transition to the calling

@@ -100,6 +100,7 @@ const (
 	ENOENT  Errno = 2
 	EINTR   Errno = 4
 	EBADF   Errno = 9
+	EAGAIN  Errno = 11
 	ENOMEM  Errno = 12
 	EACCES  Errno = 13
 	EFAULT  Errno = 14
@@ -118,6 +119,7 @@ var errNames = map[Errno]string{
 	ENOENT:  "ENOENT",
 	EINTR:   "EINTR",
 	EBADF:   "EBADF",
+	EAGAIN:  "EAGAIN",
 	ENOMEM:  "ENOMEM",
 	EACCES:  "EACCES",
 	EFAULT:  "EFAULT",

@@ -33,6 +33,18 @@ func NewStack(size int) *Stack {
 	return &Stack{data: make([]byte, size), sp: size}
 }
 
+// Reset rebases RSP to the top and clears the bytes — the deterministic
+// stack recycle a warm-pool reuse performs, so a recycled context is
+// indistinguishable from a fresh NewStack of the same size.
+func (s *Stack) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.data {
+		s.data[i] = 0
+	}
+	s.sp = len(s.data)
+}
+
 // SP returns the current stack-pointer offset.
 func (s *Stack) SP() int {
 	s.mu.Lock()

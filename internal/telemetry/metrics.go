@@ -62,6 +62,21 @@ func (g *Gauge) Set(n uint64) {
 	}
 }
 
+// SetMax ratchets the gauge up to n if n exceeds the stored value — the
+// peak-tracking write (density.groups.peak). Lock-free CAS loop; lower
+// values leave the gauge untouched.
+func (g *Gauge) SetMax(n uint64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // Value returns the stored value.
 func (g *Gauge) Value() uint64 {
 	if g == nil {

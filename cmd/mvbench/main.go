@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate: 2, 8, 9, 10, 11, 12, 13, primitives, hpcg, incremental, router, merger, scheduler, faults, obsv, exitless, density, ablations, all")
+	figure := flag.String("figure", "all", "which figure to regenerate: 2, 8, 9, 10, 11, 12, 13, primitives, hpcg, incremental, router, merger, scheduler, faults, obsv, exitless, density, grid, ablations, all")
 	runs := flag.Int("runs", 10, "measurement repetitions for latency figures (the paper averages 10 runs)")
 	flag.Parse()
 
@@ -45,6 +45,7 @@ func main() {
 		{"obsv", bench.FigureObsv},
 		{"exitless", bench.FigureExitless},
 		{"density", bench.FigureDensity},
+		{"grid", bench.FigureGrid},
 		{"ablations", nil}, // expanded below
 	}
 

@@ -13,6 +13,7 @@
 //	mvrun -bench fasta -world multiverse -exitless -stats
 //	mvrun -bench fasta -world multiverse -listen :8080
 //	mvrun -bench fasta -world multiverse -metrics-json metrics.json -slo
+//	mvrun -nodes 4 -groups 64 -chaos 42:0.05
 package main
 
 import (
@@ -53,6 +54,8 @@ func main() {
 	warmPool := flag.Int("warm-pool", 0, "keep up to M pre-booted AeroKernel contexts for warm group spawns (multiverse world only)")
 	maxGroups := flag.Int("max-groups", 0, "admission control: reject spawns beyond N live groups with ErrAdmissionRejected (0 = uncapped)")
 	tenantBudget := flag.String("tenant-budget", "", "per-group boundary budget as <membytes>:<cycles>, e.g. 1048576:5000000 (either side 0 = unbounded)")
+	nodes := flag.Int("nodes", 0, "run a grid of N single-machine fault domains instead of a program; -groups sets the tenant count (multiverse world only)")
+	chaos := flag.String("chaos", "", "grid chaos as <seed>:<rate>: the PR-5 transport fault menu plus a node kill; summary stays byte-identical to a clean run (requires -nodes)")
 	faultsArg := flag.String("faults", "", "arm random fault injection as <seed>:<rate>, e.g. 42:0.01 (multiverse world only)")
 	faultSpec := flag.String("fault-spec", "", "arm a scripted fault scenario from this JSON file (multiverse world only)")
 	metricsJSON := flag.String("metrics-json", "", "write the run's metrics registry to this file as sorted JSON")
@@ -79,6 +82,7 @@ func main() {
 	}
 	knobs.faults = plan
 	knobs.groups, knobs.warmPool, knobs.maxGroups = *groups, *warmPool, *maxGroups
+	knobs.nodes, knobs.chaos = *nodes, *chaos
 	budget, err := parseTenantBudget(*tenantBudget)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mvrun: %v\n", err)
@@ -120,6 +124,8 @@ type runKnobs struct {
 	groups    int
 	warmPool  int
 	maxGroups int
+	nodes     int
+	chaos     string
 	budget    *core.TenantBudget
 	obs       obsKnobs
 }
@@ -248,6 +254,12 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 	if runtimeName != "scheme" && runtimeName != "vcode" {
 		return fmt.Errorf("unknown runtime %q (want scheme or vcode)", runtimeName)
 	}
+	if knobs.nodes > 0 || knobs.chaos != "" {
+		if w != core.WorldHRT {
+			return fmt.Errorf("-nodes/-chaos run the multi-node grid; they require -world multiverse")
+		}
+		return runGrid(knobs)
+	}
 
 	// Telemetry: tracing costs only when requested; the metrics registry
 	// and the flight recorder always exist (counters are near-free and
@@ -283,7 +295,7 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 		Tracer: tracer, Metrics: reg, Recorder: rec,
 		Router: router, Exitless: knobs.exitless, Merger: merger,
 		Scheduler: knobs.scheduler, HRTCoreCount: knobs.hrtCores,
-		Faults: knobs.faults,
+		Faults:   knobs.faults,
 		WarmPool: knobs.warmPool, MaxGroups: knobs.maxGroups, TenantBudget: knobs.budget,
 	}
 	if knobs.faults != nil && w != core.WorldHRT {
@@ -485,6 +497,58 @@ func run(worldName, runtimeName, expr string, repl bool, benchName string, stats
 		fmt.Fprint(os.Stderr, sys.Hotspots().Report())
 	}
 	return finish()
+}
+
+// runGrid runs the grid workload: N nodes as independent fault domains,
+// -groups tenants spread across them, and — with -chaos — the PR-5
+// transport fault menu plus a deterministic node kill. The stdout
+// summary is byte-identical between a chaotic and a clean run of the
+// same seed: that byte-identity IS the recovery claim, so everything
+// chaos-specific (kill count, rate) prints on stderr, outside the
+// comparable bytes.
+func runGrid(knobs runKnobs) error {
+	if knobs.nodes < 2 {
+		return fmt.Errorf("-nodes %d: a grid needs at least 2 nodes (a kill must leave a survivor)", knobs.nodes)
+	}
+	plan := faults.Plan{Seed: 1}
+	if knobs.chaos != "" {
+		p, err := faults.ParseChaos(knobs.chaos)
+		if err != nil {
+			return err
+		}
+		plan = p
+	}
+	groups := knobs.groups
+	if groups <= 0 {
+		groups = 64
+	}
+	// The grid records into the usual telemetry so -metrics-json,
+	// -flight, and -listen work here too: the flight ring holds the
+	// checkpoint / restore / drain / node-kill / migrate-complete
+	// timeline for `mvtool flight`.
+	reg := telemetry.NewRegistry()
+	rec := telemetry.NewRecorder(telemetry.DefaultRecorderSize)
+	if knobs.obs.flight == "" {
+		rec.SetAutoDumpWriter(os.Stderr)
+	}
+	block, err := startExposition(knobs.obs.listen, reg, nil, rec)
+	if err != nil {
+		return err
+	}
+	summary, err := bench.RunGridChaosObserved(knobs.nodes, groups, plan, reg, rec)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(summary)
+	if err := finishObservability(knobs.obs, reg, rec); err != nil {
+		return err
+	}
+	defer block()
+	if knobs.chaos != "" {
+		fmt.Fprintf(os.Stderr, "mvrun: grid chaos seed=%d rate=%g node-kills=%d over %d nodes / %d groups; stdout is byte-identical to the same seed with the faults off (-chaos %d:0)\n",
+			plan.Seed, plan.Rate, plan.NodeKills, knobs.nodes, groups, plan.Seed)
+	}
+	return nil
 }
 
 // writeTrace exports the recorded spans as Chrome trace-event JSON.

@@ -14,7 +14,9 @@
 //	mvtool bench -suite obsv -json -o BENCH_pr6.json
 //	mvtool bench -suite exitless -json -o BENCH_pr7.json
 //	mvtool bench -suite density -json -o BENCH_pr9.json
+//	mvtool bench -suite grid -json -o BENCH_pr10.json
 //	mvtool slo -in metrics.json -check slo.json
+//	mvtool flight flight.txt
 package main
 
 import (
@@ -45,6 +47,8 @@ func main() {
 		err = benchCmd(os.Args[2:])
 	case "slo":
 		err = sloCmd(os.Args[2:])
+	case "flight":
+		err = flightCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -58,8 +62,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: mvtool build -app NAME [-overrides FILE] -o OUT.fat")
 	fmt.Fprintln(os.Stderr, "       mvtool inspect FILE.fat")
 	fmt.Fprintln(os.Stderr, "       mvtool trace [-top N] [-req ID] FILE.json")
-	fmt.Fprintln(os.Stderr, "       mvtool bench [-suite router|merger|scheduler|faults|obsv|exitless|simspeed|density] [-json] [-o FILE] [-compare BENCH_pr8.json] [-cpuprofile FILE]")
+	fmt.Fprintln(os.Stderr, "       mvtool bench [-suite router|merger|scheduler|faults|obsv|exitless|simspeed|density|grid] [-json] [-o FILE] [-compare BENCH_pr8.json] [-cpuprofile FILE]")
 	fmt.Fprintln(os.Stderr, "       mvtool slo -in METRICS.json [-report] [-check SPEC.json]")
+	fmt.Fprintln(os.Stderr, "       mvtool flight [-code NAME] [-site N] [-summary] FILE.txt")
 	os.Exit(2)
 }
 
@@ -74,7 +79,7 @@ func usage() {
 // BENCH_pr7.json); otherwise it prints the table.
 func benchCmd(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	suite := fs.String("suite", "router", "suite: router (BENCH_pr2), merger (BENCH_pr3), scheduler (BENCH_pr4), faults (BENCH_pr5), obsv (BENCH_pr6), exitless (BENCH_pr7), simspeed (BENCH_pr8), or density (BENCH_pr9)")
+	suite := fs.String("suite", "router", "suite: router (BENCH_pr2), merger (BENCH_pr3), scheduler (BENCH_pr4), faults (BENCH_pr5), obsv (BENCH_pr6), exitless (BENCH_pr7), simspeed (BENCH_pr8), density (BENCH_pr9), or grid (BENCH_pr10)")
 	asJSON := fs.Bool("json", false, "emit the baseline JSON document")
 	out := fs.String("o", "", "write output to this file instead of stdout")
 	compare := fs.String("compare", "", "simspeed only: collect a fresh baseline and compare it against this pinned BENCH_pr8.json (cycles exact, wall ±tolerance)")
@@ -102,6 +107,20 @@ func benchCmd(args []string) error {
 	}
 	var blob []byte
 	switch {
+	case *suite == "grid" && *asJSON:
+		base, err := bench.CollectGridBaseline()
+		if err != nil {
+			return err
+		}
+		if blob, err = base.MarshalIndent(); err != nil {
+			return err
+		}
+	case *suite == "grid":
+		t, err := bench.FigureGrid()
+		if err != nil {
+			return err
+		}
+		blob = []byte(t.String() + "\n")
 	case *suite == "density" && *asJSON:
 		base, err := bench.CollectDensityBaseline()
 		if err != nil {
@@ -215,7 +234,7 @@ func benchCmd(args []string) error {
 		}
 		blob = []byte(t.String() + "\n")
 	default:
-		return fmt.Errorf("unknown suite %q (want router, merger, scheduler, faults, obsv, exitless, simspeed, or density)", *suite)
+		return fmt.Errorf("unknown suite %q (want router, merger, scheduler, faults, obsv, exitless, simspeed, density, or grid)", *suite)
 	}
 	if *out != "" {
 		return os.WriteFile(*out, blob, 0o644)

@@ -221,6 +221,19 @@ func (k *Kernel) Halt() {
 // path checks it so a recycled context is never attached to a dead kernel.
 func (k *Kernel) Halted() bool { return k.halted.Load() }
 
+// SeedThreadIDs advances the thread-id counter to at least base. A grid
+// seeds each node's kernel into a disjoint range so a thread re-homed by
+// migration keeps a unique id on the target kernel. Advance-only; a
+// no-op if the counter is already past base.
+func (k *Kernel) SeedThreadIDs(base int64) {
+	for {
+		cur := k.nextTid.Load()
+		if cur >= base || k.nextTid.CompareAndSwap(cur, base) {
+			return
+		}
+	}
+}
+
 // eventLoop is the boot-core idle loop: "the boot process brings the
 // AeroKernel up into an event loop that waits for HRT thread creation
 // requests" (section 3.5).

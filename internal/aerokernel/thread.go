@@ -3,6 +3,7 @@ package aerokernel
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"multiverse/internal/cycles"
 	"multiverse/internal/faults"
@@ -36,7 +37,10 @@ type Thread struct {
 	Nested bool
 	Parent *Thread
 
-	kern *Kernel
+	// kernv is the owning kernel. It is atomic because grid migration
+	// re-homes a live thread onto the target node's kernel (Rehome) while
+	// joiners on other goroutines read it for the join cost.
+	kernv atomic.Pointer[Kernel]
 
 	mu          sync.Mutex
 	ch          *hvm.EventChannel
@@ -162,11 +166,50 @@ func (k *Kernel) newThread(core machine.CoreID, parent *Thread) *Thread {
 		Stack:  machine.NewStack(64 * 1024),
 		Nested: parent != nil,
 		Parent: parent,
-		kern:   k,
 		done:   make(chan struct{}),
 	}
+	t.kernv.Store(k)
 	k.threads.Store(t.ID, t)
 	return t
+}
+
+// kern returns the thread's current kernel binding.
+func (t *Thread) kern() *Kernel { return t.kernv.Load() }
+
+// Rehome moves a live top-level thread onto dst: the thread-table entry
+// moves between kernels with its ID unchanged (request ids, fault-roll
+// sites, and trace flow ids must match an unmigrated run), and the
+// thread's core occupancy is installed on dst's machine so fault
+// vectoring works there. Grid nodes have identical topologies, so
+// t.Core names the same partition slot on both machines. Must be called
+// from the thread's own goroutine at a syscall boundary (the
+// quiesce-point invariant): no fault or syscall of this thread can be
+// in flight on either kernel.
+func (t *Thread) Rehome(dst *Kernel) {
+	src := t.kern()
+	if dst == nil || src == dst {
+		return
+	}
+	src.threads.Delete(t.ID)
+	lock := src.faultLock(t.Core)
+	lock.Lock()
+	src.mu.Lock()
+	if src.current[t.Core] == t {
+		delete(src.current, t.Core)
+	}
+	src.mu.Unlock()
+	lock.Unlock()
+
+	t.kernv.Store(dst)
+	dst.threads.Store(t.ID, t)
+	lock = dst.faultLock(t.Core)
+	lock.Lock()
+	dst.mu.Lock()
+	dst.current[t.Core] = t
+	dst.mu.Unlock()
+	dst.m.Core(t.Core).SetClock(t.Clock)
+	dst.m.Core(t.Core).SetCurrentStack(t.Stack)
+	lock.Unlock()
 }
 
 func (k *Kernel) retire(t *Thread) {
@@ -206,12 +249,12 @@ func (k *Kernel) CreateThread(creator *cycles.Clock, core machine.CoreID, super 
 // inherits the parent's event-channel endpoint.
 func (t *Thread) CreateNested() *Thread {
 	core := t.Core
-	if s := t.kern.Scheduler(); s != nil {
+	if s := t.kern().Scheduler(); s != nil {
 		core = s.PlaceNested(t.Clock)
 	}
-	nt := t.kern.newThread(core, t)
+	nt := t.kern().newThread(core, t)
 	nt.FSBase = t.FSBase
-	t.Clock.Advance(t.kern.cost.AKThreadCreate)
+	t.Clock.Advance(t.kern().cost.AKThreadCreate)
 	nt.Clock.SyncTo(t.Clock.Now())
 	return nt
 }
@@ -221,10 +264,10 @@ func (t *Thread) CreateNested() *Thread {
 // placement and accounting contexts — dropping any scheduler load its
 // placement charged.
 func (t *Thread) Release() {
-	if s := t.kern.Scheduler(); s != nil && t.Nested {
+	if s := t.kern().Scheduler(); s != nil && t.Nested {
 		s.ReleaseNested(t.Core)
 	}
-	t.kern.retire(t)
+	t.kern().retire(t)
 }
 
 // channel returns the event-channel endpoint for this thread, walking up
@@ -250,7 +293,7 @@ func (t *Thread) channel() *hvm.EventChannel {
 // guarded by the core's fault lock so a concurrent fault on the same core
 // cannot vector into the wrong thread.
 func (t *Thread) Run(fn func(*Thread) uint64) {
-	k := t.kern
+	k := t.kern()
 	if s := k.Scheduler(); s != nil {
 		s.waitTurn(t)
 	}
@@ -285,6 +328,10 @@ func (t *Thread) Run(fn func(*Thread) uint64) {
 	t.mu.Lock()
 	t.exitCode = code
 	t.mu.Unlock()
+	// Re-read the kernel: a grid migration may have re-homed this thread
+	// onto another node's kernel while fn ran, and the retire bookkeeping
+	// must land on the kernel that currently owns the thread.
+	k = t.kern()
 	if s := k.Scheduler(); s != nil {
 		s.threadRetired(t)
 	}
@@ -300,7 +347,7 @@ func (t *Thread) Start(fn func(*Thread) uint64) {
 // Join waits for t to finish, charging the AeroKernel join cost to the
 // joiner and synchronizing its clock.
 func (t *Thread) Join(joiner *cycles.Clock) uint64 {
-	joiner.Advance(t.kern.cost.AKThreadJoin)
+	joiner.Advance(t.kern().cost.AKThreadJoin)
 	<-t.done
 	joiner.SyncTo(t.Clock.Now())
 	t.mu.Lock()
@@ -319,7 +366,7 @@ func (t *Thread) ExitCode() uint64 {
 }
 
 // Kernel returns the owning AeroKernel.
-func (t *Thread) Kernel() *Kernel { return t.kern }
+func (t *Thread) Kernel() *Kernel { return t.kern() }
 
 // maxFaultRetries bounds the fault-retry loop (first fault forwards, a
 // duplicate re-merges; anything needing more rounds is broken).
@@ -330,7 +377,7 @@ const maxFaultRetries = 8
 // handler, which forwards or re-merges; the access then retries, as the
 // hardware would re-execute the instruction.
 func (t *Thread) Touch(addr uint64, write bool) error {
-	k := t.kern
+	k := t.kern()
 	core := k.m.Core(t.Core)
 	for try := 0; try < maxFaultRetries; try++ {
 		_, fault := core.MMU.Translate(addr, paging.Access{Write: write, User: false}, t.Clock, k.cost)
@@ -387,7 +434,7 @@ var disallowed = map[linuxabi.Sysno]bool{
 // SYSRET — the real instruction unconditionally returns to ring 3, so
 // Nautilus jumps directly to the saved RIP instead (section 4.4).
 func (t *Thread) Syscall(call linuxabi.Call) linuxabi.Result {
-	k := t.kern
+	k := t.kern()
 	if disallowed[call.Num] {
 		return linuxabi.Result{Ret: ^uint64(0), Err: linuxabi.ENOSYS}
 	}
@@ -488,7 +535,7 @@ func (t *Thread) Syscall(call linuxabi.Call) linuxabi.Result {
 // recovers, and the syscall restarts from the stub. Output-preserving by
 // construction — only latency is added.
 func (t *Thread) containInjectedPanic(reqID uint64) {
-	k := t.kern
+	k := t.kern()
 	defer func() {
 		_ = recover()
 		t.Clock.Advance(k.cost.AKIstSwitch + k.cost.PageFaultHW)

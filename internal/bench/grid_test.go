@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"multiverse/internal/faults"
+)
+
+// gridBaselinePath locates BENCH_pr10.json at the repository root.
+func gridBaselinePath() string {
+	return filepath.Join("..", "..", "BENCH_pr10.json")
+}
+
+// TestGridBaseline pins the grid suite against BENCH_pr10.json. Every
+// field is deterministic (virtual cycles, counts — no wall clock), so
+// the comparison is exact; CI additionally byte-compares the
+// regenerated file with cmp. Regenerate with MV_UPDATE_BASELINE=1
+// after an intentional cost-model or protocol change.
+func TestGridBaseline(t *testing.T) {
+	got, err := CollectGridBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if os.Getenv("MV_UPDATE_BASELINE") != "" {
+		blob, err := got.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(gridBaselinePath(), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("baseline updated: %s (migrate latency %d cycles, restore p99 %d cycles)",
+			gridBaselinePath(), got.MigrateLatencyCycles, got.KillRestoreP99Cycles)
+		return
+	}
+
+	want, err := os.ReadFile(gridBaselinePath())
+	if err != nil {
+		t.Fatalf("reading baseline (regenerate with MV_UPDATE_BASELINE=1): %v", err)
+	}
+	var pinned GridBaseline
+	if err := json.Unmarshal(want, &pinned); err != nil {
+		t.Fatal(err)
+	}
+	if err := CompareGrid(&pinned, got); err != nil {
+		t.Error(err)
+	}
+
+	// The ISSUE's acceptance criteria, asserted on the fresh collection
+	// so a bad regeneration cannot pin a regression.
+	if !got.MigrateOutputMatch || !got.MigrateCycleMatch {
+		t.Errorf("migrated run not transparent: output match %v, cycle match %v",
+			got.MigrateOutputMatch, got.MigrateCycleMatch)
+	}
+	if got.KillGroups != 1000 || got.KillVictimGroups != 8 {
+		t.Errorf("kill scenario = %d groups / %d victims, want 1000 / 8",
+			got.KillGroups, got.KillVictimGroups)
+	}
+	if got.KillRestored != got.KillVictimGroups {
+		t.Errorf("restored %d victims, want %d", got.KillRestored, got.KillVictimGroups)
+	}
+	if !got.KillRepeatMatch {
+		t.Error("node-kill repeat run diverged")
+	}
+	if !got.ChaosByteIdentical || got.ChaosSeeds < 3 {
+		t.Errorf("chaos transparency: identical=%v across %d seeds, want true across >= 3",
+			got.ChaosByteIdentical, got.ChaosSeeds)
+	}
+}
+
+// TestGridChaosSeedsIdentical is the chaos determinism gate on its own
+// (the CI race shard matches it by name): for each seed, a chaotic run
+// — node kill plus the transport fault menu — must produce the exact
+// summary bytes of a clean run, and a repeat chaotic run must reproduce
+// itself.
+func TestGridChaosSeedsIdentical(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		clean, err := RunGridChaos(gridChaosNodes, gridChaosGroups, faults.Plan{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d clean: %v", seed, err)
+		}
+		plan := faults.Plan{Seed: seed, Rate: gridChaosRate, KillRate: gridChaosRate / 10, NodeKills: 1}
+		chaotic, err := RunGridChaos(gridChaosNodes, gridChaosGroups, plan)
+		if err != nil {
+			t.Fatalf("seed %d chaos: %v", seed, err)
+		}
+		if !bytes.Equal(clean, chaotic) {
+			t.Errorf("seed %d: chaos summary diverged from clean:\nclean:\n%schaos:\n%s",
+				seed, clean, chaotic)
+		}
+		again, err := RunGridChaos(gridChaosNodes, gridChaosGroups, plan)
+		if err != nil {
+			t.Fatalf("seed %d chaos repeat: %v", seed, err)
+		}
+		if !bytes.Equal(chaotic, again) {
+			t.Errorf("seed %d: chaos run not self-reproducible", seed)
+		}
+	}
+}

@@ -44,8 +44,11 @@ type spawnSpec struct {
 // to provide the ROS-side context that initiates the state superposition
 // and services forwarded events.
 type ExecutionGroup struct {
-	id      uint64
-	sys     *System
+	id uint64
+	// sysv is the hosting System (node). It is atomic because a grid
+	// migration re-points a live group at the target node while other
+	// goroutines — joiners, the HRT thread, telemetry — read it.
+	sysv    atomic.Pointer[System]
 	hrt     *aerokernel.Thread
 	channel *hvm.EventChannel
 	rosCore machine.CoreID
@@ -103,7 +106,28 @@ type ExecutionGroup struct {
 	retired       atomic.Bool
 	boundarySpent atomic.Uint64
 	memReserved   atomic.Uint64
+
+	// Grid state (grid.go / checkpoint.go), all zero outside a grid.
+	// gridHosted marks the group migratable (set at spawn when the node
+	// belongs to a Grid); relocating marks a checkpoint/restore in
+	// progress — the serve loop returns without cleanup and the watchdog
+	// stands down; lifeMu serializes watchdog recovery against migration
+	// restore; gateCalls counts boundary crossings at the syscall gate;
+	// gateReq holds an armed voluntary-migration request the gate claims;
+	// rehomePending defers the AK-thread re-home of a force-restored
+	// group to its next boundary crossing (the first point the HRT
+	// goroutine is provably quiescent after a node kill).
+	gridHosted    bool
+	relocating    atomic.Bool
+	lifeMu        sync.Mutex
+	gateCalls     atomic.Uint64
+	gateReq       atomic.Pointer[migrateRequest]
+	rehomePending atomic.Bool
 }
+
+// sys returns the System currently hosting the group. Outside a grid it
+// never changes; a migration restore re-points it at the target node.
+func (g *ExecutionGroup) sys() *System { return g.sysv.Load() }
 
 // retire removes a joined (or failed) group from the registry — the fix
 // for the unbounded growth of System.groups: exited groups used to stay
@@ -111,7 +135,7 @@ type ExecutionGroup struct {
 // double join, which fails exactly as for pthreads.
 func (g *ExecutionGroup) retire() {
 	if g.retired.CompareAndSwap(false, true) {
-		g.sys.groups.delete(g.id)
+		g.sys().groups.delete(g.id)
 	}
 }
 
@@ -166,13 +190,21 @@ func (s *System) spawnGroupFrom(creator *cycles.Clock, creatorT *aerokernel.Thre
 	}
 
 	g := &ExecutionGroup{
-		sys:      s,
 		channel:  s.HVM.NewEventChannel(hrtCore, rosCore),
 		rosCore:  rosCore,
 		created:  make(chan struct{}),
 		finished: make(chan struct{}),
 	}
+	g.sysv.Store(s)
 	g.id = s.nextGroupID.Add(1)
+	if s.grid != nil {
+		// Grid-hosted: the partner may be interrupted at a quiesce point
+		// and the group restored on another node. Arming the interrupt
+		// before the partner ever serves keeps the Recv path shape fixed
+		// for the group's whole life.
+		g.gridHosted = true
+		g.channel.ArmPartnerInterrupt()
+	}
 	s.groups.store(g.id, g)
 	s.noteGroupLive()
 	if fi := s.faults; fi != nil && fi.Scoped() && fi.GroupInScope(g.id) {
@@ -208,79 +240,12 @@ func (s *System) spawnGroupFrom(creator *cycles.Clock, creatorT *aerokernel.Thre
 	// invalidation paths, and hand the router the hooks it needs to
 	// promote a hot group to a synchronous channel mid-run.
 	if s.Opts.Router {
-		r := hvm.NewSyscallRouter(s.HVM, hrtCore, hvm.RouterLocalState{
+		g.router = hvm.NewSyscallRouter(s.HVM, hrtCore, hvm.RouterLocalState{
 			PID:   uint64(s.Proc.Pid()),
 			Cwd:   s.Proc.Cwd(),
 			Uname: ros.UnameString,
 		}, s.Opts.RouterPolicy)
-		g.router = r
-		s.Proc.AddMutationHook(func(ev ros.MutationEvent) {
-			switch ev.Kind {
-			case ros.MutFD:
-				r.InvalidateFD(ev.FD)
-			case ros.MutPath:
-				r.InvalidatePath(ev.Path)
-			case ros.MutBrk:
-				r.InvalidateBrk()
-			case ros.MutCwd:
-				r.InvalidateCwd()
-			}
-		})
-		if g.syncSvc != nil {
-			// Statically configured sync forwarding: the channel is pinned
-			// and the promotion policy stays out of the way.
-			r.SetSyncChannel(g.syncSvc)
-		} else {
-			gid := g.id
-			r.SetPromotionHooks(
-				func(clk *cycles.Clock) (*hvm.SyncSyscallChannel, error) {
-					// Promotion: one setup hypercall plus one ROS thread
-					// creation, both charged to the promoting HRT thread.
-					svc, serr := s.HVM.SetupSyncSyscalls(clk, 0x7f60_0000_0000+gid*4096, rosCore, hrtCore)
-					if serr != nil {
-						return nil, serr
-					}
-					poller := s.Proc.NewThread(rosCore)
-					poller.Start(clk, func(pt *ros.Thread) {
-						for svc.Serve(pt.Clock, func(call linuxabi.Call) linuxabi.Result {
-							return s.Proc.Syscall(pt, call)
-						}) {
-						}
-					})
-					return svc, nil
-				},
-				func(clk *cycles.Clock, ch *hvm.SyncSyscallChannel) {
-					ch.Close() // the poller's Serve returns false and it exits
-				},
-			)
-		}
-		if s.Opts.Exitless && g.syncSvc == nil {
-			// Tier-3 exitless rings: promotion sets up the ring pair with
-			// one hypercall and dedicates a fresh ROS thread to the poll
-			// loop; demotion (idle, fault pressure, or kill recovery)
-			// revokes the pages with the teardown hypercall, which also
-			// releases the poller.
-			gid := g.id
-			r.SetExitlessHooks(
-				func(clk *cycles.Clock) (*hvm.ExitlessChannel, error) {
-					x, xerr := s.HVM.SetupExitless(clk, 0x7f70_0000_0000+gid*4096, rosCore, hrtCore)
-					if xerr != nil {
-						return nil, xerr
-					}
-					poller := s.Proc.NewThread(rosCore)
-					poller.Start(clk, func(pt *ros.Thread) {
-						for x.Serve(pt.Clock, func(call linuxabi.Call) linuxabi.Result {
-							return s.Proc.Syscall(pt, call)
-						}) {
-						}
-					})
-					return x, nil
-				},
-				func(clk *cycles.Clock, x *hvm.ExitlessChannel) {
-					s.HVM.TeardownExitless(clk, x)
-				},
-			)
-		}
+		g.bindRouterHooks(s, rosCore, hrtCore)
 	}
 
 	if slot := s.takeWarmSlot(); slot != nil {
@@ -385,24 +350,112 @@ func (s *System) spawnGroupFrom(creator *cycles.Clock, creatorT *aerokernel.Thre
 	return g, nil
 }
 
+// bindRouterHooks wires the group's router to a hosting System: the ROS
+// kernel's mutation events feed the cache-invalidation paths, and the
+// promotion/exitless hooks capture the host's Proc and HVM. Called at
+// spawn and again by a migration restore — after a move the hooks must
+// create pollers and channels on the target node.
+func (g *ExecutionGroup) bindRouterHooks(s *System, rosCore, hrtCore machine.CoreID) {
+	r := g.router
+	s.Proc.AddMutationHook(func(ev ros.MutationEvent) {
+		switch ev.Kind {
+		case ros.MutFD:
+			r.InvalidateFD(ev.FD)
+		case ros.MutPath:
+			r.InvalidatePath(ev.Path)
+		case ros.MutBrk:
+			r.InvalidateBrk()
+		case ros.MutCwd:
+			r.InvalidateCwd()
+		}
+	})
+	if g.syncSvc != nil {
+		// Statically configured sync forwarding: the channel is pinned
+		// and the promotion policy stays out of the way.
+		r.SetSyncChannel(g.syncSvc)
+		return
+	}
+	gid := g.id
+	r.SetPromotionHooks(
+		func(clk *cycles.Clock) (*hvm.SyncSyscallChannel, error) {
+			// Promotion: one setup hypercall plus one ROS thread
+			// creation, both charged to the promoting HRT thread.
+			svc, serr := s.HVM.SetupSyncSyscalls(clk, 0x7f60_0000_0000+gid*4096, rosCore, hrtCore)
+			if serr != nil {
+				return nil, serr
+			}
+			poller := s.Proc.NewThread(rosCore)
+			poller.Start(clk, func(pt *ros.Thread) {
+				for svc.Serve(pt.Clock, func(call linuxabi.Call) linuxabi.Result {
+					return s.Proc.Syscall(pt, call)
+				}) {
+				}
+			})
+			return svc, nil
+		},
+		func(clk *cycles.Clock, ch *hvm.SyncSyscallChannel) {
+			ch.Close() // the poller's Serve returns false and it exits
+		},
+	)
+	if s.Opts.Exitless {
+		// Tier-3 exitless rings: promotion sets up the ring pair with
+		// one hypercall and dedicates a fresh ROS thread to the poll
+		// loop; demotion (idle, fault pressure, or kill recovery)
+		// revokes the pages with the teardown hypercall, which also
+		// releases the poller.
+		r.SetExitlessHooks(
+			func(clk *cycles.Clock) (*hvm.ExitlessChannel, error) {
+				x, xerr := s.HVM.SetupExitless(clk, 0x7f70_0000_0000+gid*4096, rosCore, hrtCore)
+				if xerr != nil {
+					return nil, xerr
+				}
+				poller := s.Proc.NewThread(rosCore)
+				poller.Start(clk, func(pt *ros.Thread) {
+					for x.Serve(pt.Clock, func(call linuxabi.Call) linuxabi.Result {
+						return s.Proc.Syscall(pt, call)
+					}) {
+					}
+				})
+				return x, nil
+			},
+			func(clk *cycles.Clock, x *hvm.ExitlessChannel) {
+				s.HVM.TeardownExitless(clk, x)
+			},
+		)
+	}
+}
+
 // watch is the group's watchdog goroutine: it observes partner-thread
 // death and drives recovery — respawn within the budget, graceful
-// ROS-only degradation beyond it.
+// ROS-only degradation beyond it. Recovery runs under lifeMu so it
+// serializes against a concurrent migration restore: a partner that died
+// because a migration quiesced it is not a fault, and the watchdog
+// stands down (the restore starts a fresh watchdog on the target node).
 func (g *ExecutionGroup) watch() {
-	fi := g.sys.faults
+	fi := g.sys().faults
 	recoveries := 0
 	for {
 		p := g.partnerRef()
 		<-p.Done()
+		g.lifeMu.Lock()
 		if g.dead.Load() {
+			g.lifeMu.Unlock()
 			return // normal teardown
+		}
+		if g.relocating.Load() || g.partnerRef() != p {
+			// A migration interrupted this partner (or already replaced
+			// it while we waited for lifeMu): not a death to recover.
+			g.lifeMu.Unlock()
+			return
 		}
 		recoveries++
 		if recoveries > fi.RecoveryBudget() {
 			g.degrade(p)
+			g.lifeMu.Unlock()
 			return
 		}
 		g.respawn(p, recoveries)
+		g.lifeMu.Unlock()
 	}
 }
 
@@ -412,7 +465,7 @@ func (g *ExecutionGroup) watch() {
 // makes the replay cheap), requeue every in-flight envelope, and resume
 // serving from the retransmit queue.
 func (g *ExecutionGroup) respawn(dead *ros.Thread, n int) {
-	s := g.sys
+	s := g.sys()
 	start := dead.Clock.Now()
 	pt := s.Proc.NewThread(g.rosCore)
 	pt.Clock.SyncTo(start)
@@ -453,7 +506,7 @@ func (g *ExecutionGroup) respawn(dead *ros.Thread, n int) {
 // serve loop handles the residual control traffic (thread exit, plus any
 // requeued in-flight envelopes).
 func (g *ExecutionGroup) degrade(dead *ros.Thread) {
-	s := g.sys
+	s := g.sys()
 	cost := s.Machine.Cost
 	g.degraded.Store(true)
 	g.channel.ForceReliable()
@@ -507,12 +560,12 @@ func (g *ExecutionGroup) degrade(dead *ros.Thread) {
 // the ROS kernel and flips the partner's bit), and wake the partner
 // through the event channel so it can clean up and exit.
 func (g *ExecutionGroup) runHRT(t *aerokernel.Thread, fn func(Env) uint64) uint64 {
-	env := &hrtEnv{sys: g.sys, t: t, group: g}
+	env := &hrtEnv{t: t, group: g}
 	code := fn(env)
 	g.exitCode.Store(code)
 
-	g.sys.exitPending <- g.id
-	if err := g.sys.HVM.RaiseROSSignal(t.Clock, int(linuxabi.SIGCHLD)); err == nil {
+	g.sys().exitPending <- g.id
+	if err := g.sys().HVM.RaiseROSSignal(t.Clock, int(linuxabi.SIGCHLD)); err == nil {
 		// Signal delivered; the partner's bit is set.
 	}
 	if _, err := g.channel.Forward(t.Clock, &hvm.Envelope{Kind: hvm.EvThreadExit, ExitCode: code}); err != nil {
@@ -526,10 +579,16 @@ func (g *ExecutionGroup) runHRT(t *aerokernel.Thread, fn func(Env) uint64) uint6
 // kernel, forwarded page faults are replicated so the ROS fault path runs
 // — until the HRT thread exits.
 func (g *ExecutionGroup) serve(pt *ros.Thread) {
-	fi := g.sys.faults
+	fi := g.sys().faults
 	for {
 		env := g.channel.Recv(pt.Clock)
 		if env == nil {
+			if g.relocating.Load() {
+				// Migration interrupt, not channel close: return without
+				// cleanup. The restored partner resumes serving on the
+				// target node from the requeued window.
+				return
+			}
 			break
 		}
 		if fi != nil && !g.degraded.Load() &&
@@ -542,12 +601,12 @@ func (g *ExecutionGroup) serve(pt *ros.Thread) {
 		}
 		switch env.Kind {
 		case hvm.EvSyscall:
-			res := g.sys.Proc.Syscall(pt, env.Call)
+			res := g.sys().Proc.Syscall(pt, env.Call)
 			g.channel.Complete(pt.Clock, env, hvm.Reply{Res: res})
 		case hvm.EvPageFault:
 			// Replicate the access: the same exception occurs on the
 			// ROS core and the ROS handles it as it would normally.
-			errno := g.sys.Proc.Touch(pt, env.FaultAddr, env.FaultWrite)
+			errno := g.sys().Proc.Touch(pt, env.FaultAddr, env.FaultWrite)
 			g.channel.Complete(pt.Clock, env, hvm.Reply{FaultOK: errno == linuxabi.OK})
 		case hvm.EvThreadExit:
 			g.channel.Complete(pt.Clock, env, hvm.Reply{})
@@ -571,7 +630,7 @@ func (g *ExecutionGroup) cleanup(pt *ros.Thread) {
 		g.syncSvc.Close() // the polling thread's Serve returns false
 	}
 	g.channel.Close()
-	g.sys.noteGroupDead()
+	g.sys().noteGroupDead()
 	// Park the context for warm reuse before finished closes, so a
 	// spawn sequenced after this group's join deterministically sees the
 	// slot. Parking charges no virtual cycles (tenancy.go).
@@ -586,7 +645,7 @@ func (g *ExecutionGroup) cleanup(pt *ros.Thread) {
 // is host real time on purpose: a wedged group's virtual clocks stop
 // advancing, so only wall time can flush the condition out.
 func (g *ExecutionGroup) awaitDone() error {
-	d := g.sys.Opts.WedgeTimeout
+	d := g.sys().Opts.WedgeTimeout
 	if d <= 0 {
 		<-g.finished
 		<-g.hrt.Done()
@@ -612,8 +671,8 @@ func (g *ExecutionGroup) awaitDone() error {
 func (g *ExecutionGroup) wedged() error {
 	// The group's virtual clocks are stalled; stamp with the last time
 	// the partner side reached, which is 0 if cleanup never ran.
-	g.sys.recorder.Record(cycles.Cycles(g.finalTime.Load()), telemetry.RecWedge, g.id, 0, 0, 0)
-	g.sys.recorder.AutoDump(fmt.Sprintf("group %d wedged: no exit notification within deadline", g.id))
+	g.sys().recorder.Record(cycles.Cycles(g.finalTime.Load()), telemetry.RecWedge, g.id, 0, 0, 0)
+	g.sys().recorder.AutoDump(fmt.Sprintf("group %d wedged: no exit notification within deadline", g.id))
 	return ErrGroupWedged
 }
 
@@ -642,7 +701,7 @@ func (g *ExecutionGroup) WaitExit(clk *cycles.Clock) (uint64, error) {
 // ErrGroupWedged instead of hanging.
 func (g *ExecutionGroup) Join(joiner *ros.Thread) (uint64, error) {
 	joiner.Proc.CountVoluntaryCS()
-	joiner.Clock.Advance(g.sys.Machine.Cost.ROSThreadJoin)
+	joiner.Clock.Advance(g.sys().Machine.Cost.ROSThreadJoin)
 	if err := g.awaitDone(); err != nil {
 		return 0, err
 	}
@@ -671,32 +730,44 @@ func (g *ExecutionGroup) Router() *hvm.SyscallRouter { return g.router }
 // ring 0 against the merged address space; pthreads are interposed by the
 // default overrides.
 type hrtEnv struct {
-	sys   *System
 	t     *aerokernel.Thread
 	group *ExecutionGroup
 }
 
+// sys resolves the hosting System through the group, so a migrated
+// group's environment follows it to the target node.
+func (e *hrtEnv) sys() *System { return e.group.sys() }
+
 func (e *hrtEnv) World() World          { return WorldHRT }
 func (e *hrtEnv) Clock() *cycles.Clock  { return e.t.Clock }
-func (e *hrtEnv) Process() *ros.Process { return e.sys.Proc }
+func (e *hrtEnv) Process() *ros.Process { return e.sys().Proc }
 
 // TelemetryScope exposes the run's instruments on the HRT thread's track;
 // layers above (the scheme GC) discover it by interface assertion.
 func (e *hrtEnv) TelemetryScope() telemetry.Scope {
 	return telemetry.Scope{
-		Tracer:  e.sys.tracer,
-		Metrics: e.sys.metrics,
+		Tracer:  e.sys().tracer,
+		Metrics: e.sys().metrics,
 		Track:   telemetry.Track{Core: int(e.t.Core), Name: "hrt"},
 	}
 }
 
 func (e *hrtEnv) Compute(c cycles.Cycles) {
 	e.t.Clock.Advance(c)
-	e.sys.Proc.ChargeUser(c)
+	e.sys().Proc.ChargeUser(c)
 }
 
 func (e *hrtEnv) Syscall(call linuxabi.Call) linuxabi.Result {
-	if b := e.sys.Opts.TenantBudget; b != nil {
+	if e.group.gridHosted {
+		// The quiesce-point gate: every boundary crossing of a
+		// grid-hosted group passes here at zero virtual cost, and an
+		// armed voluntary migration fires synchronously on this (the
+		// HRT) goroutine — which is exactly what makes the group
+		// quiescent: no forwarded call is in flight and the serve loop
+		// is parked in Recv.
+		e.group.syscallGate(e.t)
+	}
+	if b := e.sys().Opts.TenantBudget; b != nil {
 		// Admission at the boundary: an over-budget tenant is turned away
 		// before the call crosses, at zero virtual cost, with a
 		// deterministic errno (tenancy.go).
@@ -707,14 +778,14 @@ func (e *hrtEnv) Syscall(call linuxabi.Call) linuxabi.Result {
 	start := e.t.Clock.Now()
 	res := e.t.Syscall(call)
 	lat := e.t.Clock.Now() - start
-	if e.sys.Opts.TenantBudget != nil {
+	if e.sys().Opts.TenantBudget != nil {
 		e.group.chargeBudget(lat)
 	}
-	e.sys.recordHotspot(call.Num, false, lat)
+	e.sys().recordHotspot(call.Num, false, lat)
 	// Per-group, per-syscall-kind SLO distribution. Wall-only cost: the
 	// histogram observes the already-computed virtual latency and never
 	// advances a clock.
-	e.sys.metrics.LatencyHistogram(telemetry.SLOPrefix + "g" +
+	e.sys().metrics.LatencyHistogram(telemetry.SLOPrefix + "g" +
 		strconv.FormatUint(e.group.id, 10) + "." + call.Num.String()).Observe(lat)
 	return res
 }
@@ -722,15 +793,15 @@ func (e *hrtEnv) Syscall(call linuxabi.Call) linuxabi.Result {
 func (e *hrtEnv) VDSO(num linuxabi.Sysno) (uint64, linuxabi.Errno) {
 	// vdso functions execute in the merged address space on the HRT
 	// core — a state superposition, no forwarding.
-	return e.sys.Proc.VDSOAt(e.t.Clock, e.t.Core, num)
+	return e.sys().Proc.VDSOAt(e.t.Clock, e.t.Core, num)
 }
 
 func (e *hrtEnv) Touch(addr uint64, write bool) error {
-	before := e.sys.AK.ForwardedFaults()
+	before := e.sys().AK.ForwardedFaults()
 	start := e.t.Clock.Now()
 	err := e.t.Touch(addr, write)
-	if e.sys.AK.ForwardedFaults() > before {
-		e.sys.recordHotspot(0, true, e.t.Clock.Now()-start)
+	if e.sys().AK.ForwardedFaults() > before {
+		e.sys().recordHotspot(0, true, e.t.Clock.Now()-start)
 	}
 	return err
 }
@@ -738,24 +809,24 @@ func (e *hrtEnv) Touch(addr uint64, write bool) error {
 func (e *hrtEnv) CheckTimer() bool {
 	// The timer is keyed by the ROS thread that serviced the forwarded
 	// setitimer — this group's partner.
-	return e.sys.Proc.CheckTimerFor(e.group.PartnerTID(), e.t.Clock)
+	return e.sys().Proc.CheckTimerFor(e.group.PartnerTID(), e.t.Clock)
 }
 
 func (e *hrtEnv) RegisterSignalCode(addr uint64, fn func(*ros.SignalContext)) {
 	// Scope the registration to this group's partner — the same ROS thread
 	// that services the group's rt_sigaction — so concurrent engines using
 	// the same fixed handler addresses cannot clobber each other.
-	e.sys.Proc.RegisterHandlerFor(e.group.PartnerTID(), addr, fn)
+	e.sys().Proc.RegisterHandlerFor(e.group.PartnerTID(), addr, fn)
 }
 
 // PthreadCreate goes through the generated wrapper for pthread_create,
 // which resolves and calls nk_thread_create (Figure 5's flow).
 func (e *hrtEnv) PthreadCreate(fn func(Env)) (PthreadJoin, error) {
-	w, ok := e.sys.Overrides.Lookup("pthread_create")
+	w, ok := e.sys().Overrides.Lookup("pthread_create")
 	if !ok {
 		return nil, fmt.Errorf("multiverse: pthread_create override missing")
 	}
-	fnID := e.sys.registerFn(func(env Env) uint64 { fn(env); return 0 })
+	fnID := e.sys().registerFn(func(env Env) uint64 { fn(env); return 0 })
 	gid, err := w.Invoke(e.t, fnID)
 	if err != nil {
 		return nil, err
@@ -765,7 +836,7 @@ func (e *hrtEnv) PthreadCreate(fn func(Env)) (PthreadJoin, error) {
 	}
 	self := e.t
 	return func() uint64 {
-		jw, okj := e.sys.Overrides.Lookup("pthread_join")
+		jw, okj := e.sys().Overrides.Lookup("pthread_join")
 		if !okj {
 			return ^uint64(0)
 		}
@@ -780,18 +851,18 @@ func (e *hrtEnv) PthreadCreate(fn func(Env)) (PthreadJoin, error) {
 // AKCall invokes an AeroKernel function directly by symbol — what
 // accelerator-model code does (Figure 4's aerokernel_func()).
 func (e *hrtEnv) AKCall(symbol string, args ...uint64) (uint64, error) {
-	addr, ok := e.sys.AK.LookupSymbol(e.t.Clock, symbol)
+	addr, ok := e.sys().AK.LookupSymbol(e.t.Clock, symbol)
 	if !ok {
 		return 0, fmt.Errorf("multiverse: AeroKernel symbol %q not found", symbol)
 	}
-	return e.sys.AK.CallByAddr(e.t, addr, args...)
+	return e.sys().AK.CallByAddr(e.t, addr, args...)
 }
 
 // RegisterAKMemFaultHandler installs the runtime's handler for protection
 // faults in the AeroKernel-managed memory region (the in-kernel GC
 // write-barrier path).
 func (e *hrtEnv) RegisterAKMemFaultHandler(h func(addr uint64, write bool) bool) {
-	e.sys.AK.SetMemFaultHandler(aerokernel.MemFaultHandler(h))
+	e.sys().AK.SetMemFaultHandler(aerokernel.MemFaultHandler(h))
 }
 
 // RegisterUserFaultHandler installs the runtime's handler for protection
@@ -799,10 +870,10 @@ func (e *hrtEnv) RegisterAKMemFaultHandler(h func(addr uint64, write bool) bool)
 // installs nothing and returns false unless the incremental merger is
 // enabled; callers then keep the forwarded fault path.
 func (e *hrtEnv) RegisterUserFaultHandler(h func(addr uint64, write bool) bool) bool {
-	if !e.sys.Opts.Merger {
+	if !e.sys().Opts.Merger {
 		return false
 	}
-	e.sys.AK.SetUserFaultHandler(aerokernel.MemFaultHandler(h))
+	e.sys().AK.SetUserFaultHandler(aerokernel.MemFaultHandler(h))
 	return true
 }
 
@@ -810,12 +881,12 @@ func (e *hrtEnv) RegisterUserFaultHandler(h func(addr uint64, write bool) bool) 
 // edit on the HRT core, reporting whether the edit succeeded. On false
 // the caller must fall back to the forwarded mprotect path.
 func (e *hrtEnv) UserProtect(addr, length uint64, writable bool) bool {
-	return e.sys.AK.ProtectUser(e.t.Clock, e.t.Core, addr, length, writable) == nil
+	return e.sys().AK.ProtectUser(e.t.Clock, e.t.Core, addr, length, writable) == nil
 }
 
 // OverrideInvoke calls a legacy function through its override wrapper.
 func (e *hrtEnv) OverrideInvoke(legacy string, args ...uint64) (uint64, error) {
-	w, ok := e.sys.Overrides.Lookup(legacy)
+	w, ok := e.sys().Overrides.Lookup(legacy)
 	if !ok {
 		return 0, fmt.Errorf("multiverse: no override for %q", legacy)
 	}
@@ -829,10 +900,10 @@ func (e *hrtEnv) HRTThreadForBench() *aerokernel.Thread { return e.t }
 // Scheduler exposes the AeroKernel's run-queue scheduler; nil when
 // Options.Scheduler is off.
 func (e *hrtEnv) Scheduler() *aerokernel.Scheduler {
-	if e.sys.AK == nil {
+	if e.sys().AK == nil {
 		return nil
 	}
-	return e.sys.AK.Scheduler()
+	return e.sys().AK.Scheduler()
 }
 
 // SpawnWorkerEnv creates a persistent scheduler-placed worker context: a
@@ -846,7 +917,7 @@ func (e *hrtEnv) SpawnWorkerEnv() (Env, machine.CoreID, func(), error) {
 		return nil, 0, nil, fmt.Errorf("multiverse: scheduler not enabled")
 	}
 	nt := e.t.CreateNested()
-	wenv := &hrtEnv{sys: e.sys, t: nt, group: e.group}
+	wenv := &hrtEnv{t: nt, group: e.group}
 	return wenv, nt.Core, nt.Release, nil
 }
 

@@ -167,6 +167,13 @@ type System struct {
 	pool       *warmPool
 	density    *densityStats
 
+	// Grid membership (grid.go): set by NewGrid before any spawn. grid is
+	// nil for a standalone System, which keeps every non-grid path — the
+	// spawn shape, the channel Recv shape, the syscall path — byte for
+	// byte what it was.
+	grid     *Grid
+	gridNode int
+
 	tracer   *telemetry.Tracer
 	metrics  *telemetry.Registry
 	recorder *telemetry.Recorder // nil only under Options.NoRecorder
@@ -589,6 +596,24 @@ func (s *System) RelinkAfterReboot() {
 	s.enableMerger()
 	s.enableScheduler()
 }
+
+// SeedGroupIDs advances the group-id counter to at least base. A grid
+// seeds each node into a disjoint range so a group keeps a unique id
+// when a migration moves it into another node's registry. Advance-only;
+// a no-op if the counter is already past base (node 0 keeps the
+// standalone numbering).
+func (s *System) SeedGroupIDs(base uint64) {
+	for {
+		cur := s.nextGroupID.Load()
+		if cur >= base || s.nextGroupID.CompareAndSwap(cur, base) {
+			return
+		}
+	}
+}
+
+// GridNode reports the grid this System belongs to (nil standalone) and
+// its node index within it.
+func (s *System) GridNode() (*Grid, int) { return s.grid, s.gridNode }
 
 // Groups returns the live execution groups (diagnostics). Torn-down
 // groups stay registered until joined (late joiners must still find

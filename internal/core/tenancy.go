@@ -45,12 +45,12 @@ type TenantBudget struct {
 // program order, so the decision replays exactly.
 func (g *ExecutionGroup) admitSyscall(b *TenantBudget, length uint64, isMmap bool) (linuxabi.Result, bool) {
 	if b.Cycles > 0 && cycles.Cycles(g.boundarySpent.Load()) >= b.Cycles {
-		g.sys.density.budgetRejected.Inc()
+		g.sys().density.budgetRejected.Inc()
 		return linuxabi.Result{Ret: ^uint64(0), Err: linuxabi.EAGAIN}, true
 	}
 	if b.MemBytes > 0 && isMmap {
 		if g.memReserved.Load()+length > b.MemBytes {
-			g.sys.density.budgetRejected.Inc()
+			g.sys().density.budgetRejected.Inc()
 			return linuxabi.Result{Ret: ^uint64(0), Err: linuxabi.ENOMEM}, true
 		}
 		g.memReserved.Add(length)
@@ -174,6 +174,15 @@ func (s *System) noteGroupDead() {
 	s.density.live.Set(uint64(live))
 }
 
+// noteGroupMigratedIn records a group restored onto this node: the live
+// count and peak move, but the spawned counter does not — the group was
+// spawned (and counted) once, on its source node.
+func (s *System) noteGroupMigratedIn() {
+	live := s.liveGroups.Add(1)
+	s.density.live.Set(uint64(live))
+	s.density.peak.SetMax(uint64(live))
+}
+
 // takeWarmSlot claims a warm slot for a spawn. It returns nil — and the
 // spawn falls back to the cold-boot path — when the pool is off, empty,
 // or the AeroKernel has halted (a warm claim must not outlive the kernel
@@ -199,7 +208,7 @@ func (s *System) takeWarmSlot() *warmSlot {
 // groups are never parked (their stack may be mid-protocol with a dead
 // partner); beyond-capacity returns are dropped and counted.
 func (g *ExecutionGroup) parkWarmSlot() {
-	s := g.sys
+	s := g.sys()
 	if s.pool == nil || g.degraded.Load() || g.akStack == nil {
 		return
 	}

@@ -69,6 +69,16 @@ type CostModel struct {
 	AKSysretEmul   Cycles // emulated SYSRET: restore + direct jmp to saved rip
 	AKIstSwitch    Cycles // hardware IST stack switch on interrupt entry
 
+	// Grid checkpoint/restore costs (live migration of one execution
+	// group between machines). A checkpoint is a delta, not a full
+	// address-space copy: the PR-3 per-PML4-slot generation stamps bound
+	// the serialized state to the slots the group actually touched.
+	CheckpointBase      Cycles // quiesce bookkeeping + HRT/router/window context serialization
+	CheckpointPerSlot   Cycles // serializing one touched PML4 slot descriptor (PML4EntryCopy-class)
+	GridTransferBase    Cycles // per-migration fixed cost of moving the image between nodes
+	GridTransferPerPage Cycles // per-4KiB transfer cost of the checkpoint image (MemCopyPerPage-class)
+	RestoreBase         Cycles // target-side rebuild: thread tables, channel window, router rebind
+
 	// AeroKernel scheduler costs (per-core run queues, Chase–Lev-style
 	// work stealing, spin-then-halt idle policy).
 	SchedEnqueue Cycles // pushing one task/thread onto a per-core queue or deque
@@ -150,6 +160,12 @@ func DefaultCostModel() *CostModel {
 		AKSyscallStub:  160,
 		AKSysretEmul:   90,
 		AKIstSwitch:    70,
+
+		CheckpointBase:      12_000,
+		CheckpointPerSlot:   80, // PML4EntryCopy-class
+		GridTransferBase:    20_000,
+		GridTransferPerPage: 700, // MemCopyPerPage-class
+		RestoreBase:         9_000,
 
 		SchedEnqueue: 45,
 		SchedSteal:   350,

@@ -127,6 +127,16 @@ type Plan struct {
 	// RecoveryBudget is how many partner respawns a group performs before
 	// degrading to ROS-only execution.
 	RecoveryBudget int `json:"recovery_budget,omitempty"`
+	// RetransmitBound caps the per-channel retransmission queue (pending
+	// duplicate redeliveries + unacknowledged in-flight work). Past the
+	// bound, further duplicate deliveries are rejected and the channel
+	// degrades to reliable transport — the graceful path — instead of
+	// growing without limit against a stalled partner.
+	RetransmitBound int `json:"retransmit_bound,omitempty"`
+	// NodeKills is how many whole-node failures a grid chaos run injects.
+	// Victim selection is the same splitmix64 determinism as every other
+	// roll: NodeKillVictim(Seed, event, nodes).
+	NodeKills int `json:"node_kills,omitempty"`
 
 	// Spec is the scripted scenario (ordered, fire-once injections); it
 	// composes with the rate-based plan.
@@ -159,6 +169,9 @@ func (p *Plan) fill() {
 	}
 	if p.RecoveryBudget <= 0 {
 		p.RecoveryBudget = 3
+	}
+	if p.RetransmitBound <= 0 {
+		p.RetransmitBound = 256
 	}
 }
 
@@ -383,6 +396,45 @@ func (i *Injector) RecoveryBudget() int {
 	return i.plan.RecoveryBudget
 }
 
+// RetransmitBound is the per-channel retransmission-queue cap (0 when
+// no plan is armed: the clean path never queues retransmissions).
+func (i *Injector) RetransmitBound() int {
+	if i == nil {
+		return 0
+	}
+	return i.plan.RetransmitBound
+}
+
+// NodeKills is how many node-kill events a grid chaos run injects.
+func (i *Injector) NodeKills() int {
+	if i == nil {
+		return 0
+	}
+	return i.plan.NodeKills
+}
+
+// Seed exposes the plan seed for grid-level decisions (node-kill victim
+// selection) that must agree with the channel/thread-level rolls.
+func (i *Injector) Seed() uint64 {
+	if i == nil {
+		return 0
+	}
+	return i.plan.Seed
+}
+
+// NodeKillVictim deterministically picks the victim node of node-kill
+// event number `event` (0-based) on a grid of `nodes` nodes. It is a
+// pure hash of (seed, event) — host scheduling can never change which
+// node dies.
+func NodeKillVictim(seed uint64, event, nodes int) int {
+	if nodes <= 0 {
+		return 0
+	}
+	h := splitmix64(seed ^ 0x6e6f_6465_6b69_6c6c) // "nodekill"
+	h = fold(h, uint64(event))
+	return int(h % uint64(nodes))
+}
+
 // ---- Deterministic hashing ----------------------------------------------
 
 // splitmix64 is the finalizer of the splitmix64 generator: a cheap,
@@ -446,6 +498,18 @@ func ParseSeedRate(s string) (Plan, error) {
 		return Plan{}, fmt.Errorf("faults: rate %g out of [0,1]", rate)
 	}
 	return Plan{Seed: seed, Rate: rate, KillRate: rate / 10, PanicRate: rate / 10}, nil
+}
+
+// ParseChaos parses the mvrun -chaos argument "<seed>:<rate>". It is
+// the full PR-5 fault menu of ParseSeedRate plus one node-kill event,
+// the grid chaos configuration.
+func ParseChaos(s string) (Plan, error) {
+	plan, err := ParseSeedRate(s)
+	if err != nil {
+		return Plan{}, err
+	}
+	plan.NodeKills = 1
+	return plan, nil
 }
 
 // ParseSpec parses a scenario file: a JSON array of Injection objects,

@@ -182,6 +182,19 @@ type EventChannel struct {
 	// instead of a registry lookup (and two string concats) per Forward.
 	fwdCtr [numEventKinds]*telemetry.Counter
 	fwdLat [numEventKinds]*telemetry.Histogram
+	// retransDepth gauges the retransmission window (redeliver queue +
+	// in-flight set); resolved once when the fault plane is armed.
+	retransDepth *telemetry.Gauge
+
+	// Partner-interrupt plumbing for grid migration. halt, when armed,
+	// lets the grid stop the partner's Recv loop without closing the
+	// channel: the channel object — pending queue, seqno counter, and
+	// the whole retransmission window — survives the move, and the
+	// restored partner on the target node keeps serving it. halt is nil
+	// on non-grid groups, so the ordinary receive path stays a plain
+	// channel receive.
+	hltMu sync.Mutex
+	halt  chan struct{}
 }
 
 // NewEventChannel creates the channel for an execution group whose HRT
@@ -206,6 +219,9 @@ func (h *HVM) NewEventChannel(hrtCore, rosCore machine.CoreID) *EventChannel {
 	for k := EventKind(1); k < numEventKinds; k++ {
 		c.fwdCtr[k] = h.metrics.Counter("forward." + k.String())
 		c.fwdLat[k] = h.metrics.LatencyHistogram("forward." + k.String() + ".latency")
+	}
+	if h.faults != nil {
+		c.retransDepth = h.metrics.Gauge("faults.retransmit.depth")
 	}
 	return c
 }
@@ -241,6 +257,57 @@ func (c *EventChannel) releaseEnv(env *Envelope) {
 
 // ID returns the channel's deterministic id (fault-injection site key).
 func (c *EventChannel) ID() uint64 { return c.id }
+
+// ArmPartnerInterrupt arms (or re-arms, after a restore) the halt line
+// that InterruptPartner closes. Grid-hosted groups arm it at spawn; a
+// restored group re-arms it before its new partner starts serving.
+func (c *EventChannel) ArmPartnerInterrupt() {
+	c.hltMu.Lock()
+	if c.halt == nil {
+		c.halt = make(chan struct{})
+	}
+	c.hltMu.Unlock()
+}
+
+// InterruptPartner stops the partner's receive loop without closing the
+// channel: the blocked Recv returns nil, the serve loop exits without
+// running its teardown (the group is relocating, not dying), and every
+// envelope still queued or in flight survives for the restored partner
+// on the target node. Callers must only interrupt a quiesced partner
+// (nothing pending on the wire) — the quiesce-point invariant — so the
+// pending-vs-halt select below can never race a live delivery.
+func (c *EventChannel) InterruptPartner() {
+	c.hltMu.Lock()
+	h := c.halt
+	c.halt = nil
+	c.hltMu.Unlock()
+	if h != nil {
+		close(h)
+	}
+}
+
+func (c *EventChannel) haltChan() chan struct{} {
+	c.hltMu.Lock()
+	h := c.halt
+	c.hltMu.Unlock()
+	return h
+}
+
+// recvPending blocks for the next wire delivery, honoring the partner
+// interrupt when one is armed. Non-grid channels take the plain receive.
+func (c *EventChannel) recvPending() (*Envelope, bool) {
+	h := c.haltChan()
+	if h == nil {
+		env, ok := <-c.pending
+		return env, ok
+	}
+	select {
+	case env, ok := <-c.pending:
+		return env, ok
+	case <-h:
+		return nil, false
+	}
+}
 
 // hrtTrack is the trace track of the HRT thread driving this channel.
 func (c *EventChannel) hrtTrack() telemetry.Track {
@@ -391,8 +458,23 @@ func (c *EventChannel) sendFaulted(clk *cycles.Clock, env *Envelope, fi *faults.
 				// wire so a completed request (which may close the channel)
 				// never races a still-in-flight duplicate send.
 				c.rmu.Lock()
-				c.redeliver = append(c.redeliver, env)
-				c.rmu.Unlock()
+				depth := len(c.redeliver) + len(c.inflight)
+				if bound := fi.RetransmitBound(); bound > 0 && depth >= bound {
+					// A stalled partner must not grow the window without
+					// limit: drop the duplicate (dedup would discard it
+					// anyway) and degrade the channel to reliable
+					// transport — the existing graceful path — so no
+					// further injected faults can push it past the bound.
+					c.rmu.Unlock()
+					c.hvm.metrics.Counter("faults.retransmit.rejected").Inc()
+					c.ForceReliable()
+					quiet = true
+				} else {
+					c.redeliver = append(c.redeliver, env)
+					depth++
+					c.rmu.Unlock()
+					c.noteWindowDepth(depth)
+				}
 			}
 			c.pending <- env
 			return <-env.reply
@@ -421,7 +503,7 @@ func (c *EventChannel) Recv(clk *cycles.Clock) *Envelope {
 	if fi := c.hvm.faults; fi != nil {
 		return c.recvFaulted(clk, fi)
 	}
-	env, ok := <-c.pending
+	env, ok := c.recvPending()
 	if !ok {
 		return nil
 	}
@@ -467,7 +549,9 @@ func (c *EventChannel) recvFaulted(clk *cycles.Clock, fi *faults.Injector) *Enve
 			continue
 		}
 		c.inflight[env.Seq] = env
+		depth := len(c.redeliver) + len(c.inflight)
 		c.rmu.Unlock()
+		c.noteWindowDepth(depth)
 		if tr := c.hvm.tracer; tr.Enabled() {
 			env.span = tr.Begin(c.svcTrack(), "evtchan", serviceSpanName(env.Kind), env.Arrival,
 				telemetry.Attr{Key: "req", Val: env.ReqID})
@@ -483,17 +567,28 @@ func (c *EventChannel) recvFaulted(clk *cycles.Clock, fi *faults.Injector) *Enve
 	}
 }
 
+// noteWindowDepth publishes the retransmission-window occupancy
+// (redeliver queue + in-flight set) to the faults.retransmit.depth
+// gauge. Called outside rmu with a depth computed under it.
+func (c *EventChannel) noteWindowDepth(depth int) {
+	if c.retransDepth != nil {
+		c.retransDepth.Set(uint64(depth))
+	}
+}
+
 // take pops the next delivery: replayed envelopes first, then the wire.
 func (c *EventChannel) take() *Envelope {
 	c.rmu.Lock()
 	if len(c.redeliver) > 0 {
 		env := c.redeliver[0]
 		c.redeliver = c.redeliver[1:]
+		depth := len(c.redeliver) + len(c.inflight)
 		c.rmu.Unlock()
+		c.noteWindowDepth(depth)
 		return env
 	}
 	c.rmu.Unlock()
-	env, ok := <-c.pending
+	env, ok := c.recvPending()
 	if !ok {
 		return nil
 	}
@@ -517,7 +612,9 @@ func (c *EventChannel) Complete(clk *cycles.Clock, env *Envelope, r Reply) {
 		c.rmu.Lock()
 		c.completed[env.Seq] = true
 		delete(c.inflight, env.Seq)
+		depth := len(c.redeliver) + len(c.inflight)
 		c.rmu.Unlock()
+		c.noteWindowDepth(depth)
 	}
 	env.reply <- r
 }
@@ -568,6 +665,39 @@ func (c *EventChannel) Requeue(at cycles.Cycles) []Replayed {
 		c.hvm.recorder.Record(at, telemetry.RecRequeue, c.id, r.ReqID, r.Seq, 0)
 	}
 	return out
+}
+
+// ChannelWindow is the checkpointed seqno/retransmission window of one
+// event channel: everything a restored partner needs to know about the
+// channel's delivery state. The envelopes themselves live in the channel
+// object, which survives a migration as-is — the window is recorded for
+// checkpoint fidelity (costing, flight events, and the restore-side
+// replay accounting), not to rebuild the queues.
+type ChannelWindow struct {
+	// NextSeq is the sequence number the next Forward will be stamped
+	// with (last issued + 1).
+	NextSeq uint64
+	// Completed counts seqnos already serviced (the dedup set size).
+	Completed int
+	// Inflight lists seqnos received but not completed at checkpoint
+	// time; the restore replays them in ascending order via Requeue.
+	Inflight []uint64
+	// Redeliver is the depth of the duplicate-redelivery queue.
+	Redeliver int
+}
+
+// Window snapshots the channel's retransmission window for a checkpoint.
+func (c *EventChannel) Window() ChannelWindow {
+	w := ChannelWindow{NextSeq: c.seq.Load() + 1}
+	c.rmu.Lock()
+	w.Completed = len(c.completed)
+	w.Redeliver = len(c.redeliver)
+	for seq := range c.inflight {
+		w.Inflight = append(w.Inflight, seq)
+	}
+	c.rmu.Unlock()
+	sort.Slice(w.Inflight, func(i, j int) bool { return w.Inflight[i] < w.Inflight[j] })
+	return w
 }
 
 // ForceReliable suppresses further fault injection on this channel; the

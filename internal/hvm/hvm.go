@@ -240,6 +240,20 @@ func (h *HVM) Recorder() *telemetry.Recorder { return h.recorder }
 // Faults returns the armed fault injector (nil when injection is off).
 func (h *HVM) Faults() *faults.Injector { return h.faults }
 
+// SeedChannelIDs advances the channel-id counter to at least base. A
+// grid seeds each node into a disjoint range so channel ids — which key
+// fault-injection sites and trace flow ids — stay unique across nodes.
+// Must be called before the node creates channels; a no-op if the
+// counter is already past base.
+func (h *HVM) SeedChannelIDs(base uint64) {
+	for {
+		cur := atomic.LoadUint64(&h.channelSeq)
+		if cur >= base || atomic.CompareAndSwapUint64(&h.channelSeq, cur, base) {
+			return
+		}
+	}
+}
+
 // rosMainTrack is the trace track of the ROS-side thread driving the
 // HVM protocol calls (merger, async call, channel setup): the ROS boot
 // core's main context.

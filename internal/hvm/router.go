@@ -754,6 +754,71 @@ func (r *SyscallRouter) InvalidateCwd() {
 	r.hvm.metrics.Counter("router.cache_invalidations").Inc()
 }
 
+// RouterCheckpoint is the router slice of a group checkpoint: the
+// mirrored tier-0 state plus the fault-policy latches that survive a
+// migration. The router object itself crosses with the group (the
+// checkpoint records, it does not rebuild), so this is the serialized
+// form a restore verifies and the flight recorder describes.
+type RouterCheckpoint struct {
+	// Local is the mirrored process state tier 0 serves from. It
+	// deliberately migrates as-is: the group keeps observing its
+	// original pid/cwd/uname, so tier-0 answers are byte-identical to
+	// an unmigrated run.
+	Local RouterLocalState
+	// RingHold/RingWasLossy carry the tier-3 recovery latch: after the
+	// checkpoint teardown, re-promotion on the target waits for the
+	// same CleanStreak window as after a partner-kill demotion.
+	RingHold     bool
+	RingWasLossy bool
+	// CacheEntries counts the tier-1 results dropped at checkpoint time
+	// (fd and path identity is per-node, so the cache does not migrate).
+	CacheEntries int
+}
+
+// Quiesce prepares the router for a checkpoint. Tier-3 rings are torn
+// down to the tier-2 fallback exactly as in the partner-kill recovery
+// path — teardown hypercall, recovery hold, clean-streak-gated
+// re-promotion on the target. A promoted sync channel is demoted (its
+// polling thread lives on the source node and cannot move), and the
+// tier-1 result cache is dropped. clk is the migration clock: the
+// teardown hypercalls are a cost of migrating, not of the group's own
+// timeline, which must stay byte-identical to an unmigrated run.
+func (r *SyscallRouter) Quiesce(clk *cycles.Clock) RouterCheckpoint {
+	r.mu.Lock()
+	hasRing := r.ring != nil
+	r.mu.Unlock()
+	if hasRing {
+		r.ringDown(clk)
+	}
+	r.mu.Lock()
+	sc := r.sync
+	r.sync = nil
+	r.lossSync = false
+	r.cleanRun = 0
+	r.recent = r.recent[:0]
+	demote := r.demote
+	dropped := len(r.cache)
+	clear(r.cache)
+	cp := RouterCheckpoint{
+		Local:        r.local,
+		RingHold:     r.ringHold,
+		RingWasLossy: r.ringWasLossy,
+		CacheEntries: dropped,
+	}
+	r.mu.Unlock()
+	if sc != nil {
+		if demote != nil {
+			demote(clk, sc)
+		} else {
+			sc.Close()
+		}
+	}
+	if dropped > 0 {
+		r.hvm.metrics.Counter("router.cache_invalidations").Add(uint64(dropped))
+	}
+	return cp
+}
+
 // Shutdown closes any promoted channels (the group is tearing down) and
 // freezes the cache.
 func (r *SyscallRouter) Shutdown() {

@@ -52,6 +52,14 @@ func (s *Stack) SP() int {
 	return s.sp
 }
 
+// Size returns the stack's total size in bytes (what a checkpoint image
+// has to carry for it).
+func (s *Stack) Size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}
+
 // PullDown moves RSP down by n bytes and returns the new offset — the
 // Nautilus syscall-stub entry move that protects the red zone when a
 // hardware stack switch is unavailable (SYSCALL cannot use the IST).

@@ -47,6 +47,11 @@ const (
 	RecRingDemoteLossy           // fault pressure demoted tier 3; Site=hrt core
 	RecRingRepromote             // router re-promoted to tier 3 after clean run; Site=hrt core
 	RecRingKill                  // partner kill tore the rings down mid-call; Site=ring, A=seq
+	RecCheckpoint                // group state serialized for migration; Site=group, A=delta slots, B=inflight seqnos
+	RecRestore                   // group restored on a grid node; Site=group, A=source node, B=target node
+	RecDrain                     // node drained; Site=node, A=groups migrated off
+	RecNodeKill                  // node-kill injected; Site=node, A=victim groups
+	RecMigrateDone               // migration completed; Site=group, A=latency (virtual cycles), B=target node
 )
 
 var recNames = map[EventCode]string{
@@ -79,6 +84,12 @@ var recNames = map[EventCode]string{
 	RecRingDemoteLossy: "ring-demote-lossy",
 	RecRingRepromote:   "ring-repromote",
 	RecRingKill:        "ring-kill",
+
+	RecCheckpoint:  "checkpoint",
+	RecRestore:     "restore",
+	RecDrain:       "drain",
+	RecNodeKill:    "node-kill",
+	RecMigrateDone: "migrate-complete",
 }
 
 // String returns the dump name of the code.
